@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report figures export clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report
+
+figures:
+	$(PYTHON) -c "from repro.eval.svg import write_figures; \
+	  print(*write_figures('figures'), sep='\n')"
+
+export:
+	$(PYTHON) -c "from repro.eval.export import write_json; \
+	  print(write_json('results.json'))"
+
+clean:
+	rm -rf figures results.json .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def record_checks(benchmark, outcome) -> None:
+    """Attach an experiment's model-vs-paper checks to the benchmark."""
+    for name, (model, paper) in outcome.checks.items():
+        benchmark.extra_info[name] = {
+            "model": round(float(model), 4),
+            "paper": round(float(paper), 4),
+        }
+
+
+def show(outcome) -> None:
+    """Print the rendered experiment (visible with ``pytest -s``)."""
+    print()
+    print(outcome.rendered)
+
+
+def assert_ratio_band(outcome, low: float, high: float, skip=()) -> None:
+    """Assert every model/paper check ratio lies in [low, high]."""
+    for name, ratio in outcome.check_ratios().items():
+        if name in skip:
+            continue
+        assert low < ratio < high, f"{name}: ratio {ratio:.2f}"

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+canonical workload sizes.  The full Table 3 sweep (all fifteen kernel x
+machine runs) is computed once per session and shared; each benchmark
+then times its own experiment and records model-vs-paper values in
+``benchmark.extra_info`` so they appear in the benchmark report.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+rendered tables.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.eval.tables import run_table3
+
+
+@pytest.fixture(scope="session")
+def canonical_results():
+    """The fifteen canonical Table 3 runs, shared across benchmarks."""
+    return run_table3()

@@ -1,0 +1,33 @@
+"""Ablation bench: validate the Imagine kernel-cost model by genuinely
+list-scheduling the cluster FFT microcode.
+
+The block-level model prices a kernel body at its VLIW resource bound
+times a calibrated packing inefficiency (1.15).  This bench builds the
+real dataflow DAG of one cluster's share of the paper's 128-point
+radix-4/radix-2 FFT and greedily schedules it on the 3 adders /
+2 multipliers / 1 divider / 1 comm unit; the measured inefficiency must
+bracket the calibrated constant.
+"""
+
+from bench_utils import show
+
+from repro.arch.imagine.microcode import validate_fft_schedule
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.kernels.fft import FFTPlan
+
+
+def test_ablation_imagine_list_schedule(benchmark):
+    validation = benchmark.pedantic(
+        lambda: validate_fft_schedule(FFTPlan(128)), rounds=3, iterations=1
+    )
+    benchmark.extra_info["list_cycles"] = validation.list_cycles
+    benchmark.extra_info["resource_bound"] = round(
+        validation.resource_bound_cycles, 1
+    )
+    benchmark.extra_info["packing_inefficiency"] = round(
+        validation.packing_inefficiency, 3
+    )
+    print()
+    print(validation.summary)
+    calibrated = DEFAULT_CALIBRATION.imagine.cluster_schedule_inefficiency
+    assert 1.0 <= validation.packing_inefficiency < calibrated + 0.35

@@ -1,0 +1,24 @@
+"""Ablation bench: §4.2 — Imagine corner turn through the network port.
+
+"If [the] network port were used to transfer data between SRF and an
+external memory connected to [the] network port for corner turn, the
+performance would be the same since the network port has peak
+performance of two words per cycle."
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_ablation_imagine_network_port
+
+
+def test_ablation_imagine_network_port(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_ablation_imagine_network_port,
+        kwargs={"results": canonical_results},
+        rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    model, paper = outcome.checks["port_over_base"]
+    assert abs(model - paper) < 0.02  # "the same"

@@ -1,0 +1,23 @@
+"""Ablation bench: §4.4 — Imagine beam steering with tables in the SRF.
+
+"If table values were read from the stream register file rather than
+memory on our kernel, performance would be increased by a factor of
+about two."
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_ablation_imagine_srf_tables
+
+
+def test_ablation_imagine_srf_tables(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_ablation_imagine_srf_tables,
+        kwargs={"results": canonical_results},
+        rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    model, paper = outcome.checks["srf_speedup"]
+    assert 1.5 < model < 3.5

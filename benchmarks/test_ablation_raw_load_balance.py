@@ -1,0 +1,25 @@
+"""Ablation bench: §4.3 — Raw CSLC load imbalance.
+
+"since the number of data sets is 73, which is not a multiple of the
+number of tiles, some tiles processed five sets while others processed
+four sets.  About 8% of CPU cycles are idle due to load balancing."  The
+paper reports the perfect-balance extrapolation; this bench runs both
+schedules and checks the idle fraction.
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_ablation_raw_load_balance
+
+
+def test_ablation_raw_load_balance(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_ablation_raw_load_balance,
+        kwargs={"results": canonical_results},
+        rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    model, paper = outcome.checks["idle_fraction"]
+    assert abs(model - paper) < 0.02

@@ -1,0 +1,24 @@
+"""Ablation bench: §4.3 — Raw CSLC with a network-streamed FFT.
+
+"If FFT is implemented using the stream interface that uses [the] static
+network, it hides the cache miss stalls, and load and store operations
+are not needed.  A primitive implementation result suggests about 70% of
+FFT performance improvement."
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_ablation_raw_streamed_fft
+
+
+def test_ablation_raw_streamed_fft(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_ablation_raw_streamed_fft,
+        kwargs={"results": canonical_results},
+        rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    model, paper = outcome.checks["fft_improvement"]
+    assert abs(model - paper) < 0.20

@@ -1,0 +1,27 @@
+"""Ablation bench: §4.6 — the corner turn beyond VIRAM's on-chip DRAM.
+
+"For embedded applications with reasonably sized data sets, the VIRAM
+can be used as a one-chip system.  If the application size is larger
+than the on-chip DRAM, the data needs to come from off-chip memory and
+VIRAM would lose much of its advantage."
+
+Sweeps the corner-turn matrix across the 13 MB boundary: VIRAM's
+per-word cost roughly doubles at the 2-word/cycle DMA interface and its
+standing relative to Raw worsens accordingly.
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_ablation_viram_offchip
+
+
+def test_ablation_viram_offchip(benchmark):
+    outcome = benchmark.pedantic(
+        exp_ablation_viram_offchip, rounds=1, iterations=1
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    model, anchor = outcome.checks["offchip_penalty"]
+    assert 1.5 < model < 2.5
+    ratio, _ = outcome.checks["advantage_lost"]
+    assert ratio > 1.3  # the advantage really shrinks

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 9 — speedup vs PPC+AltiVec in wall time.
+
+Same data as Figure 8 converted to execution time at each machine's
+clock ("PPC=1 GHz, VIRAM=200 MHz, Imagine=300 MHz, and Raw=300 MHz"), so
+the research chips' speedups shrink by their clock ratios: VIRAM by 5x,
+Imagine and Raw by 10/3.  Acceptance as Figure 8 (within 2x, log-scale
+shape), plus the structural relation figure9 = figure8 x clock ratio.
+"""
+
+import pytest
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_figure8, exp_figure9
+from repro.mappings.registry import KERNELS
+
+
+def test_figure9_speedup_time(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_figure9, kwargs={"results": canonical_results}, rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    for name, ratio in outcome.check_ratios().items():
+        assert 0.5 < ratio < 2.0, f"{name}: {ratio:.2f}"
+
+    fig8 = exp_figure8(results=canonical_results)
+    clocks = {"ppc": 1e9, "altivec": 1e9, "viram": 2e8, "imagine": 3e8, "raw": 3e8}
+    for kernel in KERNELS:
+        for machine, time_speedup in outcome.data[kernel].items():
+            expected = fig8.data[kernel][machine] * clocks[machine] / 1e9
+            assert time_speedup == pytest.approx(expected, rel=1e-9)

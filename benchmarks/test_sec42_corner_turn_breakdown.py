@@ -1,0 +1,20 @@
+"""Benchmark: §4.2's corner-turn breakdown statements.
+
+Paper anchors — VIRAM: ~21% DRAM precharge + TLB overhead, ~24%
+strided-load (address-generator) penalty; Imagine: 87% memory transfers,
+13% unoverlapped kernel; Raw: 16 instructions/cycle, issue-rate bound.
+"""
+
+from bench_utils import assert_ratio_band, record_checks, show
+
+from repro.eval.experiments import exp_sec42
+
+
+def test_sec42_corner_turn_breakdown(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_sec42, kwargs={"results": canonical_results}, rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    assert_ratio_band(outcome, 0.70, 1.30)

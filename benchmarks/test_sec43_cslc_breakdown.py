@@ -1,0 +1,33 @@
+"""Benchmark: §4.3's CSLC breakdown statements.
+
+Paper anchors — VIRAM: ~3.6x the peak-rate prediction (1.67 shuffle
+overhead x 1.52 FP-unit restriction x 1.41 memory/startup); Imagine:
+~10 useful ops/cycle, 25.5% FFT ALU utilization, ~30% inter-cluster
+communication penalty; Raw: ~31.4% of peak (radix-4 basis), ~26%
+load/store cycles, <10% cache stalls, ~8% load-imbalance idle.
+
+The utilization split between kernel time and startup differs from the
+paper's accounting (see EXPERIMENTS.md), so the FFT-utilization check
+gets a wider band.
+"""
+
+from bench_utils import assert_ratio_band, record_checks, show
+
+from repro.eval.experiments import exp_sec43
+
+
+def test_sec43_cslc_breakdown(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_sec43, kwargs={"results": canonical_results}, rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    assert_ratio_band(
+        outcome,
+        0.55,
+        1.45,
+        skip=("imagine_fft_alu_utilization",),
+    )
+    model, paper = outcome.checks["imagine_fft_alu_utilization"]
+    assert 0.3 < model / paper < 1.5

@@ -1,0 +1,22 @@
+"""Benchmark: §4.5's AltiVec gains over scalar PPC.
+
+Paper anchors: "a performance factor of about six for the CSLC and about
+two for beam steering and does not significantly improve performance for
+the corner turn" (Table 3's corner-turn rows imply ~1.17x).
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_sec45
+
+
+def test_sec45_altivec_gain(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_sec45, kwargs={"results": canonical_results}, rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    assert 4.5 < outcome.data["cslc"] < 7.5
+    assert 1.5 < outcome.data["beam_steering"] < 2.5
+    assert 1.0 < outcome.data["corner_turn"] < 1.6

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 1 (peak 32-bit words/cycle).
+
+Paper values — VIRAM: on-chip 8, off-chip 2, computation 8; Imagine:
+SRF 16, off-chip 2, computation 48; Raw: cache 16, off-chip 28,
+computation 16.  The table is derived from the machine configs, so this
+bench asserts exact agreement.
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_table1
+
+
+def test_table1_peak_throughput(benchmark):
+    outcome = benchmark.pedantic(exp_table1, rounds=3, iterations=1)
+    record_checks(benchmark, outcome)
+    show(outcome)
+    for name, (model, paper) in outcome.checks.items():
+        assert model == paper, name

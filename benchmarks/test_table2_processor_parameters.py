@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (processor parameters).
+
+Paper values — PPC G4: 1000 MHz, 4 ALUs, 5 GFLOPS; VIRAM: 200 MHz, 16
+ALUs, 3.2 GFLOPS; Imagine: 300 MHz, 48 ALUs, 14.4 GFLOPS; Raw: 300 MHz,
+16 ALUs, 4.64 GFLOPS.  Configured constants; exact agreement asserted.
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_table2
+
+
+def test_table2_processor_parameters(benchmark):
+    outcome = benchmark.pedantic(exp_table2, rounds=3, iterations=1)
+    record_checks(benchmark, outcome)
+    show(outcome)
+    for name, (model, paper) in outcome.checks.items():
+        assert model == paper, name

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 4 — the §2.5 corner-turn performance model.
+
+The §2.5 model predicts corner-turn lower bounds from peak rates (VIRAM
+2M words at 8/cycle on-chip; Imagine 2M at 2/cycle off-chip; Raw bound by
+the 16-load-store/cycle issue rate, not its ports).  The bench verifies
+the bounds really lower-bound the modelled execution and that Raw runs
+closest to its bound (§4.2: "nearly identical to the maximum performance
+predicted by the instruction issue rate").
+"""
+
+from bench_utils import record_checks, show
+
+from repro.eval.experiments import exp_table4
+from repro.mappings.registry import MACHINES
+
+
+def test_table4_corner_turn_model(benchmark, canonical_results):
+    outcome = benchmark.pedantic(
+        exp_table4, kwargs={"results": canonical_results}, rounds=1,
+        iterations=1,
+    )
+    record_checks(benchmark, outcome)
+    show(outcome)
+    for machine in MACHINES:
+        row = outcome.data[machine]
+        assert row["achieved_cycles"] >= 0.999 * row["bound_cycles"], machine
+    # Raw sits closest to its bound; VIRAM within ~2.2x of its.
+    gaps = {
+        m: outcome.data[m]["achieved_cycles"] / outcome.data[m]["bound_cycles"]
+        for m in ("viram", "imagine", "raw")
+    }
+    assert gaps["raw"] == min(gaps.values())
+    assert gaps["raw"] < 1.15
+    assert gaps["viram"] < 2.5

@@ -1,0 +1,72 @@
+"""Validation bench: the block-level machine models against their
+fine-grained executors.
+
+Each research machine's block-level cost model is cross-checked by a
+finer mechanism-level executor over the paper's 128-point FFT:
+
+* Imagine — the cluster-parallel butterfly dataflow DAG, greedily
+  list-scheduled on 3 adders / 2 multipliers / 1 divider / 1 comm unit,
+  versus the resource-bound + packing-inefficiency model.
+* Raw — the per-tile single-issue pipeline with load-use and branch
+  bubbles over the memory-to-memory radix-2 butterfly stream, versus
+  instructions + the calibrated stall fraction.
+* VIRAM — the hand-vectorised instruction stream (shuffles on VFU1
+  feeding chained FP on VFU0, dead time only on true dependencies),
+  versus the composite compute + shuffle + startup accounting.
+
+The bench reports each ratio; all three must bracket 1.0 within the
+documented bands, showing the Table 3 numbers rest on mechanisms, not
+fitted totals.
+"""
+
+from repro.arch.imagine.microcode import validate_fft_schedule
+from repro.arch.raw.machine import RawMachine
+from repro.arch.raw.tile import execute_program, fft_program
+from repro.arch.viram.isa import fft_stream, schedule_stream
+from repro.arch.viram.machine import ViramMachine
+from repro.kernels.fft import FFTPlan, radix2_radices
+
+
+def _validate_all():
+    results = {}
+
+    imagine = validate_fft_schedule(FFTPlan(128))
+    results["imagine_list_over_bound"] = imagine.packing_inefficiency
+
+    raw_machine = RawMachine()
+    plan_r2 = FFTPlan(128, radix2_radices(128))
+    program = fft_program(plan_r2, transforms=6)
+    executed = execute_program(program)
+    block_busy = raw_machine.tile_cycles(program.total_instructions)
+    block = block_busy + raw_machine.cache_stall_cycles(block_busy)
+    results["raw_executor_over_block"] = executed.cycles / block
+
+    viram_machine = ViramMachine()
+    plan_r4 = FFTPlan(128)
+    sched = schedule_stream(
+        fft_stream(plan_r4, batch=64, machine=viram_machine), viram_machine
+    )
+    flops = plan_r4.flops() * 64
+    permutes = plan_r4.shuffle_census().permutes * 64
+    composite = (
+        viram_machine.fp_issue_cycles(flops)
+        + viram_machine.vfu_cycles(permutes)
+        * viram_machine.cal.shuffle_exposed_fraction
+        + viram_machine.dead_time(
+            viram_machine.instruction_count(flops + permutes)
+        )
+    )
+    results["viram_schedule_over_composite"] = sched.makespan / composite
+    return results
+
+
+def test_validation_fine_grained_models(benchmark):
+    results = benchmark.pedantic(_validate_all, rounds=1, iterations=1)
+    for name, value in results.items():
+        benchmark.extra_info[name] = round(value, 3)
+    print()
+    for name, value in results.items():
+        print(f"  {name}: {value:.3f}")
+    assert 1.0 <= results["imagine_list_over_bound"] < 1.5
+    assert 0.85 < results["raw_executor_over_block"] < 1.15
+    assert 0.55 < results["viram_schedule_over_composite"] <= 1.0

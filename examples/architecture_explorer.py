@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Architecture sensitivity explorer: turn the paper's knobs.
+
+The paper repeatedly notes that some limits are *implementation* choices
+rather than architectural ones — "the number of address generators is a
+processor implementation choice and is not a limitation of the stream
+architecture" (§4.2).  This example re-runs mappings with modified
+machine configurations/calibrations and reports how the Table 3 numbers
+move, then prints the paper's own §4 what-ifs from the experiment
+registry.
+
+Run:  python examples/architecture_explorer.py
+"""
+
+from repro import run_kernel
+from repro.eval.experiments import run_experiment
+
+
+def viram_address_generators() -> None:
+    """§4.2: 24% of VIRAM's corner-turn cycles are the strided-load limit
+    imposed by the four address generators.  With eight, strided loads
+    would issue at the full datapath rate."""
+    print("VIRAM corner turn vs address generators")
+    run = run_kernel("corner_turn", "viram")
+    print(f"  4 generators (shipped): {run.kilocycles:10,.0f} kcycles")
+    strided = run.breakdown.get("strided loads")
+    projected = run.cycles - strided / 2
+    print(f"  8 generators (model):   {projected / 1e3:10,.0f} kcycles "
+          "(strided loads reach the 8-word/cycle datapath)")
+    print()
+
+
+def imagine_controllers() -> None:
+    """§4.2: Imagine's two 1-word/cycle controllers bound the corner
+    turn; the memory term scales with controller count, the exposed
+    kernel term does not."""
+    print("Imagine corner turn vs memory controllers")
+    run = run_kernel("corner_turn", "imagine")
+    memory = run.breakdown.get("memory")
+    other = run.cycles - memory
+    print(f"  2 controllers (shipped): {run.kilocycles:10,.0f} kcycles")
+    for n in (4, 8):
+        projected = memory * 2 / n + other
+        print(f"  {n} controllers (model):  {projected / 1e3:10,.0f} kcycles")
+    print()
+
+
+def raw_mesh_scaling() -> None:
+    """§2.3 motivates tiled scaling; the corner turn is issue-rate bound,
+    so it scales with tile count until the peripheral ports bind."""
+    print("Raw corner turn vs mesh size")
+    run = run_kernel("corner_turn", "raw")
+    print(f"  4x4 mesh (shipped): {run.kilocycles:10,.0f} kcycles")
+    words = 2 * run.metrics["blocks"] * 64 * 64
+    for dim in (8, 16):
+        tiles = dim * dim
+        issue_bound = run.cycles * 16 / tiles
+        port_bound = words / 28
+        projected = max(issue_bound, port_bound)
+        binding = "ports" if port_bound > issue_bound else "issue rate"
+        print(f"  {dim}x{dim} mesh (model): {projected / 1e3:10,.0f} kcycles "
+              f"(bound by {binding})")
+    print()
+
+
+def paper_what_ifs() -> None:
+    print("The paper's own what-ifs (§4.2-§4.4):\n")
+    for exp_id in (
+        "ablation_imagine_network_port",
+        "ablation_raw_streamed_fft",
+        "ablation_raw_load_balance",
+        "ablation_imagine_srf_tables",
+        "ablation_imagine_independent_ffts",
+        "ablation_imagine_fft_size",
+        "ablation_viram_offchip",
+    ):
+        outcome = run_experiment(exp_id)
+        print(f"== {outcome.title} ==")
+        print(outcome.rendered)
+        print()
+
+
+def main() -> None:
+    viram_address_generators()
+    imagine_controllers()
+    raw_mesh_scaling()
+    paper_what_ifs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Mapping a new kernel onto the machine models: matrix multiply on Raw.
+
+The library's machine models are reusable beyond the paper's three
+kernels.  This example walks through the extension shipped in
+``repro.kernels.matmul`` / ``repro.mappings.raw_matmul``, which
+reproduces the Raw results the paper cites in §2.3 ("speedup of up to 12
+relative to single-tile performance on ILP benchmarks.  Speedups greater
+than 16 ... on streaming benchmarks"), and shows the recipe for adding
+your own kernel:
+
+1. define a workload dataclass with exact operation censuses;
+2. write a functional implementation (checked against an oracle);
+3. compose the machine model's costing methods (tile issue, cache
+   stalls, network transfers) into a cycle breakdown;
+4. return a KernelRun so the evaluation tooling works unchanged.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.kernels.matmul import MatmulWorkload
+from repro.mappings.raw_matmul import MODES, run, speedup_vs_single_tile
+
+
+def main() -> None:
+    workload = MatmulWorkload(n=64, k=64, m=64)
+    print(f"C[{workload.n},{workload.m}] = A @ B with k={workload.k} "
+          f"({workload.macs:,} MACs)\n")
+
+    print("Per-mode runs on the Raw model:")
+    for mode in MODES:
+        result = run(workload, mode=mode)
+        print(f"\n--- mode = {mode} ---")
+        print(result.breakdown.format())
+        print(f"functional: {'ok' if result.functional_ok else 'FAILED'}")
+
+    s = speedup_vs_single_tile(workload)
+    print("\nSpeedup over the single-tile load/store baseline "
+          "(§2.3's comparison):")
+    print(f"  MIMD (load/store inner loop): {s['mimd_speedup']:6.1f}x "
+          "(paper cites 'up to 12' across its ILP suite)")
+    print(f"  streaming (operands from the network): "
+          f"{s['stream_speedup']:6.1f}x (paper: 'greater than 16')")
+    print("\nThe >16x is not magic: streaming removes the per-MAC load "
+          "instruction, so 16 tiles each retire more useful arithmetic "
+          "per cycle than the load/store baseline — §2.3's 'ability to "
+          "operate on data directly from the networks'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run one kernel on every machine and print the comparison.
+
+This is the smallest useful tour of the library: run the corner turn
+(the paper's memory-bandwidth kernel) on all five platforms, show each
+machine's cycle breakdown, and compare against the paper's Table 3.
+
+Run:  python examples/quickstart.py [kernel]
+where kernel is corner_turn (default), cslc, or beam_steering.
+"""
+
+import sys
+
+from repro import run_kernel
+from repro.eval.tables import MACHINE_TITLES, PAPER_TABLE3
+from repro.mappings.registry import KERNELS, MACHINES
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "corner_turn"
+    if kernel not in KERNELS:
+        raise SystemExit(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+
+    print(f"Running {kernel} on all five platforms...\n")
+    runs = {}
+    for machine in MACHINES:
+        runs[machine] = run_kernel(kernel, machine)
+
+    print(f"{'machine':10s}{'model kcycles':>15s}{'paper kcycles':>15s}"
+          f"{'ratio':>8s}{'time (ms)':>11s}{'functional':>12s}")
+    for machine, run in runs.items():
+        paper = PAPER_TABLE3[(kernel, machine)]
+        print(
+            f"{MACHINE_TITLES[machine]:10s}{run.kilocycles:>15,.0f}"
+            f"{paper:>15,.0f}{run.kilocycles / paper:>8.2f}"
+            f"{run.seconds * 1e3:>11.2f}"
+            f"{'ok' if run.functional_ok else 'FAILED':>12s}"
+        )
+
+    print("\nPer-machine cycle breakdowns:\n")
+    for machine, run in runs.items():
+        print(f"--- {MACHINE_TITLES[machine]} ---")
+        print(run.breakdown.format())
+        print()
+
+
+if __name__ == "__main__":
+    main()

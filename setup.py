@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose pip lacks the ``wheel`` package required by PEP 660
+editable builds (``pip install -e . --no-build-isolation`` falls back to
+the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — reproduction of Suh et al., "A Performance Analysis of PIM,
+Stream Processing, and Tiled Processing on Memory-Intensive Signal
+Processing Kernels" (ISCA 2003).
+
+The library provides cycle-approximate models of the paper's four
+platforms (VIRAM, Imagine, Raw, PowerPC G4/AltiVec), functional
+implementations of its three kernels (corner turn, CSLC, beam steering),
+the kernel->machine mappings of §3, and an evaluation harness regenerating
+every table and figure of §4.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import run_kernel
+    run = run_kernel("corner_turn", "viram")
+    print(run.breakdown.format())
+"""
+
+from repro.calibration import DEFAULT_CALIBRATION, Calibration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "run_kernel",
+    "__version__",
+]
+
+
+def run_kernel(kernel: str, machine: str, **kwargs):
+    """Run a named kernel on a named machine; returns a ``KernelRun``.
+
+    Thin convenience wrapper over :func:`repro.mappings.registry.run`.
+    Imported lazily so that ``import repro`` stays cheap.
+    """
+    from repro.mappings.registry import run
+
+    return run(kernel, machine, **kwargs)

@@ -1,0 +1,19 @@
+"""Machine models for the paper's four platforms.
+
+* :mod:`repro.arch.viram` — VIRAM, the Berkeley processor-in-memory vector
+  chip (§2.1).
+* :mod:`repro.arch.imagine` — Imagine, the Stanford stream processor
+  (§2.2).
+* :mod:`repro.arch.raw` — Raw, the MIT tiled processor (§2.3).
+* :mod:`repro.arch.ppc` — the PowerPC G4 / AltiVec measurement baseline
+  (§4.1, §4.5).
+
+Each machine package exposes a ``*Config`` (microarchitectural parameters
+with the paper's published values as defaults), a ``*Machine`` (stateful
+resources plus costing methods mappings compose), and registers itself
+with :func:`repro.arch.base.machine_specs`.
+"""
+
+from repro.arch.base import KernelRun, MachineSpec
+
+__all__ = ["KernelRun", "MachineSpec"]

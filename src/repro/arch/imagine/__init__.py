@@ -1,0 +1,22 @@
+"""Imagine: the Stanford stream-processor prototype (§2.2).
+
+"The stream processing is implemented with eight ALU clusters (with 6 ALUs
+each) with a large stream register file (SRF), and a high-bandwidth
+interconnect between them.  The size of SRF is 128 Kbytes. ... Each
+cluster has 6 arithmetic units (three adders, two multipliers, and one
+divider) and one communication interface ... The Imagine prototype
+implementation has two memory controllers, each of which can process a
+memory access stream."
+"""
+
+from repro.arch.imagine.cluster import ClusterOpMix, cluster_schedule_cycles
+from repro.arch.imagine.config import ImagineConfig
+from repro.arch.imagine.machine import IMAGINE_SPEC, ImagineMachine
+
+__all__ = [
+    "ClusterOpMix",
+    "IMAGINE_SPEC",
+    "ImagineConfig",
+    "ImagineMachine",
+    "cluster_schedule_cycles",
+]

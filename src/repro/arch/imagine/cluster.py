@@ -1,0 +1,159 @@
+"""Per-cluster VLIW kernel scheduling model.
+
+Imagine kernels are VLIW microcode executed in SIMD lockstep by the eight
+clusters; each cluster issues to three adders, two multipliers, one
+divider, and one inter-cluster communication unit per cycle.  For the
+block-level model a kernel's inner-loop cost is its *resource-bound*
+schedule length — the busiest functional-unit class — inflated by a small
+packing-inefficiency factor (perfect VLIW packing of a tiny 128-point FFT
+loop body is not achievable; §4.3 reports 25-30% FFT ALU utilization once
+startup and communication are included).
+
+:func:`list_schedule_cycles` provides a genuine dependency-aware list
+scheduler for callers that have an explicit operation DAG; the resource
+bound is validated against it in the tests (the list schedule can never
+beat the bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError, ScheduleError
+from repro.arch.imagine.config import ImagineConfig
+
+#: Functional-unit classes inside one cluster.
+FU_CLASSES = ("add", "mul", "div", "comm")
+
+
+@dataclass(frozen=True)
+class ClusterOpMix:
+    """Element operations per cluster for one kernel body.
+
+    ``adds`` include subtracts and logical/shift ops (the adders execute
+    them); ``comms`` are inter-cluster word transfers through the single
+    communication unit (§4.3: CSLC "performance is reduced by 30% because
+    inter-cluster communication is used to perform parallel FFTs").
+    """
+
+    adds: float = 0.0
+    muls: float = 0.0
+    divs: float = 0.0
+    comms: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("adds", "muls", "divs", "comms"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"negative {name} in cluster op mix")
+
+    def __add__(self, other: "ClusterOpMix") -> "ClusterOpMix":
+        if not isinstance(other, ClusterOpMix):
+            return NotImplemented
+        return ClusterOpMix(
+            adds=self.adds + other.adds,
+            muls=self.muls + other.muls,
+            divs=self.divs + other.divs,
+            comms=self.comms + other.comms,
+        )
+
+    def scaled(self, factor: float) -> "ClusterOpMix":
+        if factor < 0:
+            raise ConfigError(f"negative scale factor {factor}")
+        return ClusterOpMix(
+            adds=self.adds * factor,
+            muls=self.muls * factor,
+            divs=self.divs * factor,
+            comms=self.comms * factor,
+        )
+
+    @property
+    def total(self) -> float:
+        return self.adds + self.muls + self.divs + self.comms
+
+
+def cluster_schedule_cycles(
+    mix: ClusterOpMix,
+    config: ImagineConfig,
+    inefficiency: float = 1.0,
+) -> float:
+    """Resource-bound VLIW schedule length for one cluster's op mix.
+
+    The bound is the busiest FU class; ``inefficiency`` (>= 1) models
+    imperfect packing of short loop bodies.
+    """
+    if inefficiency < 1.0:
+        raise ConfigError(
+            f"inefficiency must be >= 1, got {inefficiency}"
+        )
+    bound = max(
+        mix.adds / config.adders_per_cluster,
+        mix.muls / config.multipliers_per_cluster,
+        mix.divs / config.dividers_per_cluster,
+        mix.comms / config.comm_units_per_cluster,
+    )
+    return bound * inefficiency
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One operation of an explicit kernel DAG.
+
+    ``fu`` is a functional-unit class from :data:`FU_CLASSES`; ``deps``
+    are indices of earlier ops whose results this op consumes; ``latency``
+    is result latency in cycles (issue occupies the FU for one cycle).
+    """
+
+    fu: str
+    deps: Tuple[int, ...] = ()
+    latency: int = 1
+
+
+def list_schedule_cycles(
+    ops: Sequence[MicroOp], config: ImagineConfig
+) -> int:
+    """Cycle count of a greedy list schedule of ``ops`` on one cluster.
+
+    Ready ops are issued oldest-first each cycle, up to the per-class FU
+    counts.  Used to validate the resource-bound model and for the
+    scheduling microbenchmark; the returned length is always >= the
+    resource bound and >= the critical path.
+    """
+    counts = {
+        "add": config.adders_per_cluster,
+        "mul": config.multipliers_per_cluster,
+        "div": config.dividers_per_cluster,
+        "comm": config.comm_units_per_cluster,
+    }
+    n = len(ops)
+    for i, op in enumerate(ops):
+        if op.fu not in counts:
+            raise ScheduleError(f"op {i}: unknown FU class {op.fu!r}")
+        if op.latency < 1:
+            raise ScheduleError(f"op {i}: latency must be >= 1")
+        for d in op.deps:
+            if not 0 <= d < i:
+                raise ScheduleError(
+                    f"op {i}: dependency {d} is not an earlier op"
+                )
+    if n == 0:
+        return 0
+
+    finish: List[int] = [-1] * n  # cycle in which op's result is ready
+    issued = [False] * n
+    cycle = 0
+    remaining = n
+    while remaining:
+        free: Dict[str, int] = dict(counts)
+        for i, op in enumerate(ops):
+            if issued[i] or free[op.fu] == 0:
+                continue
+            if all(finish[d] >= 0 and finish[d] <= cycle for d in op.deps):
+                issued[i] = True
+                finish[i] = cycle + op.latency
+                free[op.fu] -= 1
+                remaining -= 1
+        cycle += 1
+        if cycle > n * max(op.latency for op in ops) + n:
+            raise ScheduleError("list schedule failed to make progress")
+    return max(finish)

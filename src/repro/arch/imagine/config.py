@@ -1,0 +1,76 @@
+"""Imagine microarchitectural parameters (§2.2 published values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class ImagineConfig:
+    """Parameters of the Imagine implementation the paper evaluated.
+
+    Peak: 300 MHz x 8 clusters x 6 ALUs = 14.4 GFLOPS (§2.2).  The memory
+    interface is two stream controllers of one word/cycle each — §4.2
+    stresses this is "a processor implementation choice and ... not a
+    limitation of the stream architecture", and that routing streams
+    through the network port would perform the same ("the network port has
+    peak performance of two words per cycle"), which the corner-turn
+    ablation bench reproduces.
+    """
+
+    clock_hz: float = 300e6
+    clusters: int = 8
+    adders_per_cluster: int = 3
+    multipliers_per_cluster: int = 2
+    dividers_per_cluster: int = 1
+    comm_units_per_cluster: int = 1
+    srf_bytes: int = 128 * KIB
+    srf_block_bytes: int = 128
+    srf_words_per_cycle: int = 16
+    memory_controllers: int = 2
+    controller_words_per_cycle: int = 1
+    network_port_words_per_cycle: int = 2
+    dram_banks: int = 8
+    dram_row_words: int = 512
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.clusters < 1:
+            raise ConfigError("need at least one cluster")
+        for name in (
+            "adders_per_cluster",
+            "multipliers_per_cluster",
+            "dividers_per_cluster",
+            "comm_units_per_cluster",
+            "memory_controllers",
+            "controller_words_per_cycle",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be at least 1")
+        if self.srf_bytes < self.srf_block_bytes:
+            raise ConfigError("SRF smaller than one SRF block")
+
+    @property
+    def alus_per_cluster(self) -> int:
+        return (
+            self.adders_per_cluster
+            + self.multipliers_per_cluster
+            + self.dividers_per_cluster
+        )
+
+    @property
+    def total_alus(self) -> int:
+        return self.clusters * self.alus_per_cluster
+
+    @property
+    def memory_words_per_cycle(self) -> int:
+        """Aggregate off-chip stream bandwidth (Table 1's "off-chip 2")."""
+        return self.memory_controllers * self.controller_words_per_cycle
+
+    @property
+    def srf_words(self) -> int:
+        return self.srf_bytes // 4

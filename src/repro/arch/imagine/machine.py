@@ -1,0 +1,165 @@
+"""The Imagine machine model: SRF, stream controllers, cluster array.
+
+Costing methods the mappings compose:
+
+* :meth:`ImagineMachine.stream_cycles` — controller-cycles to move one
+  word pattern between DRAM and the SRF: one word per cycle per
+  controller, plus exposed row-switch time from the (serialized-policy)
+  DRAM model, plus an optional gather derating for indexed streams
+  (§4.4's table reads).
+* :meth:`ImagineMachine.memory_time` — wall-clock cycles for a bag of
+  controller-cycles spread over the two controllers.
+* :meth:`ImagineMachine.kernel_cycles` — cluster compute time for an
+  op mix under the resource-bound VLIW model, SIMD across 8 clusters.
+* :meth:`ImagineMachine.kernel_startups` — software-pipeline prologue
+  cost per kernel invocation (short streams pipeline poorly, §4.3/§4.4).
+
+SRF capacity is enforced with a :class:`Scratchpad`: the corner-turn
+matrix *must not* fit (that is why the paper strips it), and the mappings
+assert their strip/batch working sets do fit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.base import MachineSpec
+from repro.arch.imagine.cluster import ClusterOpMix, cluster_schedule_cycles
+from repro.arch.imagine.config import ImagineConfig
+from repro.calibration import DEFAULT_CALIBRATION, ImagineCalibration
+from repro.errors import ConfigError
+from repro.memory.dram import DRAM, DRAMConfig, DRAMCost
+from repro.memory.sram import Scratchpad
+from repro.memory.streams import AccessPattern
+
+#: Table 2 row: 300 MHz, 48 ALUs, 14.4 peak GFLOPS.
+IMAGINE_SPEC = MachineSpec(
+    name="imagine",
+    display_name="Imagine",
+    clock_hz=300e6,
+    n_alus=48,
+    peak_gflops=14.4,
+    flops_per_cycle=48.0,
+)
+
+
+class ImagineMachine:
+    """Stateful Imagine resources plus costing methods (see module doc)."""
+
+    spec = IMAGINE_SPEC
+
+    def __init__(
+        self,
+        config: Optional[ImagineConfig] = None,
+        calibration: Optional[ImagineCalibration] = None,
+    ) -> None:
+        self.config = config or ImagineConfig()
+        self.cal = calibration or DEFAULT_CALIBRATION.imagine
+        self.srf = Scratchpad("imagine-srf", self.config.srf_bytes)
+        self.dram = DRAM(
+            DRAMConfig(
+                name="imagine-offchip",
+                banks=self.config.dram_banks,
+                row_words=self.config.dram_row_words,
+                row_cycle=self.cal.dram_row_cycle,
+                access_latency=0.0,  # hidden by stream reordering (§2.2)
+                activation_policy="serialized",
+            )
+        )
+
+    def reset(self) -> None:
+        self.srf.reset()
+        self.dram.reset()
+
+    # ------------------------------------------------------------------
+    # Memory streams
+    # ------------------------------------------------------------------
+
+    def stream_cycles(
+        self,
+        pattern: AccessPattern,
+        *,
+        kind: str,
+        gather: bool = False,
+    ) -> float:
+        """Controller-cycles to stream ``pattern`` between DRAM and SRF.
+
+        Sequential/strided record streams cost one controller-cycle per
+        word plus exposed row switches; indexed gathers additionally pay
+        the calibrated derating (§4.4: the calibration-table reads make
+        loads/stores 89% of beam-steering time).
+        """
+        cost: DRAMCost = self.dram.access(
+            pattern,
+            rate_words_per_cycle=self.config.controller_words_per_cycle,
+            kind=kind,
+        )
+        cycles = cost.stream_cycles
+        if gather:
+            cycles = (
+                pattern.n_words
+                * self.cal.gather_derate
+                / self.config.controller_words_per_cycle
+            )
+        return cycles
+
+    def memory_time(self, controller_cycles: float) -> float:
+        """Wall-clock cycles for ``controller_cycles`` of stream work
+        spread over the memory controllers.
+
+        The controllers process independent streams concurrently; the
+        mappings' stream sets are long and balanced, so the even-split
+        bound is tight.
+        """
+        if controller_cycles < 0:
+            raise ConfigError("negative controller cycles")
+        return controller_cycles / self.config.memory_controllers
+
+    def network_port_time(self, words: float) -> float:
+        """Wall-clock cycles to move ``words`` through the network port
+        (two words/cycle; §4.2's corner-turn ablation)."""
+        if words < 0:
+            raise ConfigError("negative word count")
+        return words / self.config.network_port_words_per_cycle
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+
+    def kernel_cycles(self, mix_per_cluster: ClusterOpMix) -> float:
+        """Inner-loop compute cycles for one kernel body, SIMD across the
+        cluster array.
+
+        Arithmetic is resource-bound VLIW-scheduled; inter-cluster
+        communication words are charged separately at the calibrated
+        exposure because the butterfly dataflow serialises on remote
+        operands even though the comm unit is a parallel resource (§4.3's
+        ~30% parallel-FFT penalty).
+        """
+        arithmetic = ClusterOpMix(
+            adds=mix_per_cluster.adds,
+            muls=mix_per_cluster.muls,
+            divs=mix_per_cluster.divs,
+        )
+        cycles = cluster_schedule_cycles(
+            arithmetic,
+            self.config,
+            inefficiency=self.cal.cluster_schedule_inefficiency,
+        )
+        return cycles + mix_per_cluster.comms * self.cal.comm_exposure
+
+    def kernel_startups(self, invocations: int) -> float:
+        """Software-pipeline prologue cost for ``invocations`` kernel
+        launches."""
+        if invocations < 0:
+            raise ConfigError("negative invocation count")
+        return invocations * self.cal.kernel_startup
+
+    def spread_over_clusters(self, element_ops: float) -> float:
+        """Element ops per cluster under round-robin SIMD distribution."""
+        if element_ops < 0:
+            raise ConfigError("negative element op count")
+        return element_ops / self.config.clusters
+
+    def __repr__(self) -> str:
+        return f"ImagineMachine(clock={self.config.clock_hz / 1e6:.0f} MHz)"

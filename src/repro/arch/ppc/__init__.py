@@ -1,0 +1,18 @@
+"""PowerPC G4 + AltiVec: the paper's measured baseline (§4.1, §4.5).
+
+"For comparison purposes, actual measurements of performance were taken
+using a single node of a 1 GHz PowerPC G4-based system (Apple PowerMac
+G4).  An implementation using AltiVec technology was used for speedup
+comparison. ... The Altivec instruction set allows four 32-bit
+floating-point operations to be specified and executed in a single
+instruction."
+
+We model the G4 as a 3-wide in-order superscalar with a scalar FPU, a
+4-wide AltiVec unit, and a two-level cache hierarchy; the scalar and
+AltiVec kernel variants are separate mappings sharing this machine.
+"""
+
+from repro.arch.ppc.config import PpcConfig
+from repro.arch.ppc.machine import ALTIVEC_SPEC, PPC_SPEC, PpcMachine
+
+__all__ = ["ALTIVEC_SPEC", "PPC_SPEC", "PpcConfig", "PpcMachine"]

@@ -1,0 +1,58 @@
+"""PowerPC G4 (7400-class) parameters at the paper's 1 GHz clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class PpcConfig:
+    """G4 microarchitecture parameters used by the baseline model.
+
+    Issue width 3 (two integer units plus FPU/vector per cycle in the
+    7400-series front end), 32 KB 8-way L1 data cache with 32-byte lines,
+    and an external 256 KB L2 (the PowerMac G4's backside cache, modelled
+    with a uniform hit latency).  AltiVec executes one 4 x 32-bit vector
+    operation per cycle.
+    """
+
+    clock_hz: float = 1e9
+    issue_width: int = 3
+    altivec_width: int = 4
+    l1_size_bytes: int = 32 * KIB
+    l1_line_bytes: int = 32
+    l1_assoc: int = 8
+    l2_size_bytes: int = 256 * KIB
+    l2_line_bytes: int = 32
+    l2_assoc: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.issue_width < 1:
+            raise ConfigError("issue width must be positive")
+        if self.altivec_width < 1:
+            raise ConfigError("AltiVec width must be positive")
+        for prefix in ("l1", "l2"):
+            size = getattr(self, f"{prefix}_size_bytes")
+            line = getattr(self, f"{prefix}_line_bytes")
+            assoc = getattr(self, f"{prefix}_assoc")
+            if size <= 0 or line <= 0 or assoc <= 0:
+                raise ConfigError(f"{prefix} geometry must be positive")
+            if size % line:
+                raise ConfigError(f"{prefix} size not a multiple of line")
+
+    @property
+    def l1_line_words(self) -> int:
+        return self.l1_line_bytes // 4
+
+    @property
+    def l1_lines(self) -> int:
+        return self.l1_size_bytes // self.l1_line_bytes
+
+    @property
+    def l2_lines(self) -> int:
+        return self.l2_size_bytes // self.l2_line_bytes

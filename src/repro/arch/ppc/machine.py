@@ -1,0 +1,141 @@
+"""The PowerPC G4 / AltiVec machine model.
+
+Costing methods the scalar (``ppc``) and AltiVec (``altivec``) mappings
+compose:
+
+* :meth:`PpcMachine.issue_cycles` — 3-wide in-order issue of a scalar
+  instruction count.
+* :meth:`PpcMachine.vector_issue_cycles` — one AltiVec operation per
+  cycle (each does four 32-bit lanes).
+* :meth:`PpcMachine.make_hierarchy` — a fresh L1+L2 cache hierarchy for
+  trace-driven stall accounting; closed-form miss counts used at full
+  size are validated against it at small sizes in the tests.
+* stall helpers for scalar FP dependency chains, AltiVec pipeline
+  dependencies, and libm trig calls (the scalar FFT's twiddle
+  recomputation — see :mod:`repro.calibration` for the §4.5 anchor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.base import MachineSpec
+from repro.arch.ppc.config import PpcConfig
+from repro.calibration import DEFAULT_CALIBRATION, PpcCalibration
+from repro.errors import ConfigError
+from repro.memory.cache import CacheConfig, CacheHierarchy
+
+#: Table 2 column: 1000 MHz, 4 ALUs, 5 peak GFLOPS.  ``flops_per_cycle``
+#: differs between the scalar pipeline (one fused op: 2 flops/cycle) and
+#: the AltiVec unit (4 lanes x madd: 8 flops/cycle).
+PPC_SPEC = MachineSpec(
+    name="ppc",
+    display_name="PPC",
+    clock_hz=1e9,
+    n_alus=4,
+    peak_gflops=5.0,
+    flops_per_cycle=2.0,
+)
+
+ALTIVEC_SPEC = MachineSpec(
+    name="altivec",
+    display_name="Altivec",
+    clock_hz=1e9,
+    n_alus=4,
+    peak_gflops=5.0,
+    flops_per_cycle=8.0,
+)
+
+
+class PpcMachine:
+    """Stateful G4 resources plus costing methods (see module doc)."""
+
+    spec = PPC_SPEC
+    altivec_spec = ALTIVEC_SPEC
+
+    def __init__(
+        self,
+        config: Optional[PpcConfig] = None,
+        calibration: Optional[PpcCalibration] = None,
+    ) -> None:
+        self.config = config or PpcConfig()
+        self.cal = calibration or DEFAULT_CALIBRATION.ppc
+
+    def make_hierarchy(self) -> CacheHierarchy:
+        """A fresh (cold) L1+L2 hierarchy for one kernel run."""
+        l1 = CacheConfig(
+            name="ppc-l1",
+            size_bytes=self.config.l1_size_bytes,
+            line_bytes=self.config.l1_line_bytes,
+            assoc=self.config.l1_assoc,
+            hit_cycles=0.0,  # folded into the load/store instruction cost
+        )
+        l2 = CacheConfig(
+            name="ppc-l2",
+            size_bytes=self.config.l2_size_bytes,
+            line_bytes=self.config.l2_line_bytes,
+            assoc=self.config.l2_assoc,
+            hit_cycles=self.cal.l2_hit_cycles,
+        )
+        return CacheHierarchy(l1, l2, memory_latency=self.cal.dram_latency_cycles)
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def issue_cycles(self, instructions: float) -> float:
+        """Front-end cycles for ``instructions`` scalar instructions."""
+        if instructions < 0:
+            raise ConfigError("negative instruction count")
+        return instructions / self.config.issue_width
+
+    def vector_issue_cycles(self, vector_ops: float) -> float:
+        """Cycles to issue ``vector_ops`` AltiVec operations (one per
+        cycle; address/loop scalar code can pair with them and is charged
+        separately through :meth:`issue_cycles`)."""
+        if vector_ops < 0:
+            raise ConfigError("negative vector op count")
+        return vector_ops
+
+    # ------------------------------------------------------------------
+    # Stall models
+    # ------------------------------------------------------------------
+
+    def scalar_fp_stall_cycles(self, dependent_ops: float) -> float:
+        """Exposed FP-latency cycles for ``dependent_ops`` chained scalar
+        floating-point operations."""
+        if dependent_ops < 0:
+            raise ConfigError("negative op count")
+        return dependent_ops * self.cal.fp_dependency_stall
+
+    def trig_cycles(self, calls: float) -> float:
+        """Cycles spent in libm sin/cos pairs (scalar FFT twiddle
+        recomputation)."""
+        if calls < 0:
+            raise ConfigError("negative call count")
+        return calls * self.cal.trig_call_cycles
+
+    def vector_stall_cycles(self, butterfly_groups: float) -> float:
+        """Exposed AltiVec pipeline-latency cycles across ``butterfly_
+        groups`` dependent vector op groups."""
+        if butterfly_groups < 0:
+            raise ConfigError("negative group count")
+        return butterfly_groups * self.cal.vector_dependency_stall_per_butterfly
+
+    # ------------------------------------------------------------------
+    # Derived cache cost helpers (closed forms used at full size)
+    # ------------------------------------------------------------------
+
+    def l2_hit_stall(self, hits: float) -> float:
+        if hits < 0:
+            raise ConfigError("negative hit count")
+        return hits * self.cal.l2_hit_cycles
+
+    def memory_miss_stall(self, misses: float) -> float:
+        """Stall for lines missing L2 (lookup + DRAM access)."""
+        if misses < 0:
+            raise ConfigError("negative miss count")
+        return misses * (self.cal.l2_hit_cycles + self.cal.dram_latency_cycles)
+
+    def __repr__(self) -> str:
+        return f"PpcMachine(clock={self.config.clock_hz / 1e6:.0f} MHz)"

@@ -1,0 +1,16 @@
+"""Raw: the MIT tiled-processor prototype (§2.3).
+
+"The current Raw implementation contains 16 tiles on a chip connected by a
+very low latency 2-D mesh network. ... Each tile has a MIPS-based RISC
+processor with floating-point units and a total of 128 KB of SRAM. ...
+The switch processor ... provides throughput to the tile processor of one
+word per cycle with a latency of three cycles between nearest neighbor
+tiles.  One additional cycle of latency is added for each hop. ... The
+memory ports are located at the 16 peripheral ports of the chip."
+"""
+
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.machine import RAW_SPEC, RawMachine
+from repro.arch.raw.network import StaticNetwork, route_hops
+
+__all__ = ["RAW_SPEC", "RawConfig", "RawMachine", "StaticNetwork", "route_hops"]

@@ -1,0 +1,65 @@
+"""Raw microarchitectural parameters (§2.3 published values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class RawConfig:
+    """Parameters of the Raw implementation the paper evaluated.
+
+    16 single-issue MIPS-like tiles in a 4x4 mesh at 300 MHz.  Each tile's
+    128 KB of SRAM is split between switch instructions, tile instructions
+    and data; ``tile_data_kib`` is the data share (the §3.1 corner turn
+    operates on "64x64 word blocks that fit in a single local tile
+    memory" — 16 KB — and the 2 MB aggregate the matrix must exceed is
+    16 tiles x 128 KB).  Table 1 gives the peak memory rates: 16
+    words/cycle on-chip (one load/store per tile per cycle) and 28
+    words/cycle aggregate through the peripheral DRAM ports.
+    """
+
+    clock_hz: float = 300e6
+    mesh_rows: int = 4
+    mesh_cols: int = 4
+    tile_sram_kib: int = 128
+    tile_data_kib: int = 32
+    static_link_words_per_cycle: int = 1
+    static_nearest_latency: int = 3
+    static_hop_latency: int = 1
+    dynamic_packet_header_words: int = 1
+    offchip_words_per_cycle: int = 28
+    dram_ports: int = 16
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.mesh_rows < 1 or self.mesh_cols < 1:
+            raise ConfigError("mesh dimensions must be positive")
+        if self.tile_data_kib <= 0 or self.tile_data_kib > self.tile_sram_kib:
+            raise ConfigError("tile data memory must fit in tile SRAM")
+        if self.offchip_words_per_cycle < 1:
+            raise ConfigError("off-chip bandwidth must be positive")
+        if self.dram_ports < 1:
+            raise ConfigError("need at least one DRAM port")
+
+    @property
+    def tiles(self) -> int:
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def tile_data_bytes(self) -> int:
+        return self.tile_data_kib * KIB
+
+    @property
+    def aggregate_local_memory_bytes(self) -> int:
+        """The "2 MB" the corner-turn matrix was sized to exceed (§3.1)."""
+        return self.tiles * self.tile_sram_kib * KIB
+
+    @property
+    def onchip_words_per_cycle(self) -> int:
+        """Table 1's on-chip rate: one load/store per tile per cycle."""
+        return self.tiles

@@ -1,0 +1,168 @@
+"""Raw's dynamic network, at packet granularity.
+
+§2.3: "When the dynamic network is used, data is sent to another tile in
+a packet.  A packet contains header and data.  If the data is smaller
+than a packet, dummy data is added ...  All tiles can access memory
+either through the dynamic network or through the static network."  The
+MIMD-mode CSLC routes its sub-band data "to local memories through
+cache misses" (§2.4) — i.e., miss traffic travels the dynamic network
+from the peripheral DRAM ports to the tiles.
+
+This module simulates that traffic with the discrete-event engine:
+packets are injected at port tiles, traverse XY routes hop by hop at one
+word per cycle per link with per-link queueing, and are delivered after
+their full payload drains.  The Raw CSLC's "<10% memory stalls" claim
+(§4.3) requires the delivery of each working set to fit comfortably
+inside the computation time; :func:`deliver` measures that delivery time
+so the tests can check it against the mapping's stall budget instead of
+trusting the calibration blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.network import Coord, dynamic_packet_words, xy_route_links
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+from repro.sim.resources import TimelineResource
+
+#: Maximum payload words per dynamic-network packet (the prototype's
+#: packets are short; larger transfers are segmented).
+MAX_PAYLOAD_WORDS = 31
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical transfer: ``words`` of payload from ``src`` to ``dst``."""
+
+    src: Coord
+    dst: Coord
+    words: int
+    inject_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise ConfigError(f"message needs positive payload, got {self.words}")
+        if self.inject_time < 0:
+            raise ConfigError("negative injection time")
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Completion record for one message."""
+
+    message: Message
+    packets: int
+    wire_words: int
+    complete_time: float
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """Outcome of delivering a message set."""
+
+    deliveries: Tuple[Delivery, ...]
+    makespan: float
+    busiest_link_words: float
+
+    @property
+    def total_wire_words(self) -> int:
+        return sum(d.wire_words for d in self.deliveries)
+
+
+def segment(message: Message, config: RawConfig) -> List[int]:
+    """Split a message into per-packet wire sizes (header + payload,
+    §2.3's padding applied to the final short packet)."""
+    sizes = []
+    remaining = message.words
+    while remaining > 0:
+        payload = min(remaining, MAX_PAYLOAD_WORDS)
+        sizes.append(dynamic_packet_words(config, payload))
+        remaining -= payload
+    return sizes
+
+
+def deliver(
+    messages: Sequence[Message],
+    config: Optional[RawConfig] = None,
+) -> TrafficResult:
+    """Event-simulate ``messages`` across the dynamic network.
+
+    Each packet acquires its route's links in order (one word per cycle
+    per link, wormhole-style: the packet occupies each link for its full
+    wire length, pipelined one hop behind the previous link), queueing
+    behind earlier traffic on shared links.  Tile-local messages deliver
+    immediately.
+    """
+    config = config or RawConfig()
+    engine = Engine()
+    links: Dict[Tuple[Coord, Coord], TimelineResource] = {}
+    deliveries: List[Delivery] = []
+
+    def link(edge: Tuple[Coord, Coord]) -> TimelineResource:
+        if edge not in links:
+            links[edge] = TimelineResource(f"{edge[0]}->{edge[1]}")
+        return links[edge]
+
+    def send(message: Message) -> None:
+        route = xy_route_links(message.src, message.dst)
+        packet_sizes = segment(message, config)
+        wire = sum(packet_sizes)
+        if not route:
+            deliveries.append(
+                Delivery(message, len(packet_sizes), wire, message.inject_time)
+            )
+            return
+        time = message.inject_time
+        last_end = time
+        for size in packet_sizes:
+            hop_ready = time
+            for edge in route:
+                grant = link(edge).acquire(hop_ready, float(size))
+                # The head advances one cycle after reaching each hop.
+                hop_ready = grant.start + config.static_hop_latency
+                last_end = grant.end
+            time = last_end  # next packet follows the previous one
+        deliveries.append(
+            Delivery(message, len(packet_sizes), wire, last_end)
+        )
+
+    # Injection through the event engine keeps arrival ordering by time.
+    for message in sorted(messages, key=lambda m: m.inject_time):
+        engine.schedule(message.inject_time, lambda m=message: send(m))
+    engine.run()
+
+    makespan = max((d.complete_time for d in deliveries), default=0.0)
+    busiest = max((l.busy_cycles for l in links.values()), default=0.0)
+    return TrafficResult(
+        deliveries=tuple(deliveries),
+        makespan=makespan,
+        busiest_link_words=busiest,
+    )
+
+
+def cslc_set_delivery(
+    config: Optional[RawConfig] = None,
+    words_per_set: int = 6 * 256,
+) -> TrafficResult:
+    """Deliver one CSLC working-set round: every tile fetches its
+    sub-band data (inputs plus output write-back) from its nearest
+    peripheral port — the §2.4 MIMD-mode cache-miss traffic."""
+    from repro.arch.raw.network import port_coords, route_hops
+
+    config = config or RawConfig()
+    ports = port_coords(config)
+    messages = []
+    for r in range(config.mesh_rows):
+        for c in range(config.mesh_cols):
+            tile = (r, c)
+            nearest = min(ports, key=lambda p: route_hops(p, tile))
+            if nearest == tile:
+                # Local port: model as a single-hop neighbour transfer.
+                neighbours = [p for p in ports if route_hops(p, tile) == 1]
+                nearest = neighbours[0] if neighbours else nearest
+            messages.append(Message(src=nearest, dst=tile, words=words_per_set))
+    return deliver(messages, config)

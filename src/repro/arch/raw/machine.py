@@ -1,0 +1,146 @@
+"""The Raw machine model: 16 single-issue tiles, local SRAM, ports, mesh.
+
+Costing methods the mappings compose:
+
+* :meth:`RawMachine.tile_cycles` — a tile executes one instruction per
+  cycle (single-issue MIPS pipeline); mappings supply per-tile
+  instruction-category counts.
+* :meth:`RawMachine.cache_stall_cycles` — exposed local-memory miss time
+  when a working set streams through the tile caches (§4.3: "less than
+  10% of the execution time is spent on memory stalls").
+* :meth:`RawMachine.distribute` — block/set distribution over tiles with
+  the real imbalance (§4.3's 73 sets on 16 tiles: five sets on nine
+  tiles, four on seven).
+* :meth:`RawMachine.offchip_time` — aggregate peripheral-port bound for a
+  word volume; the corner-turn mapping uses it to *prove* §4.2's claim
+  that "the static network and DRAM ports are not a bottleneck".
+
+Capacity: each tile's data SRAM is a :class:`Scratchpad`; mappings
+allocate their blocks/working sets and get a hard error if the paper's
+sizing assumptions are violated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.arch.base import MachineSpec
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.network import StaticNetwork
+from repro.calibration import DEFAULT_CALIBRATION, RawCalibration
+from repro.errors import ConfigError
+from repro.memory.sram import Scratchpad
+
+#: Table 2 row: 300 MHz, 16 ALUs, 4.64 peak GFLOPS (the paper's published
+#: figure; slightly below 16 tiles x 300 MHz because of implementation
+#: details of the prototype).
+RAW_SPEC = MachineSpec(
+    name="raw",
+    display_name="Raw",
+    clock_hz=300e6,
+    n_alus=16,
+    peak_gflops=4.64,
+    flops_per_cycle=16.0,
+)
+
+
+class RawMachine:
+    """Stateful Raw resources plus costing methods (see module doc)."""
+
+    spec = RAW_SPEC
+
+    def __init__(
+        self,
+        config: Optional[RawConfig] = None,
+        calibration: Optional[RawCalibration] = None,
+    ) -> None:
+        self.config = config or RawConfig()
+        self.cal = calibration or DEFAULT_CALIBRATION.raw
+        self.tile_memories: Tuple[Scratchpad, ...] = tuple(
+            Scratchpad(f"raw-tile{i}-data", self.config.tile_data_bytes)
+            for i in range(self.config.tiles)
+        )
+        self.static_network = StaticNetwork(self.config)
+
+    def reset(self) -> None:
+        for mem in self.tile_memories:
+            mem.reset()
+        self.static_network.reset()
+
+    # ------------------------------------------------------------------
+    # Tile execution
+    # ------------------------------------------------------------------
+
+    def tile_cycles(self, instructions: float) -> float:
+        """Issue cycles for ``instructions`` on one single-issue tile."""
+        if instructions < 0:
+            raise ConfigError("negative instruction count")
+        return instructions
+
+    def cache_stall_cycles(self, busy_cycles: float) -> float:
+        """Exposed local-memory stall time accompanying ``busy_cycles`` of
+        execution, sized so stalls are the calibrated fraction of *total*
+        time (busy + stalls)."""
+        if busy_cycles < 0:
+            raise ConfigError("negative busy cycles")
+        f = self.cal.cache_stall_fraction
+        return busy_cycles * f / (1.0 - f)
+
+    # ------------------------------------------------------------------
+    # Work distribution
+    # ------------------------------------------------------------------
+
+    def distribute(self, n_items: int) -> List[int]:
+        """Items per tile under static block distribution.
+
+        73 CSLC sub-band sets over 16 tiles gives nine tiles five sets and
+        seven tiles four — the §4.3 load imbalance ("about 8% of CPU
+        cycles are idle").
+        """
+        if n_items < 0:
+            raise ConfigError("negative item count")
+        tiles = self.config.tiles
+        base = n_items // tiles
+        extra = n_items % tiles
+        return [base + 1 if t < extra else base for t in range(tiles)]
+
+    def imbalance_makespan(self, per_item_cycles: float, n_items: int) -> float:
+        """Makespan with the real distribution: the most-loaded tile."""
+        return max(self.distribute(n_items)) * per_item_cycles
+
+    def balanced_makespan(self, per_item_cycles: float, n_items: int) -> float:
+        """The §4.3 perfect-load-balance extrapolation (continuous
+        arrival of sets in a real system)."""
+        if n_items < 0:
+            raise ConfigError("negative item count")
+        return n_items * per_item_cycles / self.config.tiles
+
+    # ------------------------------------------------------------------
+    # Memory and network bounds
+    # ------------------------------------------------------------------
+
+    def offchip_time(self, words: float) -> float:
+        """Cycles to move ``words`` through the peripheral DRAM ports at
+        the aggregate Table 1 rate."""
+        if words < 0:
+            raise ConfigError("negative word count")
+        return words / self.config.offchip_words_per_cycle
+
+    def onchip_issue_time(self, load_store_words: float) -> float:
+        """Cycles to issue ``load_store_words`` local accesses across all
+        tiles (one load or store per tile per cycle — the §4.2 corner-turn
+        limit)."""
+        if load_store_words < 0:
+            raise ConfigError("negative word count")
+        return load_store_words / self.config.onchip_words_per_cycle
+
+    def tile_block_capacity_words(self) -> int:
+        """Words of one tile's data SRAM (the 64x64 corner-turn block must
+        fit: 64 x 64 x 4 B = 16 KB)."""
+        return self.config.tile_data_bytes // 4
+
+    def __repr__(self) -> str:
+        return (
+            f"RawMachine({self.config.mesh_rows}x{self.config.mesh_cols} "
+            f"tiles, clock={self.config.clock_hz / 1e6:.0f} MHz)"
+        )

@@ -1,0 +1,131 @@
+"""Raw's on-chip networks.
+
+The static network is the one the paper's kernels use: a 2-D mesh of
+1-word/cycle links programmed by per-tile switch processors, with a
+3-cycle nearest-neighbour latency plus one cycle per additional hop
+(§2.3).  The block-level model needs two things from it:
+
+* latencies for pipeline fill/drain accounting
+  (:func:`transfer_latency`), and
+* a *bandwidth feasibility* check: a mapping that claims to stream W
+  words in C cycles across a set of routes must not oversubscribe any
+  link (:meth:`StaticNetwork.check_feasible`).  §3.1's corner-turn
+  algorithm "was developed ... to avoid bottlenecks in the static
+  networks and data ports", and the mapping proves that property through
+  this check rather than asserting it.
+
+The dynamic network is modelled at packet granularity for completeness
+(:func:`dynamic_packet_words`): data travels in packets of header plus
+payload, padded to whole packets — §2.3's description.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.arch.raw.config import RawConfig
+
+Coord = Tuple[int, int]
+
+
+def route_hops(src: Coord, dst: Coord) -> int:
+    """Manhattan hop count between two mesh coordinates."""
+    return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+def transfer_latency(config: RawConfig, src: Coord, dst: Coord) -> int:
+    """Static-network latency from ``src`` to ``dst`` (§2.3: 3 cycles to a
+    nearest neighbour, +1 per extra hop; 0 hops means tile-local)."""
+    hops = route_hops(src, dst)
+    if hops == 0:
+        return 0
+    return config.static_nearest_latency + (hops - 1) * config.static_hop_latency
+
+
+def xy_route_links(src: Coord, dst: Coord) -> List[Tuple[Coord, Coord]]:
+    """The directed links of a dimension-ordered (X then Y) route."""
+    links: List[Tuple[Coord, Coord]] = []
+    r, c = src
+    while c != dst[1]:
+        step = 1 if dst[1] > c else -1
+        links.append(((r, c), (r, c + step)))
+        c += step
+    while r != dst[0]:
+        step = 1 if dst[0] > r else -1
+        links.append(((r, c), (r + step, c)))
+        r += step
+    return links
+
+
+class StaticNetwork:
+    """Link-load accounting for the static mesh network."""
+
+    def __init__(self, config: RawConfig) -> None:
+        self.config = config
+        self._link_words: Dict[Tuple[Coord, Coord], float] = {}
+
+    def _check_coord(self, coord: Coord) -> None:
+        r, c = coord
+        if not (0 <= r < self.config.mesh_rows and 0 <= c < self.config.mesh_cols):
+            raise ConfigError(
+                f"coordinate {coord} outside the "
+                f"{self.config.mesh_rows}x{self.config.mesh_cols} mesh"
+            )
+
+    def add_flow(self, src: Coord, dst: Coord, words: float) -> None:
+        """Account ``words`` routed from ``src`` to ``dst`` (XY routing)."""
+        if words < 0:
+            raise ConfigError("negative flow")
+        self._check_coord(src)
+        self._check_coord(dst)
+        for link in xy_route_links(src, dst):
+            self._link_words[link] = self._link_words.get(link, 0.0) + words
+
+    @property
+    def max_link_words(self) -> float:
+        """Words on the most-loaded link."""
+        if not self._link_words:
+            return 0.0
+        return max(self._link_words.values())
+
+    def min_cycles(self) -> float:
+        """Lower bound on cycles to drain all accounted flows."""
+        return self.max_link_words / self.config.static_link_words_per_cycle
+
+    def check_feasible(self, cycles: float) -> bool:
+        """Whether the accounted flows fit in ``cycles`` without any link
+        exceeding its 1 word/cycle bandwidth."""
+        return self.min_cycles() <= cycles
+
+    def reset(self) -> None:
+        self._link_words.clear()
+
+
+def dynamic_packet_words(config: RawConfig, payload_words: int) -> int:
+    """Words on the wire for a dynamic-network message.
+
+    §2.3: "data is sent to another tile in a packet.  A packet contains
+    header and data.  If the data is smaller than a packet, dummy data is
+    added"; we model a fixed header plus the payload rounded up to one
+    word minimum.
+    """
+    if payload_words < 0:
+        raise ConfigError("negative payload")
+    return config.dynamic_packet_header_words + max(1, payload_words)
+
+
+def port_coords(config: RawConfig) -> List[Coord]:
+    """Tile coordinates adjacent to each peripheral DRAM port.
+
+    §2.3: "the memory ports are located at the 16 peripheral ports of the
+    chip" — one port per mesh-edge link: ``mesh_cols`` ports on each of
+    the top and bottom edges and ``mesh_rows`` on the left and right (16
+    on the 4x4 prototype).  The returned list has one entry per *port*
+    (the tile it attaches to), so corner tiles appear twice.
+    """
+    top = [(0, c) for c in range(config.mesh_cols)]
+    bottom = [(config.mesh_rows - 1, c) for c in range(config.mesh_cols)]
+    left = [(r, 0) for r in range(config.mesh_rows)]
+    right = [(r, config.mesh_cols - 1) for r in range(config.mesh_rows)]
+    return top + bottom + left + right

@@ -1,0 +1,18 @@
+"""VIRAM: the Berkeley processor-in-memory vector prototype (§2.1).
+
+"The VIRAM contains two vector-processing units in addition to a
+scalar-processing unit. ... a vector functional unit can be partitioned
+into ... 8 units for 32-bit operations.  Some operations are allowed to
+execute on ALU0 only.  It has [an] 8K vector register file (32 registers).
+It has 13 Mbytes of DRAM.  There is a 256-bit data path between the
+processing units and DRAM.  The DRAM is partitioned into two wings, each
+of which has four banks.  It can access eight sequential 32-bit data
+elements per clock cycle.  However, since there are four address
+generators, it can access only four strided 32-bit ... elements per
+cycle."
+"""
+
+from repro.arch.viram.config import ViramConfig
+from repro.arch.viram.machine import VIRAM_SPEC, ViramMachine
+
+__all__ = ["VIRAM_SPEC", "ViramConfig", "ViramMachine"]

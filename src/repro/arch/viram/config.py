@@ -1,0 +1,74 @@
+"""VIRAM microarchitectural parameters (§2.1 published values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MIB, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class ViramConfig:
+    """Parameters of the VIRAM implementation the paper evaluated.
+
+    Derived quantities the performance model uses:
+
+    * sequential memory throughput: 8 x 32-bit words/cycle (256-bit
+      datapath);
+    * strided/indexed throughput: 4 words/cycle (four address generators);
+    * per-VFU issue: 8 x 32-bit element operations/cycle, floating point
+      restricted to VFU0 ("Some operations are allowed to execute on ALU0
+      only" — the §4.3 analysis attributes a x1.52 CSLC factor to "the
+      second vector arithmetic unit [not executing] vector floating point
+      instructions");
+    * maximum 32-bit vector length: 64 elements (32 registers x 2048 bits).
+    """
+
+    clock_hz: float = 200e6
+    n_vfus: int = 2
+    lane_ops_per_cycle: int = 8
+    fp_on_vfu0_only: bool = True
+    vector_registers: int = 32
+    vector_register_bits: int = 2048
+    address_generators: int = 4
+    seq_words_per_cycle: int = 8
+    onchip_dram_bytes: int = 13 * MIB
+    wings: int = 2
+    banks_per_wing: int = 4
+    dram_row_words: int = 1024
+    offchip_dma_words_per_cycle: int = 2
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.n_vfus < 1 or self.lane_ops_per_cycle < 1:
+            raise ConfigError("need at least one VFU with one lane")
+        if self.address_generators < 1:
+            raise ConfigError("need at least one address generator")
+        if self.wings < 1 or self.banks_per_wing < 1:
+            raise ConfigError("need at least one DRAM wing and bank")
+        if self.vector_register_bits % 32:
+            raise ConfigError("vector registers must hold whole 32-bit words")
+
+    @property
+    def max_vl_32bit(self) -> int:
+        """Maximum vector length for 32-bit elements."""
+        return self.vector_register_bits // 32
+
+    @property
+    def strided_words_per_cycle(self) -> int:
+        """Strided/indexed element throughput (address-generator bound)."""
+        return self.address_generators
+
+    @property
+    def vector_register_file_bytes(self) -> int:
+        return self.vector_registers * self.vector_register_bits // 8
+
+    @property
+    def total_banks(self) -> int:
+        return self.wings * self.banks_per_wing
+
+    @property
+    def onchip_dram_words(self) -> int:
+        return self.onchip_dram_bytes // WORD_BYTES

@@ -1,0 +1,186 @@
+"""Symbolic vector instruction streams for VIRAM.
+
+The VIRAM CSLC mapping prices its kernel with a composite model —
+FP issue on VFU0, shuffle issue on VFU1, memory traffic, and a
+calibrated per-instruction dead time (§4.3's x1.41 "memory latency and
+vector startup").  This module provides the finer-grained validator: a
+symbolic vector instruction stream (unit, vector length, dependencies)
+scheduled on the machine's three issue resources, where dead time is
+charged *only* on dependent back-to-back instructions — so the composite
+model's flat per-instruction charge is justified by the butterfly
+dataflow's chain structure rather than assumed.
+
+:func:`fft_stream` builds the hand-vectorised FFT's stream (vectorised
+across sub-bands at the maximum vector length, shuffles feeding FP ops
+stage by stage), and :func:`schedule_stream` runs any stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.viram.machine import ViramMachine
+from repro.errors import ConfigError, ScheduleError
+from repro.kernels.fft import FFTPlan
+
+UNITS = ("fp", "shuffle", "load", "store")
+
+
+@dataclass(frozen=True)
+class VectorInstruction:
+    """One vector instruction: ``elements`` element-ops on ``unit``."""
+
+    name: str
+    unit: str
+    elements: float
+    deps: Tuple[str, ...] = ()
+    strided: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unit not in UNITS:
+            raise ConfigError(f"unknown unit {self.unit!r}; known: {UNITS}")
+        if self.elements < 0:
+            raise ConfigError(f"negative element count {self.elements}")
+
+
+@dataclass(frozen=True)
+class VectorSchedule:
+    """Outcome of scheduling a vector stream."""
+
+    makespan: float
+    fp_busy: float
+    shuffle_busy: float
+    memory_busy: float
+    dead_time_total: float
+    instructions: int
+
+
+def schedule_stream(
+    instructions: Sequence[VectorInstruction],
+    machine: Optional[ViramMachine] = None,
+) -> VectorSchedule:
+    """Schedule a vector instruction stream on VFU0 / VFU1 / memory.
+
+    FP issues on VFU0 (8 element-ops/cycle), shuffles on VFU1 (8/cycle),
+    loads/stores on the memory unit (8/cycle sequential, 4/cycle
+    strided).  An instruction whose producer finished on a *different*
+    time step pays the calibrated dead time (dependency wait + vector
+    start-up) before issuing — chained independent instructions pay
+    nothing, which is what vector chaining buys.
+    """
+    machine = machine or ViramMachine()
+    rate = machine.config.lane_ops_per_cycle
+    seq = machine.config.seq_words_per_cycle
+    strided = machine.config.strided_words_per_cycle
+    dead = machine.cal.vector_dead_time
+
+    next_free = {"fp": 0.0, "shuffle": 0.0, "memory": 0.0}
+    busy = {"fp": 0.0, "shuffle": 0.0, "memory": 0.0}
+    finish: Dict[str, float] = {}
+    dead_total = 0.0
+    makespan = 0.0
+
+    for instr in instructions:
+        for dep in instr.deps:
+            if dep not in finish:
+                raise ScheduleError(
+                    f"instruction {instr.name!r} depends on unknown/later "
+                    f"instruction {dep!r}"
+                )
+        if instr.name in finish:
+            raise ScheduleError(f"duplicate instruction {instr.name!r}")
+
+        if instr.unit == "fp":
+            resource, duration = "fp", instr.elements / rate
+        elif instr.unit == "shuffle":
+            resource, duration = "shuffle", instr.elements / rate
+        else:
+            unit_rate = strided if instr.strided else seq
+            resource, duration = "memory", instr.elements / unit_rate
+
+        ready = 0.0
+        dependent = False
+        for dep in instr.deps:
+            if finish[dep] > ready:
+                ready = finish[dep]
+            dependent = True
+        start = max(ready, next_free[resource])
+        if dependent and ready >= next_free[resource]:
+            # The unit sat waiting for the producer: the dependency gap
+            # plus vector start-up is exposed.
+            start += dead
+            dead_total += dead
+        end = start + duration
+        next_free[resource] = end
+        busy[resource] += duration
+        finish[instr.name] = end
+        makespan = max(makespan, end)
+
+    return VectorSchedule(
+        makespan=makespan,
+        fp_busy=busy["fp"],
+        shuffle_busy=busy["shuffle"],
+        memory_busy=busy["memory"],
+        dead_time_total=dead_total,
+        instructions=len(instructions),
+    )
+
+
+def fft_stream(
+    plan: FFTPlan,
+    batch: int = 64,
+    machine: Optional[ViramMachine] = None,
+) -> List[VectorInstruction]:
+    """The hand-vectorised FFT's instruction stream for one batch.
+
+    Vectorised across ``batch`` sub-bands (VL = batch): each stage emits,
+    per butterfly, one shuffle instruction aligning its operands and the
+    dependent FP instructions of the twiddle multiply and butterfly
+    core, chained stage to stage — §2.4's "inner loops were
+    hand-vectorized using assembly code" structure.
+    """
+    machine = machine or ViramMachine()
+    max_vl = machine.config.max_vl_32bit
+    if not 1 <= batch <= max_vl:
+        raise ConfigError(f"batch must be in [1, {max_vl}]")
+    stream: List[VectorInstruction] = []
+    prev_stage_last: Tuple[str, ...] = ()
+    for stage_idx, stage in enumerate(plan.stages):
+        last_in_stage = None
+        flops_per_bf = stage.flops / stage.butterflies
+        shuffle_per_bf = 2.0 * stage.radix  # operands aligned in and out
+        # One instruction per scalar op slot: VL = batch element-ops.
+        n_shuffle = max(1, round(shuffle_per_bf))
+        n_fp = max(1, round(flops_per_bf))
+        for bf in range(stage.butterflies):
+            shuffle_names = []
+            for i in range(n_shuffle):
+                name = f"s{stage_idx}.b{bf}.sh{i}"
+                stream.append(
+                    VectorInstruction(
+                        name=name,
+                        unit="shuffle",
+                        elements=float(batch) * shuffle_per_bf / n_shuffle,
+                        deps=prev_stage_last,
+                    )
+                )
+                shuffle_names.append(name)
+            # FP ops chain within the butterfly (twiddle multiply feeds
+            # the core additions), the first depending on the shuffles.
+            last = None
+            for i in range(n_fp):
+                name = f"s{stage_idx}.b{bf}.fp{i}"
+                deps = (last,) if last else tuple(shuffle_names[-1:])
+                stream.append(
+                    VectorInstruction(
+                        name=name,
+                        unit="fp",
+                        elements=float(batch) * flops_per_bf / n_fp,
+                        deps=deps,
+                    )
+                )
+                last = name
+            last_in_stage = last
+        prev_stage_last = (last_in_stage,) if last_in_stage else ()
+    return stream

@@ -1,0 +1,194 @@
+"""Calibrated timing constants for the cycle-approximate machine models.
+
+Every free constant in the reproduction lives here, with the *paper anchor*
+that justifies it.  The calibration policy (DESIGN.md §5) is that constants
+are tied to mechanisms and percentage/ratio statements in the paper's
+analysis sections (§4.2-§4.5), never to the headline Table 3 cycle counts;
+the Table 3 reproduction is then an emergent check, recorded in
+EXPERIMENTS.md.
+
+The constants are grouped per machine.  Units are processor clock cycles
+of the owning machine unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ViramCalibration:
+    """Timing constants for the VIRAM model.
+
+    Anchors:
+
+    * ``dram_row_cycle`` — §4.2: "about 21% of the total cycles are
+      overhead due to DRAM pre-charge cycles (which would be mostly hidden
+      with sequential accesses) and TLB misses" on the corner turn.  A
+      16x16 block's strided column walk cycles each of the eight banks
+      through multiple rows, so every access reopens a row; with a
+      2.75-cycle activate+precharge the banks sustain 8/2.75 ~ 2.9
+      strided words/cycle against the 4/cycle address generators, and the
+      excess puts the DRAM share of the overhead at ~17% of the
+      corner-turn total (TLB misses supply the rest).  Sequential streams
+      switch rows once per kiloword and expose nothing — the "mostly
+      hidden" clause.
+    * ``tlb_miss_cycles`` / ``tlb_entries`` / ``page_words`` — the
+      remaining ~4-5 points of the 21% anchor: a hardware-walked refill
+      of 6 cycles; the block-column sweep of the source matrix touches
+      64 of the 16384-word (64 KB) pages per sweep against a 48-entry
+      TLB, so every sweep misses.
+    * ``exposed_load_latency`` — §3.1: "initial load latencies are not
+      hidden"; one DRAM access latency exposed per 16x16 block.
+    * ``vector_dead_time`` — §4.4: on beam steering "the difference
+      between the expected time [the 56% compute lower bound] and
+      simulation cycles comes from waiting for the results from previous
+      vector operations and the cycles needed to initialize the vector
+      operations"; ~4 cycles of exposed dependency/startup time per vector
+      instruction reproduces that gap and, applied to the CSLC instruction
+      stream, the startup component of §4.3's x1.41 memory/startup factor.
+    * ``shuffle_exposed_fraction`` — §4.3: shuffle "overhead instructions"
+      inflate CSLC cycles by x1.67; shuffles issue on the second vector
+      unit (which cannot execute FP anyway, the x1.52 factor) but
+      butterfly dataflow makes them dependency-serialised with the FP ops,
+      so their issue time is fully exposed.
+    * ``spill_passes`` / ``memory_exposed_fraction`` — §4.3's x1.41
+      latency/startup factor includes sub-band data movement: the
+      vectorised FFT holds two stages in the 8 KB register file and makes
+      one intermediate pass through memory; half of that traffic is hidden
+      under computation.
+    """
+
+    dram_row_cycle: float = 2.75
+    tlb_miss_cycles: float = 6.0
+    tlb_entries: int = 48
+    page_words: int = 16384  # 64 KB pages
+    exposed_load_latency: float = 12.0
+    vector_dead_time: float = 4.0
+    shuffle_exposed_fraction: float = 1.0
+    spill_passes: int = 1
+    memory_exposed_fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class ImagineCalibration:
+    """Timing constants for the Imagine model.
+
+    Anchors:
+
+    * ``dram_row_cycle`` — §4.2: the corner-turn "blocks are written with
+      a non-unit stride" and 87% of the corner-turn cycles are memory
+      transfers; a 4-cycle row penalty per 8-word non-unit-stride block
+      reproduces that fraction with the documented two 1-word/cycle
+      memory controllers.
+    * ``kernel_startup`` — §4.3/§4.4: short streams expose a software-
+      pipeline prologue per kernel invocation ("the small size of the FFT
+      reduces the amount of software pipelining and increases start-up
+      overheads"; beam steering's prologue is ~11% of its time).
+    * ``gather_derate`` — §4.4: beam steering's two calibration-table
+      reads per output are index gathers; with loads and stores taking
+      "89% of the simulation time" and table reads costing half the
+      memory traffic (the SRF what-if is "a factor of about two"), each
+      gathered word costs ~2 controller cycles instead of 1.
+    * ``cluster_schedule_inefficiency`` — §4.3: the cluster VLIW schedule
+      of the small FFT cannot be perfectly packed; a modest slack factor
+      over the resource-bound schedule matches the reported 25-30% FFT
+      ALU utilization together with the startup and communication terms.
+    * ``comm_exposure`` — §4.3: "performance is reduced by 30% because
+      inter-cluster communication is used to perform parallel FFTs"; the
+      communication unit runs in parallel with the ALUs, but the butterfly
+      dataflow serialises on remote operands, exposing ~1.2 cycles per
+      transferred word.
+    """
+
+    dram_row_cycle: float = 4.0
+    kernel_startup: float = 300.0
+    gather_derate: float = 2.0
+    cluster_schedule_inefficiency: float = 1.15
+    comm_exposure: float = 1.2
+
+
+@dataclass(frozen=True)
+class RawCalibration:
+    """Timing constants for the Raw model.
+
+    Anchors:
+
+    * ``block_loop_overhead_per_row`` — §4.2: corner-turn performance is
+      "nearly identical to the maximum performance predicted by the
+      instruction issue rate"; ~7 address/branch instructions per 64-word
+      block row keeps the gap to the load/store issue bound under 10%.
+    * ``cache_stall_fraction`` — §4.3: "less than 10% of the execution
+      time is spent on memory stalls" when the CSLC working set is cached
+      in tile memory.
+    * ``fft_addr_ops_per_butterfly`` / ``fft_loop_ops_per_butterfly`` —
+      §4.3: after flops and loads/stores, "the remaining cycles are
+      consumed by address and index calculations and loop overhead
+      instructions" — a C-compiled butterfly carries ~5 index and ~3 loop
+      instructions.
+    * ``stream_ops_per_output`` — §4.4: beam-steering operands arrive from
+      the static network, so "loads and stores are not necessary and ALU
+      utilization is very high"; 5 network-sequencing/loop instructions
+      accompany the 6 arithmetic ops of each output.
+    * ``streamed_fft_speedup`` — §4.3: "a primitive implementation result
+      suggests about 70% of FFT performance improvement" when the FFT
+      streams over the static network instead of using loads/stores.
+    """
+
+    block_loop_overhead_per_row: float = 7.0
+    cache_stall_fraction: float = 0.08
+    fft_addr_ops_per_butterfly: float = 5.0
+    fft_loop_ops_per_butterfly: float = 3.0
+    stream_ops_per_output: float = 5.0
+    streamed_fft_speedup: float = 0.70
+
+
+@dataclass(frozen=True)
+class PpcCalibration:
+    """Timing constants for the PowerPC G4 / AltiVec baseline model.
+
+    Anchors:
+
+    * ``l2_hit_cycles`` / ``dram_latency_cycles`` — G4 (7400-class)
+      documentation-era figures at 1 GHz; with the cache model these
+      reproduce §4.5's "does not significantly improve performance for
+      the corner turn, which is limited by main memory bandwidth".
+    * ``trig_call_cycles`` — the scalar baseline is compiled C (§4.1); a
+      textbook radix-2 C FFT recomputes twiddles through a libm sin+cos
+      pair (~100 cycles per call, 200 per pair on a 1 GHz G4), and
+      eliminating that recomputation plus 4-wide SIMD is what §4.5's
+      "factor of about six for the CSLC" AltiVec gain consists of.
+    * ``fp_dependency_stall`` — scalar butterflies are short dependent FP
+      chains the in-order G4 cannot overlap (~3 exposed cycles per
+      dependent FP op).
+    * ``vector_dependency_stall_per_butterfly`` — hand-inserted AltiVec
+      intrinsics keep each butterfly an ~8-op dependency chain whose 4-5
+      cycle vector latencies are exposed (~35 cycles per butterfly),
+      holding the CSLC AltiVec gain near §4.5's ~6x rather than an ideal
+      issue-width product.
+    * ``store_queue_exposure`` — streaming write misses are partially
+      hidden by the store queue; ~30% of the miss latency reaches the
+      retire stage (beam steering's one write per output).
+    """
+
+    l2_hit_cycles: float = 10.0
+    dram_latency_cycles: float = 95.0
+    trig_call_cycles: float = 200.0
+    fp_dependency_stall: float = 3.0
+    vector_dependency_stall_per_butterfly: float = 35.0
+    store_queue_exposure: float = 0.3
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Aggregate calibration bundle (one instance is the library default)."""
+
+    viram: ViramCalibration = field(default_factory=ViramCalibration)
+    imagine: ImagineCalibration = field(default_factory=ImagineCalibration)
+    raw: RawCalibration = field(default_factory=RawCalibration)
+    ppc: PpcCalibration = field(default_factory=PpcCalibration)
+
+
+#: Library-default calibration used by all machine models unless a caller
+#: passes an explicit :class:`Calibration` (e.g. for sensitivity studies).
+DEFAULT_CALIBRATION = Calibration()

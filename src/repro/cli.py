@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run KERNEL MACHINE``
+    Run one mapping and print its summary and cycle breakdown.
+``table N`` / ``figure N``
+    Regenerate one table (1-4) or figure (8-9) with model-vs-paper
+    columns.
+``report``
+    Run every registered experiment (the EXPERIMENTS.md content).
+``experiments``
+    List the experiment registry.
+``list``
+    List kernels, machines, and mapping options.
+
+Examples
+--------
+::
+
+    python -m repro run corner_turn viram
+    python -m repro run cslc raw --option balanced=false
+    python -m repro table 3
+    python -m repro figure 8
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _parse_option(text: str):
+    """Parse ``key=value`` mapping options with simple literal coercion."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"option {text!r} must look like key=value"
+        )
+    key, value = text.split("=", 1)
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    try:
+        return key, int(value)
+    except ValueError:
+        pass
+    try:
+        return key, float(value)
+    except ValueError:
+        pass
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Performance Analysis of PIM, Stream "
+            "Processing, and Tiled Processing on Memory-Intensive Signal "
+            "Processing Kernels' (ISCA 2003)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one kernel on one machine")
+    run_p.add_argument("kernel")
+    run_p.add_argument("machine")
+    run_p.add_argument(
+        "--option",
+        "-o",
+        action="append",
+        default=[],
+        type=_parse_option,
+        help="mapping option, e.g. -o balanced=false -o tables_in_srf=true",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+
+    table_p = sub.add_parser("table", help="regenerate a paper table")
+    table_p.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    figure_p = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_p.add_argument("number", type=int, choices=(8, 9))
+
+    sub.add_parser("report", help="run every experiment (EXPERIMENTS.md)")
+    sub.add_parser("experiments", help="list the experiment registry")
+    sub.add_parser("list", help="list kernels and machines")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.mappings.registry import run
+
+    options = dict(args.option)
+    result = run(args.kernel, args.machine, seed=args.seed, **options)
+    print(result.summary())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.eval.experiments import run_experiment
+
+    outcome = run_experiment(f"table{args.number}")
+    print(outcome.rendered)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.eval.experiments import run_experiment
+
+    outcome = run_experiment(f"figure{args.number}")
+    print(outcome.rendered)
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from repro.eval.report import full_report
+
+    print(full_report())
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.eval.experiments import EXPERIMENTS
+
+    for experiment_id in EXPERIMENTS:
+        print(experiment_id)
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.mappings.registry import KERNELS, MACHINES
+
+    print("kernels: " + ", ".join(KERNELS))
+    print("machines:", ", ".join(MACHINES))
+    print(
+        "options:  cslc/raw: balanced=, streamed_fft=; "
+        "corner_turn/imagine: via_network_port=; "
+        "beam_steering/imagine: tables_in_srf=; "
+        "cslc/imagine: independent_ffts="
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "experiments": _cmd_experiments,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

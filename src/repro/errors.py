@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A machine or kernel configuration is inconsistent or out of range."""
+
+
+class CapacityError(ReproError):
+    """A working set does not fit in the memory it was placed in.
+
+    Raised, e.g., when a kernel mapping tries to stage more data in the
+    Imagine stream register file or a Raw tile's local SRAM than the
+    configured capacity allows.  The paper's experimental setup depends on
+    these constraints (the corner-turn matrix was chosen to be *larger*
+    than Imagine's SRF and Raw's local memories but *smaller* than VIRAM's
+    on-chip DRAM), so capacity violations are hard errors rather than
+    silent spills.
+    """
+
+
+class ScheduleError(ReproError):
+    """A dependency schedule is malformed (cycles, unknown tasks, ...)."""
+
+
+class PatternError(ReproError):
+    """An address-stream pattern descriptor is malformed."""
+
+
+class MappingError(ReproError):
+    """A kernel→machine mapping was invoked with an unsupported workload."""
+
+
+class ExperimentError(ReproError):
+    """An evaluation-harness experiment is unknown or failed to run."""

@@ -1,0 +1,57 @@
+"""Terminal renderings of the paper's figures.
+
+Figures 8 and 9 are grouped bar charts of speedup over the AltiVec
+baseline on a logarithmic vertical axis.  These helpers render the same
+data as horizontal log-scale bars, one group per kernel, with the paper's
+value printed next to the model's so the comparison is visible inline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+BAR_WIDTH = 40
+
+
+def _log_bar(value: float, vmax: float, width: int = BAR_WIDTH) -> str:
+    """A log-scale bar for ``value`` on an axis reaching ``vmax``."""
+    if value <= 0 or vmax <= 1:
+        return ""
+    frac = math.log10(max(value, 1.0)) / math.log10(vmax)
+    return "#" * max(1, int(round(frac * width)))
+
+
+def speedup_figure(
+    title: str,
+    data: Mapping[str, Mapping[str, float]],
+    paper: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> str:
+    """Render a Figure 8/9-style chart.
+
+    ``data`` maps kernel -> machine -> speedup (model); ``paper``
+    optionally supplies the published speedups for the side-by-side
+    column.  Bars are log-scaled to the largest value present.
+    """
+    vmax = max(
+        (v for series in data.values() for v in series.values() if v > 0),
+        default=1.0,
+    )
+    if paper:
+        vmax = max(
+            vmax,
+            max(
+                (v for series in paper.values() for v in series.values()),
+                default=1.0,
+            ),
+        )
+    lines = [title, f"(log scale, axis max ~{vmax:,.0f}x)"]
+    for kernel, series in data.items():
+        lines.append(f"  {kernel}:")
+        for machine, value in series.items():
+            bar = _log_bar(value, vmax)
+            suffix = f"  model {value:8.2f}x"
+            if paper and machine in paper.get(kernel, {}):
+                suffix += f"   paper {paper[kernel][machine]:8.2f}x"
+            lines.append(f"    {machine:8s} |{bar:<{BAR_WIDTH}s}|{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Run every registered experiment and assemble the full report.
+
+The report is the paper-vs-measured record: every table, figure, §4
+breakdown and what-if ablation, each with its quantitative checks and
+model/paper ratios.  EXPERIMENTS.md is a snapshot of this output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.eval.experiments import EXPERIMENTS, ExperimentResult
+from repro.eval.tables import run_table3
+
+
+def full_report(workloads: Optional[Dict[str, object]] = None) -> str:
+    """Run all experiments (sharing one Table 3 sweep) and render them."""
+    results = run_table3(workloads)
+    sections = []
+    for experiment_id, fn in EXPERIMENTS.items():
+        outcome: ExperimentResult = fn(results=results, workloads=workloads)
+        lines = [f"== {outcome.title} =="]
+        lines.append(outcome.rendered)
+        if outcome.checks:
+            lines.append("")
+            lines.append("checks (model vs paper):")
+            for name, (model, paper) in outcome.checks.items():
+                ratio = f"{model / paper:6.2f}x" if paper else "   n/a"
+                lines.append(
+                    f"  {name:40s} model={model:12.4g} paper={paper:12.4g} "
+                    f"ratio={ratio}"
+                )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

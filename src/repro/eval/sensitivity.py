@@ -1,0 +1,186 @@
+"""Calibration sensitivity analysis.
+
+DESIGN.md §5 commits every free constant to a §4 anchor; this module
+quantifies how much each constant actually matters.  For every (machine,
+constant) pair it perturbs the constant by ±delta, re-runs the Table 3
+cells that constant can influence, and reports the *elasticity* — the
+relative cycle change per relative constant change.  Low elasticities
+mean the headline reproduction is structural rather than fitted; the
+tests pin the expected magnitudes for the most-scrutinised constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.errors import ExperimentError
+from repro.mappings.registry import run
+
+Cell = Tuple[str, str]  # (kernel, machine)
+
+#: Which Table 3 cells each calibrated constant can influence.  Constants
+#: not listed (integer geometry like TLB entry counts) are excluded from
+#: the sweep.
+CONSTANT_CELLS: Dict[Tuple[str, str], Tuple[Cell, ...]] = {
+    ("viram", "dram_row_cycle"): (("corner_turn", "viram"),),
+    ("viram", "tlb_miss_cycles"): (("corner_turn", "viram"),),
+    ("viram", "exposed_load_latency"): (("corner_turn", "viram"),),
+    ("viram", "vector_dead_time"): (
+        ("cslc", "viram"),
+        ("beam_steering", "viram"),
+    ),
+    ("viram", "shuffle_exposed_fraction"): (("cslc", "viram"),),
+    ("viram", "memory_exposed_fraction"): (("cslc", "viram"),),
+    ("imagine", "dram_row_cycle"): (("corner_turn", "imagine"),),
+    ("imagine", "kernel_startup"): (
+        ("corner_turn", "imagine"),
+        ("cslc", "imagine"),
+        ("beam_steering", "imagine"),
+    ),
+    ("imagine", "gather_derate"): (("beam_steering", "imagine"),),
+    ("imagine", "cluster_schedule_inefficiency"): (("cslc", "imagine"),),
+    ("imagine", "comm_exposure"): (
+        ("corner_turn", "imagine"),
+        ("cslc", "imagine"),
+    ),
+    ("raw", "block_loop_overhead_per_row"): (("corner_turn", "raw"),),
+    ("raw", "cache_stall_fraction"): (("cslc", "raw"),),
+    ("raw", "fft_addr_ops_per_butterfly"): (("cslc", "raw"),),
+    ("raw", "fft_loop_ops_per_butterfly"): (("cslc", "raw"),),
+    ("raw", "stream_ops_per_output"): (("beam_steering", "raw"),),
+    ("ppc", "l2_hit_cycles"): (("corner_turn", "ppc"),),
+    ("ppc", "dram_latency_cycles"): (
+        ("corner_turn", "ppc"),
+        ("corner_turn", "altivec"),
+        ("beam_steering", "ppc"),
+    ),
+    ("ppc", "trig_call_cycles"): (("cslc", "ppc"),),
+    ("ppc", "fp_dependency_stall"): (("cslc", "ppc"),),
+    ("ppc", "vector_dependency_stall_per_butterfly"): (("cslc", "altivec"),),
+    ("ppc", "store_queue_exposure"): (
+        ("beam_steering", "ppc"),
+        ("beam_steering", "altivec"),
+    ),
+}
+
+
+#: Constants with a hard lower bound: the perturbation scales the excess
+#: over the floor rather than the raw value (a VLIW schedule can never
+#: beat its resource bound, so the inefficiency factor floors at 1).
+CONSTANT_FLOORS: Dict[Tuple[str, str], float] = {
+    ("imagine", "cluster_schedule_inefficiency"): 1.0,
+}
+
+
+def perturbed_calibration(
+    machine: str, constant: str, factor: float,
+    base: Optional[Calibration] = None,
+) -> Calibration:
+    """A calibration with one machine's constant scaled by ``factor``
+    (relative to its floor, where one exists)."""
+    base = base or DEFAULT_CALIBRATION
+    group = getattr(base, machine, None)
+    if group is None:
+        raise ExperimentError(f"unknown machine group {machine!r}")
+    if constant not in {f.name for f in fields(group)}:
+        raise ExperimentError(
+            f"unknown constant {machine}.{constant}"
+        )
+    value = getattr(group, constant)
+    floor = CONSTANT_FLOORS.get((machine, constant), 0.0)
+    new_value = floor + (value - floor) * factor
+    new_group = replace(group, **{constant: new_value})
+    return replace(base, **{machine: new_group})
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Elasticity of one Table 3 cell to one calibration constant."""
+
+    machine: str
+    constant: str
+    kernel: str
+    cell_machine: str
+    baseline_cycles: float
+    up_cycles: float
+    down_cycles: float
+    delta: float
+
+    @property
+    def elasticity(self) -> float:
+        """Central-difference relative sensitivity d(ln cycles)/d(ln c)."""
+        if self.baseline_cycles == 0:
+            return 0.0
+        return (self.up_cycles - self.down_cycles) / (
+            2 * self.delta * self.baseline_cycles
+        )
+
+
+def sweep(
+    delta: float = 0.25,
+    constants: Optional[Sequence[Tuple[str, str]]] = None,
+    workloads: Optional[Dict[str, object]] = None,
+) -> Tuple[SensitivityRow, ...]:
+    """Perturb each constant by ±``delta`` and measure its cells.
+
+    ``constants`` restricts the sweep (default: all of
+    :data:`CONSTANT_CELLS`); ``workloads`` overrides the canonical
+    workloads per kernel (used by tests for speed).
+    """
+    if not 0 < delta < 1:
+        raise ExperimentError(f"delta must be in (0, 1), got {delta}")
+    targets = list(constants) if constants else list(CONSTANT_CELLS)
+    rows: List[SensitivityRow] = []
+    baseline_cache: Dict[Cell, float] = {}
+
+    def run_cell(kernel: str, machine: str, cal: Calibration) -> float:
+        kwargs = {}
+        if workloads and kernel in workloads:
+            kwargs["workload"] = workloads[kernel]
+        return run(kernel, machine, calibration=cal, **kwargs).cycles
+
+    for machine, constant in targets:
+        if (machine, constant) not in CONSTANT_CELLS:
+            raise ExperimentError(
+                f"no cell map for constant {machine}.{constant}"
+            )
+        up = perturbed_calibration(machine, constant, 1 + delta)
+        down = perturbed_calibration(machine, constant, 1 - delta)
+        for cell in CONSTANT_CELLS[(machine, constant)]:
+            kernel, cell_machine = cell
+            if cell not in baseline_cache:
+                baseline_cache[cell] = run_cell(
+                    kernel, cell_machine, DEFAULT_CALIBRATION
+                )
+            rows.append(
+                SensitivityRow(
+                    machine=machine,
+                    constant=constant,
+                    kernel=kernel,
+                    cell_machine=cell_machine,
+                    baseline_cycles=baseline_cache[cell],
+                    up_cycles=run_cell(kernel, cell_machine, up),
+                    down_cycles=run_cell(kernel, cell_machine, down),
+                    delta=delta,
+                )
+            )
+    return tuple(rows)
+
+
+def render(rows: Sequence[SensitivityRow]) -> str:
+    """Text table, most sensitive first."""
+    ordered = sorted(rows, key=lambda r: -abs(r.elasticity))
+    lines = [
+        "Calibration sensitivity (elasticity = % cycle change per % "
+        "constant change)"
+    ]
+    lines.append(
+        f"{'constant':42s}{'cell':28s}{'elasticity':>11s}"
+    )
+    for r in ordered:
+        name = f"{r.machine}.{r.constant}"
+        cell = f"{r.kernel}/{r.cell_machine}"
+        lines.append(f"{name:42s}{cell:28s}{r.elasticity:>11.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Speedup computations for Figures 8 and 9.
+
+Figure 8 plots speedup relative to the PPC-with-AltiVec row *in cycles*;
+Figure 9 converts to execution time at each machine's clock ("PPC=1 GHz,
+VIRAM=200 MHz, Imagine=300 MHz, and Raw=300 MHz").  Both use a log-scale
+axis in the paper; :mod:`repro.eval.figures` renders the log bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.arch.base import KernelRun
+from repro.errors import ExperimentError
+
+BASELINE = "altivec"
+
+
+def speedup_cycles(
+    runs: Mapping[str, KernelRun], baseline: str = BASELINE
+) -> Dict[str, float]:
+    """Per-machine speedup over ``baseline`` in cycle counts (Figure 8)."""
+    if baseline not in runs:
+        raise ExperimentError(f"baseline {baseline!r} missing from runs")
+    base = runs[baseline].cycles
+    if base <= 0:
+        raise ExperimentError("baseline has zero cycles")
+    return {name: base / run.cycles for name, run in runs.items()}
+
+
+def speedup_time(
+    runs: Mapping[str, KernelRun], baseline: str = BASELINE
+) -> Dict[str, float]:
+    """Per-machine speedup over ``baseline`` in wall time (Figure 9)."""
+    if baseline not in runs:
+        raise ExperimentError(f"baseline {baseline!r} missing from runs")
+    base = runs[baseline].seconds
+    if base <= 0:
+        raise ExperimentError("baseline has zero time")
+    return {name: base / run.seconds for name, run in runs.items()}

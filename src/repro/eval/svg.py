@@ -1,0 +1,163 @@
+"""SVG renderings of the paper's figures (no plotting dependencies).
+
+Figures 8 and 9 are grouped bar charts on a log axis.  This module emits
+them as self-contained SVG documents: one group of bars per kernel, one
+bar per machine (model value), with the paper's value drawn as a tick so
+the comparison is visible in the figure itself, exactly like the text
+renderer in :mod:`repro.eval.figures` but as a real graphic.
+
+The XML is hand-assembled; the structure is simple enough that the tests
+parse it back with :mod:`xml.etree` and check the geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.errors import ExperimentError
+
+#: Distinct fill per machine (hex, color-blind-safe-ish).
+MACHINE_COLORS = {
+    "ppc": "#9aa0a6",
+    "altivec": "#5f6368",
+    "viram": "#1a73e8",
+    "imagine": "#e8710a",
+    "raw": "#188038",
+}
+DEFAULT_COLOR = "#7b1fa2"
+
+BAR_WIDTH = 28
+BAR_GAP = 8
+GROUP_GAP = 48
+CHART_HEIGHT = 280
+MARGIN_LEFT = 56
+MARGIN_TOP = 48
+MARGIN_BOTTOM = 72
+
+
+def _log_height(value: float, vmax: float) -> float:
+    """Bar height on a log axis from 0.1 to vmax."""
+    floor = 0.1
+    if value <= floor:
+        return 1.0
+    span = math.log10(vmax / floor)
+    return CHART_HEIGHT * math.log10(value / floor) / span
+
+
+def speedup_figure_svg(
+    title: str,
+    data: Mapping[str, Mapping[str, float]],
+    paper: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> str:
+    """Render a Figure 8/9-style grouped log-bar chart as an SVG string.
+
+    ``data`` maps kernel -> machine -> model speedup; ``paper``
+    optionally supplies published values, drawn as horizontal ticks over
+    the bars.
+    """
+    if not data:
+        raise ExperimentError("no data to render")
+    values = [v for series in data.values() for v in series.values()]
+    if paper:
+        values += [v for series in paper.values() for v in series.values()]
+    vmax = max(max(values), 1.0) * 1.2
+
+    parts = []
+    x = MARGIN_LEFT
+    baseline = MARGIN_TOP + CHART_HEIGHT
+    for kernel, series in data.items():
+        group_start = x
+        for machine, value in series.items():
+            height = _log_height(value, vmax)
+            color = MACHINE_COLORS.get(machine, DEFAULT_COLOR)
+            parts.append(
+                f'<rect class="bar" data-kernel="{kernel}" '
+                f'data-machine="{machine}" data-value="{value:.4g}" '
+                f'x="{x}" y="{baseline - height:.1f}" width="{BAR_WIDTH}" '
+                f'height="{height:.1f}" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + BAR_WIDTH / 2}" y="{baseline + 14}" '
+                f'font-size="9" text-anchor="middle">{machine}</text>'
+            )
+            if paper and machine in paper.get(kernel, {}):
+                tick_y = baseline - _log_height(paper[kernel][machine], vmax)
+                parts.append(
+                    f'<line class="paper-tick" data-kernel="{kernel}" '
+                    f'data-machine="{machine}" x1="{x - 3}" '
+                    f'y1="{tick_y:.1f}" x2="{x + BAR_WIDTH + 3}" '
+                    f'y2="{tick_y:.1f}" stroke="#d93025" '
+                    'stroke-width="2"/>'
+                )
+            x += BAR_WIDTH + BAR_GAP
+        label_x = (group_start + x - BAR_GAP) / 2
+        parts.append(
+            f'<text x="{label_x}" y="{baseline + 32}" font-size="11" '
+            f'font-weight="bold" text-anchor="middle">{kernel}</text>'
+        )
+        x += GROUP_GAP
+
+    width = x + MARGIN_LEFT - GROUP_GAP
+    # Log gridlines at powers of ten.
+    grid = []
+    decade = 1.0
+    while decade <= vmax:
+        y = baseline - _log_height(decade, vmax)
+        grid.append(
+            f'<line x1="{MARGIN_LEFT - 8}" y1="{y:.1f}" x2="{width - 8}" '
+            f'y2="{y:.1f}" stroke="#dadce0" stroke-width="1"/>'
+            f'<text x="{MARGIN_LEFT - 12}" y="{y + 3:.1f}" font-size="9" '
+            f'text-anchor="end">{decade:g}x</text>'
+        )
+        decade *= 10.0
+
+    height_total = baseline + MARGIN_BOTTOM
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height_total}" viewBox="0 0 {width} {height_total}" '
+        'font-family="sans-serif">'
+        f'<title>{title}</title>'
+        f'<text x="{MARGIN_LEFT}" y="{MARGIN_TOP - 24}" font-size="13" '
+        f'font-weight="bold">{title}</text>'
+        f'<text x="{MARGIN_LEFT}" y="{MARGIN_TOP - 8}" font-size="10" '
+        'fill="#5f6368">bars: model; red ticks: paper; log scale</text>'
+        + "".join(grid)
+        + f'<line x1="{MARGIN_LEFT - 8}" y1="{baseline}" x2="{width - 8}" '
+        f'y2="{baseline}" stroke="#202124" stroke-width="1"/>'
+        + "".join(parts)
+        + "</svg>"
+    )
+
+
+def write_figures(
+    directory: Union[str, Path],
+    results=None,
+) -> "list[Path]":
+    """Write figure8.svg and figure9.svg into ``directory``.
+
+    Runs the Table 3 sweep (or reuses ``results``) and renders both
+    speedup figures with their paper ticks.
+    """
+    from repro.eval.experiments import exp_figure8, exp_figure9
+    from repro.eval.tables import run_table3
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    results = results if results is not None else run_table3()
+    written = []
+    for exp, name in ((exp_figure8, "figure8"), (exp_figure9, "figure9")):
+        outcome = exp(results=results)
+        paper = {
+            kernel: {
+                machine: outcome.checks[f"{kernel}_{machine}"][1]
+                for machine in series
+            }
+            for kernel, series in outcome.data.items()
+        }
+        svg = speedup_figure_svg(outcome.title, outcome.data, paper)
+        path = directory / f"{name}.svg"
+        path.write_text(svg)
+        written.append(path)
+    return written

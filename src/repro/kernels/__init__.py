@@ -1,0 +1,79 @@
+"""Functional kernel implementations and workload generators.
+
+These are the *reference* computations: they produce real outputs (checked
+against numpy/scipy oracles in the tests) and exact operation censuses that
+the machine models schedule.  The three kernels are the paper's (§3):
+
+* :mod:`repro.kernels.corner_turn` — matrix transpose (memory bandwidth).
+* :mod:`repro.kernels.cslc` — coherent side-lobe canceller: per-sub-band
+  FFT -> weight application -> IFFT over four radar channels.
+* :mod:`repro.kernels.beam_steering` — phased-array phase computation from
+  calibration tables (adds and shifts only).
+
+Supporting modules: :mod:`repro.kernels.fft` (radix-2 / radix-4 /
+mixed-radix FFTs built from scratch with exact op counts),
+:mod:`repro.kernels.signal` (synthetic radar data), and
+:mod:`repro.kernels.workloads` (canonical paper-size and small test-size
+parameter sets).
+"""
+
+from repro.kernels.beam_steering import (
+    BeamSteeringTables,
+    BeamSteeringWorkload,
+    beam_steering_reference,
+    make_tables,
+)
+from repro.kernels.corner_turn import (
+    CornerTurnWorkload,
+    blocked_corner_turn,
+    corner_turn_reference,
+)
+from repro.kernels.cslc import (
+    CSLCResult,
+    CSLCWorkload,
+    cancellation_db,
+    cslc_oracle,
+    cslc_reference,
+    estimate_weights,
+    extract_subbands,
+    interference_rejection_db,
+    overlap_add,
+)
+from repro.kernels.fft import FFTPlan, default_radices
+from repro.kernels.opcount import OpCounts
+from repro.kernels.workloads import (
+    canonical_beam_steering,
+    canonical_corner_turn,
+    canonical_cslc,
+    small_beam_steering,
+    small_corner_turn,
+    small_cslc,
+)
+
+__all__ = [
+    "BeamSteeringTables",
+    "BeamSteeringWorkload",
+    "CSLCResult",
+    "CSLCWorkload",
+    "CornerTurnWorkload",
+    "FFTPlan",
+    "OpCounts",
+    "beam_steering_reference",
+    "blocked_corner_turn",
+    "cancellation_db",
+    "canonical_beam_steering",
+    "canonical_corner_turn",
+    "canonical_cslc",
+    "corner_turn_reference",
+    "cslc_oracle",
+    "cslc_reference",
+    "default_radices",
+    "estimate_weights",
+    "extract_subbands",
+    "interference_rejection_db",
+    "make_tables",
+    "overlap_add",
+    "small_beam_steering",
+    "small_corner_turn",
+    "small_cslc",
+]

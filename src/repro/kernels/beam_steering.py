@@ -1,0 +1,170 @@
+"""Beam steering: phased-array phase computation (§3.3, §4.4).
+
+"Beam steering is a radar-processing kernel that directs a phased-array
+radar without physically rotating the antenna.  The computation of the
+phase for each antenna element stresses memory bandwidth and latency
+because large tables are used for calibration tables.  Arithmetic
+operations are additions and shift operations. ... The number of antenna
+elements is 1608.  Each element can direct the signal up to 4 directions
+per dwell."
+
+§4.4 gives the exact per-output census this module reproduces: "Beam
+steering has small numbers of memory accesses (2 reads and 1 write) and
+computations (5 additions and 1 shift) per output data."  We realise that
+census with six summed terms (five additions), a right shift that
+quantises the accumulated phase, and two calibration-table reads (the
+coarse per-element table and the fine per-element-per-direction table);
+the steering bases, element position phases, and dwell compensation live
+in registers/streams.
+
+The dwell count is not stated in the paper; it defaults to 4 (see
+DESIGN.md §4) and is a workload parameter everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.opcount import OpCounts
+from repro.units import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class BeamSteeringWorkload:
+    """Beam-steering problem size (§3.3 defaults, dwells per DESIGN.md §4)."""
+
+    elements: int = 1608
+    directions: int = 4
+    dwells: int = 4
+    accumulator_bits: int = 24
+    phase_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.elements, self.directions, self.dwells) < 1:
+            raise ConfigError(f"workload dimensions must be positive: {self}")
+        if not 0 < self.phase_bits <= self.accumulator_bits:
+            raise ConfigError(
+                f"phase_bits must be in (0, {self.accumulator_bits}]"
+            )
+
+    @property
+    def outputs(self) -> int:
+        """Phase words produced per interval."""
+        return self.elements * self.directions * self.dwells
+
+    @property
+    def shift(self) -> int:
+        """Right-shift that quantises the accumulator to phase words."""
+        return self.accumulator_bits - self.phase_bits
+
+    @property
+    def coarse_table_words(self) -> int:
+        return self.elements
+
+    @property
+    def fine_table_words(self) -> int:
+        return self.elements * self.directions
+
+    @property
+    def table_bytes(self) -> int:
+        return (self.coarse_table_words + self.fine_table_words) * WORD_BYTES
+
+    def op_counts(self) -> OpCounts:
+        """§4.4's census: per output, 5 adds + 1 shift, 2 reads + 1 write."""
+        n = float(self.outputs)
+        return OpCounts(
+            adds=5 * n, shifts=n, loads=2 * n, stores=n
+        )
+
+
+@dataclass(frozen=True)
+class BeamSteeringTables:
+    """Input data for one interval.
+
+    ``coarse``: (elements,) per-element calibration (table read 1).
+    ``fine``: (elements, directions) per-element-per-direction calibration
+    (table read 2).
+    ``pos``: (elements,) element-position phase slope (streamed/register).
+    ``steer``: (dwells, directions) steering base per direction per dwell.
+    ``temp``: (dwells,) per-dwell compensation (e.g. thermal drift).
+    All values are integer phase units in the accumulator's precision.
+    """
+
+    coarse: np.ndarray
+    fine: np.ndarray
+    pos: np.ndarray
+    steer: np.ndarray
+    temp: np.ndarray
+
+    def validate(self, workload: BeamSteeringWorkload) -> None:
+        expected = {
+            "coarse": (workload.elements,),
+            "fine": (workload.elements, workload.directions),
+            "pos": (workload.elements,),
+            "steer": (workload.dwells, workload.directions),
+            "temp": (workload.dwells,),
+        }
+        for name, shape in expected.items():
+            array = getattr(self, name)
+            if array.shape != shape:
+                raise ConfigError(
+                    f"table {name!r} has shape {array.shape}, expected {shape}"
+                )
+            if not np.issubdtype(array.dtype, np.integer):
+                raise ConfigError(f"table {name!r} must be integer-typed")
+
+
+def make_tables(
+    workload: BeamSteeringWorkload, seed: int = 0
+) -> BeamSteeringTables:
+    """Deterministic synthetic calibration data for ``workload``."""
+    rng = np.random.default_rng(seed)
+    limit = 1 << (workload.accumulator_bits - 3)
+    coarse = rng.integers(0, limit, workload.elements, dtype=np.int64)
+    fine = rng.integers(
+        0, limit, (workload.elements, workload.directions), dtype=np.int64
+    )
+    pos = rng.integers(0, limit, workload.elements, dtype=np.int64)
+    steer = rng.integers(
+        0, limit, (workload.dwells, workload.directions), dtype=np.int64
+    )
+    temp = rng.integers(0, limit, workload.dwells, dtype=np.int64)
+    return BeamSteeringTables(
+        coarse=coarse, fine=fine, pos=pos, steer=steer, temp=temp
+    )
+
+
+def beam_steering_reference(
+    workload: BeamSteeringWorkload, tables: BeamSteeringTables
+) -> np.ndarray:
+    """Compute every phase word for one interval.
+
+    Per output ``(t, d, e)`` — exactly §4.4's five additions and one
+    shift::
+
+        acc   = steer[t,d] + pos[e]       # add 1
+        acc  += coarse[e]                 # add 2   (table read 1)
+        acc  += fine[e,d]                 # add 3   (table read 2)
+        acc  += temp[t]                   # add 4
+        acc  += ROUND                     # add 5   (rounding bias)
+        phase = (acc >> shift) mod 2^phase_bits
+
+    Returns an int64 array of shape (dwells, directions, elements) holding
+    ``phase_bits``-bit values.
+    """
+    tables.validate(workload)
+    shift = workload.shift
+    rounding = (1 << shift) >> 1 if shift else 0
+    mask = (1 << workload.phase_bits) - 1
+    acc = (
+        tables.steer[:, :, None]
+        + tables.pos[None, None, :]
+        + tables.coarse[None, None, :]
+        + tables.fine.T[None, :, :]
+        + tables.temp[:, None, None]
+        + rounding
+    )
+    return (acc >> shift) & mask

@@ -1,0 +1,114 @@
+"""Dense matrix multiplication (extension kernel).
+
+§2.3 cites Raw's published kernel results: "Several kernels including
+matrix multiplication are implemented on Raw ... Raw obtains speedup of
+up to 12 relative to single-tile performance on ILP benchmarks.
+Speedups greater than 16 can be achieved on streaming benchmarks when
+compared to a single-issue load/store RISC architecture because of a
+tile's ability to operate on data directly from the networks."
+
+This module provides the workload/reference half of an *extension*
+reproduction of that citation (the mapping lives in
+:mod:`repro.mappings.raw_matmul`): C = A @ B with a blocked functional
+implementation and exact op censuses for both a load/store inner loop
+and a network-streamed inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.opcount import OpCounts
+
+
+@dataclass(frozen=True)
+class MatmulWorkload:
+    """C[n,m] = A[n,k] @ B[k,m], single-precision."""
+
+    n: int = 64
+    k: int = 64
+    m: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.k, self.m) < 1:
+            raise ConfigError(f"matmul dimensions must be positive: {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.n * self.k * self.m
+
+    @property
+    def flops(self) -> int:
+        """Real floating-point operations (one multiply + one add per
+        MAC)."""
+        return 2 * self.macs
+
+    def make_inputs(self, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((self.n, self.k)).astype(np.float32)
+        b = rng.standard_normal((self.k, self.m)).astype(np.float32)
+        return a, b
+
+    def loadstore_census(self) -> OpCounts:
+        """Per-interval census of a blocked load/store inner loop.
+
+        Per MAC: one multiply-add pair (2 flops), one B-element load (the
+        A element and the accumulator stay in registers across the inner
+        loop), and amortised addressing/loop control of one op per MAC;
+        each output is stored once and each A element loaded once per
+        B-column block pass (counted as one load per k-row per output
+        row, amortised into the per-MAC loads below for simplicity).
+        """
+        macs = float(self.macs)
+        return OpCounts(
+            adds=macs,
+            muls=macs,
+            loads=macs + float(self.n * self.k),
+            stores=float(self.n * self.m),
+            other=macs,  # addressing + loop control
+        )
+
+    def streamed_census(self) -> OpCounts:
+        """Census when B streams in from the network registers.
+
+        The load per MAC disappears ("operate on data directly from the
+        networks"); a residual quarter-op per MAC of sequencing remains.
+        """
+        macs = float(self.macs)
+        return OpCounts(
+            adds=macs,
+            muls=macs,
+            stores=float(self.n * self.m),
+            other=0.25 * macs,
+        )
+
+
+def matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The functional answer (numpy matmul in float64 for stability)."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError(f"incompatible shapes {a.shape} @ {b.shape}")
+    return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block: int) -> np.ndarray:
+    """Blocked functional implementation (the traversal the mapping
+    charges cycles for)."""
+    if block < 1:
+        raise ConfigError(f"block must be positive, got {block}")
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2:
+        raise ConfigError(f"incompatible shapes {a.shape} @ {b.shape}")
+    out = np.zeros((n, m), dtype=np.float64)
+    for i0 in range(0, n, block):
+        for j0 in range(0, m, block):
+            for k0 in range(0, k, block):
+                out[i0 : i0 + block, j0 : j0 + block] += (
+                    a[i0 : i0 + block, k0 : k0 + block].astype(np.float64)
+                    @ b[k0 : k0 + block, j0 : j0 + block].astype(np.float64)
+                )
+    return out.astype(np.float32)

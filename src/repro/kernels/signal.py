@@ -1,0 +1,133 @@
+"""Synthetic radar-channel data.
+
+The paper ran the CSLC on radar channel data we do not have; per the
+substitution policy (DESIGN.md §1) we synthesise channels that exercise the
+same code path *and* let the canceller's function be verified: two main
+channels carrying a desired signal plus strong jammer leakage, and two
+auxiliary channels dominated by the jammer.  Cancellation quality (in dB)
+is then a functional check on the whole FFT -> weight -> IFFT pipeline.
+
+All arrays are complex128 internally; callers quantise to complex64
+("single-precision floating-point operations", §3.2) where they need to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ChannelSet:
+    """One processing interval of radar data.
+
+    ``mains``: shape (n_mains, samples) — desired signal + jammer leakage.
+    ``auxes``: shape (n_aux, samples) — jammer reference channels.
+    ``signal``: shape (samples,) — the clean desired signal, kept for
+    evaluating cancellation quality (not visible to the canceller).
+    ``jammer``: shape (samples,) — the clean jammer waveform.
+    """
+
+    mains: np.ndarray
+    auxes: np.ndarray
+    signal: np.ndarray
+    jammer: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mains.ndim != 2 or self.auxes.ndim != 2:
+            raise ConfigError("mains/auxes must be 2-D (channels, samples)")
+        if self.mains.shape[1] != self.auxes.shape[1]:
+            raise ConfigError("mains and auxes must have equal sample counts")
+
+    @property
+    def n_mains(self) -> int:
+        return self.mains.shape[0]
+
+    @property
+    def n_aux(self) -> int:
+        return self.auxes.shape[0]
+
+    @property
+    def samples(self) -> int:
+        return self.mains.shape[1]
+
+
+def make_jammed_channels(
+    samples: int,
+    n_mains: int = 2,
+    n_aux: int = 2,
+    jammer_to_signal_db: float = 30.0,
+    noise_db: float = -40.0,
+    seed: int = 0,
+) -> ChannelSet:
+    """Synthesize a jammed multi-channel interval.
+
+    The desired signal is a short train of linear-FM (chirp) pulses; the
+    jammer is a strong narrowband tone with slow phase modulation (a
+    classic noise-jammer stand-in).  Each main channel receives the signal
+    at unit gain plus the jammer through a distinct complex side-lobe gain;
+    each auxiliary channel receives the jammer through a distinct
+    near-unit complex gain plus a trace of signal.  Gains are frequency-
+    flat, so a per-bin weight solve can cancel the jammer almost exactly —
+    giving the tests a sharp functional criterion.
+    """
+    if samples <= 0:
+        raise ConfigError(f"samples must be positive, got {samples}")
+    if n_mains <= 0 or n_aux <= 0:
+        raise ConfigError("need at least one main and one aux channel")
+    rng = np.random.default_rng(seed)
+    t = np.arange(samples) / samples
+
+    # Desired signal: three chirp pulses at distinct delays.
+    signal = np.zeros(samples, dtype=np.complex128)
+    pulse_len = max(8, samples // 16)
+    tau = np.arange(pulse_len) / pulse_len
+    pulse = np.exp(1j * np.pi * 40.0 * tau * tau)
+    for start_frac in (0.1, 0.45, 0.8):
+        start = int(start_frac * samples)
+        stop = min(start + pulse_len, samples)
+        signal[start:stop] += pulse[: stop - start]
+
+    # Jammer: strong tone with slow random phase walk.
+    jam_gain = 10.0 ** (jammer_to_signal_db / 20.0)
+    phase_walk = np.cumsum(rng.normal(0.0, 0.002, samples))
+    jammer = jam_gain * np.exp(1j * (2 * np.pi * 37.25 * samples * t / samples + phase_walk))
+
+    noise_gain = 10.0 ** (noise_db / 20.0)
+
+    def noise() -> np.ndarray:
+        return noise_gain * (
+            rng.normal(size=samples) + 1j * rng.normal(size=samples)
+        ) / np.sqrt(2.0)
+
+    main_leak = 0.05 * (
+        rng.normal(size=n_mains) + 1j * rng.normal(size=n_mains)
+    )
+    aux_gain = 1.0 + 0.1 * (
+        rng.normal(size=n_aux) + 1j * rng.normal(size=n_aux)
+    )
+
+    mains = np.stack(
+        [signal + main_leak[m] * jammer + noise() for m in range(n_mains)]
+    )
+    auxes = np.stack(
+        [aux_gain[a] * jammer + 0.001 * signal + noise() for a in range(n_aux)]
+    )
+    return ChannelSet(mains=mains, auxes=auxes, signal=signal, jammer=jammer)
+
+
+def power_db(x: np.ndarray) -> float:
+    """Mean power of ``x`` in dB (floor at -300 dB for silence)."""
+    p = float(np.mean(np.abs(x) ** 2))
+    if p <= 1e-30:
+        return -300.0
+    return 10.0 * np.log10(p)
+
+
+def tone_indices(samples: int, freq_bin: float, width: int = 3) -> np.ndarray:
+    """FFT bin indices around a (possibly fractional) tone bin."""
+    center = int(round(freq_bin)) % samples
+    offsets = np.arange(-width, width + 1)
+    return (center + offsets) % samples

@@ -1,0 +1,53 @@
+"""Canonical (paper-size) and small (test-size) workload parameter sets.
+
+The canonical sizes are §3's: a 1024x1024 corner turn, the 4-channel /
+8 K-sample / 73x128-sub-band CSLC, and 1608-element x 4-direction beam
+steering.  The small variants preserve every structural property the
+models depend on (divisibility by block sizes, exact sub-band tiling,
+radix factorisability) at a scale where the slow reference simulators in
+the tests remain fast.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.beam_steering import BeamSteeringWorkload
+from repro.kernels.corner_turn import CornerTurnWorkload
+from repro.kernels.cslc import CSLCWorkload
+
+
+def canonical_corner_turn() -> CornerTurnWorkload:
+    """§3.1: 1024 x 1024 matrix of 4-byte elements (4 MB)."""
+    return CornerTurnWorkload(rows=1024, cols=1024)
+
+
+def canonical_cslc() -> CSLCWorkload:
+    """§3.2: 2+2 channels, 8 K samples, 73 sub-bands of 128 samples."""
+    return CSLCWorkload(
+        n_mains=2, n_aux=2, samples=8192, n_subbands=73, subband_len=128
+    )
+
+
+def canonical_beam_steering() -> BeamSteeringWorkload:
+    """§3.3: 1608 elements, 4 directions per dwell (4 dwells, DESIGN.md §4)."""
+    return BeamSteeringWorkload(elements=1608, directions=4, dwells=4)
+
+
+def small_corner_turn() -> CornerTurnWorkload:
+    """128 x 128: divisible by the 16 and 64 block sizes, trace-simulable."""
+    return CornerTurnWorkload(rows=128, cols=128)
+
+
+def small_cslc() -> CSLCWorkload:
+    """2+2 channels, 9 sub-bands of 32 samples tiling 288 samples.
+
+    The sub-band count is deliberately not a multiple of Raw's 16 tiles so
+    the load-imbalance accounting (§4.3) is exercised at test size too.
+    """
+    return CSLCWorkload(
+        n_mains=2, n_aux=2, samples=288, n_subbands=9, subband_len=32
+    )
+
+
+def small_beam_steering() -> BeamSteeringWorkload:
+    """48 elements x 2 directions x 2 dwells."""
+    return BeamSteeringWorkload(elements=48, directions=2, dwells=2)

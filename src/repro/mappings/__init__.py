@@ -1,0 +1,16 @@
+"""Kernel -> machine mappings (§3's implementations).
+
+Each module ``<machine>_<kernel>`` compiles one kernel into the operation
+and memory-access streams the paper describes for that machine, runs them
+through the machine model, produces the *functional* output (checked
+against an independent oracle), and returns a
+:class:`repro.arch.base.KernelRun` whose cycle breakdown mirrors the
+paper's §4 analysis categories.
+
+Use :func:`repro.mappings.registry.run` (or :func:`repro.run_kernel`) to
+invoke a mapping by name.
+"""
+
+from repro.mappings.registry import KERNELS, MACHINES, available, run
+
+__all__ = ["KERNELS", "MACHINES", "available", "run"]

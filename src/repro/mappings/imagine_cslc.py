@@ -1,0 +1,226 @@
+"""CSLC on Imagine (§3.2, §4.3).
+
+"Imagine has the best performance of the three architectures on CSLC ...
+it is a computation-intensive kernel for which the working sets fit in
+the stream register files. ... Performance is reduced by 30% because
+inter-cluster communication is used to perform parallel FFTs. ... the
+small size of the FFT reduces the amount of software pipelining and
+increases start-up overheads."
+
+Model:
+
+* ``kernel`` — each 128-point transform is parallelised across the eight
+  clusters (16 points per cluster); per stage, the exact arithmetic
+  census is resource-bound VLIW-scheduled on the 3 adders / 2 multipliers
+  per cluster, and stages whose butterfly span reaches across the
+  16-point cluster partitions pay inter-cluster word transfers at the
+  calibrated exposure (the ~30% parallel-FFT penalty).  The weight
+  application is scheduled the same way and fused with the first IFFT
+  kernel.
+* ``startup`` — one software-pipeline prologue per kernel invocation
+  (one invocation per transform): with 128-point streams this dominates
+  utilization, which is why achieved FFT ALU utilization lands far below
+  media-kernel levels (§4.3's 25.5% / 30.6% discussion).
+* ``memory (exposed)`` — the sub-band loads, weight loads, and result
+  stores run as an explicit double-buffered host stream program
+  (:mod:`repro.arch.imagine.stream_program`); hiding them under kernel
+  execution is an outcome of the schedule, and only the pipeline ramp
+  remains exposed.
+
+The ``independent_ffts`` option reproduces §4.3's "alternative
+implementation ... would execute independent FFTs in parallel to
+eliminate inter-cluster communication overhead".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.base import KernelRun
+from repro.arch.imagine.cluster import ClusterOpMix
+from repro.arch.imagine.machine import ImagineMachine
+from repro.arch.imagine.stream_program import StreamProgram, execute
+from repro.calibration import Calibration
+from repro.kernels.cslc import CSLCWorkload, cslc_oracle, cslc_reference
+from repro.kernels.fft import FFTPlan
+from repro.kernels.opcount import COMPLEX_ADD_FLOPS, COMPLEX_MUL_ADDS, COMPLEX_MUL_MULS
+from repro.kernels.signal import make_jammed_channels
+from repro.kernels.workloads import canonical_cslc
+from repro.mappings.base import functional_match, resolve_calibration
+from repro.memory.streams import Sequential
+from repro.sim.accounting import CycleBreakdown
+from repro.units import WORD_BYTES
+
+
+def _transform_mix(
+    plan: FFTPlan, machine: ImagineMachine, parallel: bool
+) -> ClusterOpMix:
+    """Per-cluster op mix of one transform parallelised over the clusters.
+
+    With ``parallel`` the 128 points are block-distributed 16 per cluster
+    and stages whose butterfly span crosses the partition move their
+    remote operands through the communication units; without it (the
+    §4.3 alternative), independent transforms run on each cluster and no
+    communication is needed (the arithmetic per cluster is unchanged in
+    steady state because eight transforms then finish in the time one
+    parallel transform's eight-fold work would).
+    """
+    points_per_cluster = plan.n // machine.config.clusters
+    adds = 0.0
+    muls = 0.0
+    comms = 0.0
+    for stage in plan.stages:
+        adds += stage.core_adds * COMPLEX_ADD_FLOPS
+        adds += stage.nontrivial_twiddles * COMPLEX_MUL_ADDS
+        muls += stage.nontrivial_twiddles * COMPLEX_MUL_MULS
+        if parallel and stage.span >= points_per_cluster:
+            # Each butterfly pulls (radix - 1) remote complex operands.
+            comms += stage.butterflies * (stage.radix - 1) * 2
+    clusters = machine.config.clusters
+    return ClusterOpMix(
+        adds=adds / clusters, muls=muls / clusters, comms=comms / clusters
+    )
+
+
+def _weight_mix(workload: CSLCWorkload, machine: ImagineMachine) -> ClusterOpMix:
+    """Per-cluster op mix of one sub-band's weight application."""
+    per_bin_muls = workload.n_aux * 4
+    per_bin_adds = workload.n_aux * 2 + workload.n_aux * 2  # cmul adds + csub
+    bins = workload.subband_len
+    clusters = machine.config.clusters
+    return ClusterOpMix(
+        adds=workload.n_mains * bins * per_bin_adds / clusters,
+        muls=workload.n_mains * bins * per_bin_muls / clusters,
+    )
+
+
+def run(
+    workload: Optional[CSLCWorkload] = None,
+    calibration: Optional[Calibration] = None,
+    seed: int = 0,
+    independent_ffts: bool = False,
+) -> KernelRun:
+    """Run the Imagine CSLC; returns a :class:`KernelRun`."""
+    workload = workload or canonical_cslc()
+    cal = resolve_calibration(calibration)
+    machine = ImagineMachine(calibration=cal.imagine)
+    plan = FFTPlan(workload.subband_len)  # radix-4 stages + one radix-2
+
+    # Working set per sub-band must fit the SRF (double-buffered).
+    subband_words = (
+        (workload.n_channels + workload.n_mains) * 2 * workload.subband_len
+    )
+    weight_words = workload.n_mains * workload.n_aux * 2 * workload.subband_len
+    machine.srf.allocate(
+        "cslc-subband", 2 * (subband_words + weight_words) * WORD_BYTES
+    )
+
+    mix = _transform_mix(plan, machine, parallel=not independent_ffts)
+    kernel_per_transform = machine.kernel_cycles(mix)
+    fft_kernel = workload.transforms * kernel_per_transform
+    weight_per_subband = machine.kernel_cycles(_weight_mix(workload, machine))
+    weight_kernel = workload.n_subbands * weight_per_subband
+    kernel = fft_kernel + weight_kernel
+
+    invocations = workload.transforms
+    startup = machine.kernel_startups(invocations)
+    startup_per_kernel = machine.kernel_startups(1)
+
+    # Host stream program, emitted in software-pipelined order: the next
+    # sub-band's loads are issued before the current sub-band's kernels
+    # (the stream scoreboard lets them start while kernels run), one
+    # kernel per transform (the weight application fused into the first
+    # IFFT kernel), stores after the kernels.  Double buffering in the
+    # SRF lets sub-band s+1's loads run two kernels back (its buffer
+    # pair frees when sub-band s-1 completes).
+    transforms_per_subband = workload.n_channels + workload.n_mains
+    subband_words = 2 * workload.subband_len
+    program = StreamProgram()
+    in_base = 0
+    out_base = 10 * workload.n_subbands * subband_words  # outputs follow
+
+    def emit_loads(s: int) -> None:
+        nonlocal in_base
+        buffer_free = (
+            (f"k{s - 2}.{transforms_per_subband - 1}",) if s >= 2 else ()
+        )
+        for c in range(workload.n_channels):
+            program.load(
+                f"load{s}.{c}",
+                Sequential(in_base, subband_words),
+                deps=buffer_free,
+            )
+            in_base += subband_words
+
+    emit_loads(0)
+    for s in range(workload.n_subbands):
+        if s + 1 < workload.n_subbands:
+            emit_loads(s + 1)  # prefetch under this sub-band's kernels
+        prev = tuple(
+            f"load{s}.{c}" for c in range(workload.n_channels)
+        )
+        for t in range(transforms_per_subband):
+            cycles = kernel_per_transform + startup_per_kernel
+            if t == workload.n_channels:  # first IFFT carries the weights
+                cycles += weight_per_subband
+            name = f"k{s}.{t}"
+            program.kernel(name, cycles, deps=prev)
+            prev = (name,)
+        for m in range(workload.n_mains):
+            program.store(
+                f"store{s}.{m}",
+                Sequential(out_base, subband_words),
+                deps=prev,
+            )
+            out_base += subband_words
+    schedule = execute(program, machine)
+
+    exposed_memory = max(0.0, schedule.makespan - (kernel + startup))
+    breakdown = CycleBreakdown(
+        {"kernel": kernel, "startup": startup, "memory (exposed)": exposed_memory}
+    )
+    memory_wall = schedule.memory_busy
+
+    channels = make_jammed_channels(
+        workload.samples, workload.n_mains, workload.n_aux, seed=seed
+    )
+    result = cslc_reference(channels, workload, plan=plan)
+    oracle = cslc_oracle(channels, workload, result.weights)
+    ok = functional_match(result.outputs, oracle)
+
+    ops = workload.op_counts(plan)
+    total = breakdown.total
+    fft_flops = plan.flops() * workload.transforms
+    fft_time = fft_kernel + startup
+    alus = machine.config.total_alus
+    alus_no_div = alus - machine.config.clusters  # exclude the dividers
+    comm_free = workload.transforms * machine.kernel_cycles(
+        _transform_mix(plan, machine, parallel=False)
+    )
+    return KernelRun(
+        kernel="cslc",
+        machine="imagine",
+        spec=machine.spec,
+        breakdown=breakdown,
+        ops=ops,
+        output=result.outputs,
+        functional_ok=ok,
+        metrics={
+            "cancellation_db": result.cancellation_db,
+            "independent_ffts": independent_ffts,
+            # §4.3: "about 10 useful operations per cycle".
+            "ops_per_cycle": ops.flops / total if total else 0.0,
+            # §4.3: FFT ALU utilization 25.5% (30.6% excluding dividers).
+            "fft_alu_utilization": (
+                fft_flops / (alus * fft_time) if fft_time else 0.0
+            ),
+            "fft_alu_utilization_no_div": (
+                fft_flops / (alus_no_div * fft_time) if fft_time else 0.0
+            ),
+            # §4.3: ~30% reduction from inter-cluster communication.
+            "comm_penalty_fraction": (
+                (fft_kernel - comm_free) / fft_kernel if fft_kernel else 0.0
+            ),
+            "memory_hidden_cycles": memory_wall - exposed_memory,
+        },
+    )

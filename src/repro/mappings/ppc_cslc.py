@@ -1,0 +1,213 @@
+"""CSLC on the PowerPC G4, scalar and AltiVec (§4.1, §4.5).
+
+§4.5: "Using the AltiVec architecture gains a performance factor of about
+six for the CSLC."
+
+Scalar model — a compiled-C radix-2 CSLC:
+
+* libm twiddle recomputation: a sin+cos pair per non-trivial-twiddle
+  butterfly (the dominant term of a textbook C FFT on this machine);
+* the instruction stream from the exact memory-to-memory census
+  (:meth:`FFTPlan.memory_census`) plus per-butterfly address/loop
+  instructions, issued 3-wide;
+* exposed FP-pipeline latency on the dependent halves of the flops;
+* streaming compulsory cache misses over the channel data.
+
+AltiVec model — hand-inserted intrinsics over the radix-4 plan:
+
+* vector arithmetic at 4 lanes per op, the shuffle census as vector
+  permutes, one alignment permute per vector load;
+* scalar address/loop code issued alongside;
+* the per-butterfly dependency-chain stall that keeps the gain near the
+  measured ~6x (see :class:`repro.calibration.PpcCalibration`);
+* the same compulsory streaming misses and precomputed twiddle tables
+  (no libm calls).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arch.base import KernelRun
+from repro.arch.ppc.machine import PpcMachine
+from repro.calibration import Calibration
+from repro.kernels.cslc import CSLCWorkload, cslc_oracle, cslc_reference
+from repro.kernels.fft import FFTPlan, radix2_radices
+from repro.kernels.signal import make_jammed_channels
+from repro.kernels.workloads import canonical_cslc
+from repro.mappings.base import functional_match, resolve_calibration
+from repro.sim.accounting import CycleBreakdown
+
+#: Scalar per-butterfly bookkeeping (index arithmetic + loop control).
+SCALAR_ADDR_PER_BUTTERFLY = 6.0
+SCALAR_LOOP_PER_BUTTERFLY = 2.0
+
+#: Fraction of flops on the dependent critical path of a butterfly.
+DEPENDENT_FLOP_FRACTION = 0.5
+
+
+def _streaming_miss_cycles(
+    workload: CSLCWorkload, machine: PpcMachine
+) -> float:
+    """Compulsory misses streaming the interval's channel data."""
+    channel_words = (
+        (workload.n_channels + workload.n_mains) * workload.samples * 2
+    )
+    lines = channel_words / machine.config.l1_line_words
+    return machine.memory_miss_stall(lines)
+
+
+def _weight_terms(workload: CSLCWorkload) -> Tuple[float, float, float]:
+    """(flops, memory ops, bookkeeping ops) of one sub-band's weights."""
+    bins = workload.subband_len
+    flops = workload.n_mains * bins * workload.n_aux * 8.0
+    mem = workload.n_mains * bins * (workload.n_aux * 4.0 + 4.0)
+    addr = workload.n_mains * bins * 2.0
+    return flops, mem, addr
+
+
+def run_scalar(
+    workload: Optional[CSLCWorkload] = None,
+    calibration: Optional[Calibration] = None,
+    seed: int = 0,
+) -> KernelRun:
+    """Scalar PPC CSLC; returns a :class:`KernelRun`."""
+    workload = workload or canonical_cslc()
+    cal = resolve_calibration(calibration)
+    machine = PpcMachine(calibration=cal.ppc)
+    plan = FFTPlan(workload.subband_len, radix2_radices(workload.subband_len))
+
+    transforms = workload.transforms
+    mem_census = plan.memory_census()
+    butterflies = sum(s.butterflies for s in plan.stages)
+    nontrivial = sum(s.nontrivial_twiddles for s in plan.stages)
+
+    per_transform_instr = (
+        mem_census.flops
+        + mem_census.memory_ops
+        + butterflies * (SCALAR_ADDR_PER_BUTTERFLY + SCALAR_LOOP_PER_BUTTERFLY)
+    )
+    issue = machine.issue_cycles(per_transform_instr * transforms)
+    trig = machine.trig_cycles(nontrivial * transforms)
+    fp_stalls = machine.scalar_fp_stall_cycles(
+        mem_census.flops * DEPENDENT_FLOP_FRACTION * transforms
+    )
+
+    w_flops, w_mem, w_addr = _weight_terms(workload)
+    weight_issue = machine.issue_cycles(
+        (w_flops + w_mem + w_addr) * workload.n_subbands
+    )
+    weight_stalls = machine.scalar_fp_stall_cycles(
+        w_flops * DEPENDENT_FLOP_FRACTION * workload.n_subbands
+    )
+
+    cache = _streaming_miss_cycles(workload, machine)
+
+    breakdown = CycleBreakdown(
+        {
+            "twiddle recomputation": trig,
+            "issue": issue + weight_issue,
+            "fp dependency stalls": fp_stalls + weight_stalls,
+            "streaming misses": cache,
+        }
+    )
+
+    channels = make_jammed_channels(
+        workload.samples, workload.n_mains, workload.n_aux, seed=seed
+    )
+    result = cslc_reference(channels, workload, plan=plan)
+    oracle = cslc_oracle(channels, workload, result.weights)
+    ok = functional_match(result.outputs, oracle)
+
+    ops = workload.op_counts(plan)
+    return KernelRun(
+        kernel="cslc",
+        machine="ppc",
+        spec=machine.spec,
+        breakdown=breakdown,
+        ops=ops,
+        output=result.outputs,
+        functional_ok=ok,
+        metrics={
+            "cancellation_db": result.cancellation_db,
+            "trig_fraction": trig / breakdown.total if breakdown.total else 0.0,
+        },
+    )
+
+
+def run_altivec(
+    workload: Optional[CSLCWorkload] = None,
+    calibration: Optional[Calibration] = None,
+    seed: int = 0,
+) -> KernelRun:
+    """AltiVec PPC CSLC; returns a :class:`KernelRun`."""
+    workload = workload or canonical_cslc()
+    cal = resolve_calibration(calibration)
+    machine = PpcMachine(calibration=cal.ppc)
+    plan = FFTPlan(workload.subband_len)  # hand code uses the radix-4 plan
+
+    transforms = workload.transforms
+    width = machine.config.altivec_width
+    mem_census = plan.memory_census()
+    shuffle_census = plan.shuffle_census()
+    butterflies = sum(s.butterflies for s in plan.stages)
+
+    vec_flops = mem_census.flops / width
+    vec_perms = shuffle_census.permutes / width
+    vec_loads = mem_census.loads / width
+    vec_stores = mem_census.stores / width
+    align_perms = vec_loads  # one vperm per unaligned vector load
+    vec_ops = vec_flops + vec_perms + vec_loads + vec_stores + align_perms
+
+    scalar_bookkeeping = butterflies * SCALAR_ADDR_PER_BUTTERFLY
+    issue = transforms * (
+        machine.vector_issue_cycles(vec_ops)
+        + machine.issue_cycles(scalar_bookkeeping)
+    )
+    stalls = transforms * machine.vector_stall_cycles(butterflies)
+
+    w_flops, w_mem, w_addr = _weight_terms(workload)
+    weight_vec_ops = (w_flops + w_mem) / width
+    weight_issue = workload.n_subbands * (
+        machine.vector_issue_cycles(weight_vec_ops)
+        + machine.issue_cycles(w_addr)
+    )
+    weight_stalls = workload.n_subbands * machine.vector_stall_cycles(
+        workload.subband_len / width
+    )
+
+    cache = _streaming_miss_cycles(workload, machine)
+
+    breakdown = CycleBreakdown(
+        {
+            "issue": issue + weight_issue,
+            "vector dependency stalls": stalls + weight_stalls,
+            "streaming misses": cache,
+        }
+    )
+
+    channels = make_jammed_channels(
+        workload.samples, workload.n_mains, workload.n_aux, seed=seed
+    )
+    result = cslc_reference(channels, workload, plan=plan)
+    oracle = cslc_oracle(channels, workload, result.weights)
+    ok = functional_match(result.outputs, oracle)
+
+    ops = workload.op_counts(plan)
+    return KernelRun(
+        kernel="cslc",
+        machine="altivec",
+        spec=machine.altivec_spec,
+        breakdown=breakdown,
+        ops=ops,
+        output=result.outputs,
+        functional_ok=ok,
+        metrics={
+            "cancellation_db": result.cancellation_db,
+            "stall_fraction": (
+                (stalls + weight_stalls) / breakdown.total
+                if breakdown.total
+                else 0.0
+            ),
+        },
+    )

@@ -1,0 +1,71 @@
+"""Registry of kernel -> machine mappings.
+
+``run(kernel, machine, **kwargs)`` dispatches to the mapping module; the
+five machine names match the paper's Table 3 rows (``ppc``, ``altivec``,
+``viram``, ``imagine``, ``raw``) and the three kernel names its columns
+(``corner_turn``, ``cslc``, ``beam_steering``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.arch.base import KernelRun
+from repro.errors import MappingError
+from repro.mappings import (
+    imagine_beam_steering,
+    imagine_corner_turn,
+    imagine_cslc,
+    ppc_beam_steering,
+    ppc_corner_turn,
+    ppc_cslc,
+    raw_beam_steering,
+    raw_corner_turn,
+    raw_cslc,
+    viram_beam_steering,
+    viram_corner_turn,
+    viram_cslc,
+)
+
+KERNELS: Tuple[str, ...] = ("corner_turn", "cslc", "beam_steering")
+
+#: Table 3 row order.
+MACHINES: Tuple[str, ...] = ("ppc", "altivec", "viram", "imagine", "raw")
+
+_REGISTRY: Dict[Tuple[str, str], Callable[..., KernelRun]] = {
+    ("corner_turn", "ppc"): ppc_corner_turn.run_scalar,
+    ("corner_turn", "altivec"): ppc_corner_turn.run_altivec,
+    ("corner_turn", "viram"): viram_corner_turn.run,
+    ("corner_turn", "imagine"): imagine_corner_turn.run,
+    ("corner_turn", "raw"): raw_corner_turn.run,
+    ("cslc", "ppc"): ppc_cslc.run_scalar,
+    ("cslc", "altivec"): ppc_cslc.run_altivec,
+    ("cslc", "viram"): viram_cslc.run,
+    ("cslc", "imagine"): imagine_cslc.run,
+    ("cslc", "raw"): raw_cslc.run,
+    ("beam_steering", "ppc"): ppc_beam_steering.run_scalar,
+    ("beam_steering", "altivec"): ppc_beam_steering.run_altivec,
+    ("beam_steering", "viram"): viram_beam_steering.run,
+    ("beam_steering", "imagine"): imagine_beam_steering.run,
+    ("beam_steering", "raw"): raw_beam_steering.run,
+}
+
+
+def available() -> Tuple[Tuple[str, str], ...]:
+    """All (kernel, machine) pairs with a mapping."""
+    return tuple(sorted(_REGISTRY))
+
+
+def run(kernel: str, machine: str, **kwargs) -> KernelRun:
+    """Run ``kernel`` on ``machine``; keyword arguments are forwarded to
+    the mapping (``workload=``, ``calibration=``, ``seed=``, and any
+    mapping-specific options such as ``balanced=`` or
+    ``tables_in_srf=``)."""
+    try:
+        fn = _REGISTRY[(kernel, machine)]
+    except KeyError:
+        raise MappingError(
+            f"no mapping for kernel {kernel!r} on machine {machine!r}; "
+            f"kernels: {KERNELS}, machines: {MACHINES}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,345 @@
+"""Banked DRAM with open-row state and activate/precharge exposure.
+
+Organization
+------------
+The model uses a conventional row-interleaved organization: word address
+``a`` maps to
+
+* bank ``(a // row_words) % banks`` and
+* row ``a // (row_words * banks)`` within that bank,
+
+so consecutive ``row_words`` words live in one bank's open row and
+consecutive DRAM rows rotate across banks.  Each bank holds one open row;
+an access to a different row in the same bank costs a row cycle
+(precharge + activate).  This captures the behaviours the paper leans on:
+
+* VIRAM (§4.2): strided corner-turn loads touch a new DRAM row per matrix
+  row, costing precharge overhead, while sequential stores reuse open rows
+  ("[precharge cycles] would be mostly hidden with sequential accesses").
+* Imagine (§4.2): the 8-word output blocks written at non-unit stride
+  cause a row switch per block, making memory transfers 87% of the cycles.
+
+Exposure policy
+---------------
+How much of the row-cycle time is *exposed* (i.e., lengthens the access
+stream) depends on the memory controller:
+
+* ``"bank-parallel"`` — activations overlap with data transfer in other
+  banks; time is exposed only when the most-loaded bank's activation work
+  exceeds the pattern's transfer time.  This models VIRAM's wide on-chip
+  interface with independent pipelined banks.
+* ``"serialized"`` — every activation stalls the stream for a full row
+  cycle.  This models a simple streaming controller that processes one
+  access stream in order (Imagine's memory controllers reorder across
+  streams but each stream's row switches still cost time).
+
+Two implementations are provided and cross-validated by tests:
+
+* :class:`DRAM` — vectorised (numpy) stateful costing of whole patterns.
+* :class:`DRAMReference` — a per-access pure-Python simulator with
+  identical semantics, used as the test oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.memory.streams import AccessPattern
+
+_POLICIES = ("bank-parallel", "serialized")
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Static DRAM organization and timing.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label ("viram-onchip", "imagine-offchip", ...).
+    banks:
+        Number of independent banks (VIRAM: 2 wings x 4 banks = 8).
+    row_words:
+        Words per bank row (row buffer size).
+    row_cycle:
+        Cycles of precharge + activate exposed per row switch (before any
+        bank-parallel amortisation).
+    access_latency:
+        Pipelined access latency in cycles; reported separately because the
+        studied architectures generally hide it (§2.5), but mappings can
+        charge it where the paper says it is exposed (VIRAM's "initial load
+        latencies are not hidden").
+    activation_policy:
+        ``"bank-parallel"`` or ``"serialized"`` (see module docstring).
+    """
+
+    name: str
+    banks: int
+    row_words: int
+    row_cycle: float
+    access_latency: float
+    activation_policy: str = "bank-parallel"
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise ConfigError(f"{self.name}: banks must be positive")
+        if self.row_words <= 0:
+            raise ConfigError(f"{self.name}: row_words must be positive")
+        if self.row_cycle < 0:
+            raise ConfigError(f"{self.name}: negative row_cycle")
+        if self.access_latency < 0:
+            raise ConfigError(f"{self.name}: negative access_latency")
+        if self.activation_policy not in _POLICIES:
+            raise ConfigError(
+                f"{self.name}: activation_policy must be one of {_POLICIES}"
+            )
+
+
+@dataclass(frozen=True)
+class DRAMCost:
+    """Cost of streaming one pattern through the DRAM.
+
+    ``issue_cycles`` is data-transfer time at the caller-supplied rate;
+    ``activation_cycles`` is exposed row-switch time; ``access_latency`` is
+    the (usually hidden) pipeline latency, reported for callers that need
+    to expose it.
+    """
+
+    words: int
+    issue_cycles: float
+    activation_cycles: float
+    activations: int
+    access_latency: float
+
+    @property
+    def stream_cycles(self) -> float:
+        """Exposed cycles for the stream: transfer plus row switches."""
+        return self.issue_cycles + self.activation_cycles
+
+    @property
+    def cycles_per_word(self) -> float:
+        if self.words == 0:
+            return 0.0
+        return self.stream_cycles / self.words
+
+
+def _bank_and_row(addresses: np.ndarray, config: DRAMConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Map word addresses to (bank, row-within-bank) arrays."""
+    dram_row = addresses // config.row_words
+    bank = dram_row % config.banks
+    row = dram_row // config.banks
+    return bank, row
+
+
+class DRAM:
+    """Vectorised stateful DRAM cost model (see module docstring).
+
+    The object keeps the open-row register of every bank across calls, so
+    a sequence of :meth:`access` calls models a program-ordered access
+    stream: rows opened by one pattern stay open for the next.
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._open_rows: Dict[int, int] = {}
+        self._total_activations = 0
+        self._total_words = 0
+
+    @property
+    def open_rows(self) -> Dict[int, int]:
+        """Copy of the per-bank open-row registers (bank -> row)."""
+        return dict(self._open_rows)
+
+    @property
+    def total_activations(self) -> int:
+        return self._total_activations
+
+    @property
+    def total_words(self) -> int:
+        return self._total_words
+
+    def reset(self) -> None:
+        """Close all rows and clear counters."""
+        self._open_rows.clear()
+        self._total_activations = 0
+        self._total_words = 0
+
+    def access(
+        self,
+        pattern: AccessPattern,
+        *,
+        rate_words_per_cycle: float,
+        kind: str = "read",
+    ) -> DRAMCost:
+        """Cost of streaming ``pattern`` at the given issue rate.
+
+        ``rate_words_per_cycle`` is the *architectural* issue limit of the
+        requester (address generators, port width); the DRAM adds exposed
+        row-switch time on top.  ``kind`` is informational ("read"/"write").
+        """
+        if rate_words_per_cycle <= 0:
+            raise ConfigError(
+                f"rate_words_per_cycle must be positive, got {rate_words_per_cycle}"
+            )
+        if kind not in ("read", "write"):
+            raise ConfigError(f"kind must be 'read' or 'write', got {kind!r}")
+        addresses = pattern.addresses()
+        n = int(addresses.size)
+        if n == 0:
+            return DRAMCost(0, 0.0, 0.0, 0, self.config.access_latency)
+
+        bank, row = _bank_and_row(addresses, self.config)
+        activations, per_bank = self._count_activations(bank, row)
+
+        issue_cycles = n / rate_words_per_cycle
+        if self.config.activation_policy == "serialized":
+            activation_cycles = activations * self.config.row_cycle
+        else:
+            # Bank-parallel: the most-loaded bank's activation work is
+            # exposed only where it exceeds the pattern's transfer time.
+            worst = max(per_bank.values()) if per_bank else 0
+            activation_cycles = max(
+                0.0, worst * self.config.row_cycle - issue_cycles
+            )
+
+        self._total_activations += activations
+        self._total_words += n
+        return DRAMCost(
+            words=n,
+            issue_cycles=issue_cycles,
+            activation_cycles=activation_cycles,
+            activations=activations,
+            access_latency=self.config.access_latency,
+        )
+
+    def _count_activations(
+        self, bank: np.ndarray, row: np.ndarray
+    ) -> Tuple[int, Dict[int, int]]:
+        """Count row switches in program order and update open rows.
+
+        Within each bank the access order is preserved (stable sort by
+        bank), so a switch is counted whenever the row differs from the
+        bank's previous access — exactly what the per-access reference
+        implementation does.
+        """
+        order = np.argsort(bank, kind="stable")
+        b_sorted = bank[order]
+        r_sorted = row[order]
+
+        # Boundaries between bank groups in the sorted arrays.
+        group_start = np.ones(b_sorted.size, dtype=bool)
+        group_start[1:] = b_sorted[1:] != b_sorted[:-1]
+
+        # Row change relative to the previous access in the same bank.
+        changed = np.ones(r_sorted.size, dtype=bool)
+        changed[1:] = r_sorted[1:] != r_sorted[:-1]
+
+        # First access of each bank group: compare against the open row.
+        start_idx = np.nonzero(group_start)[0]
+        for idx in start_idx:
+            b = int(b_sorted[idx])
+            open_row = self._open_rows.get(b)
+            changed[idx] = open_row != int(r_sorted[idx])
+
+        misses = changed  # group-start entries were fixed up above
+        # Count per bank and total.
+        miss_banks = b_sorted[misses]
+        per_bank: Dict[int, int] = {}
+        for b, count in zip(*np.unique(miss_banks, return_counts=True)):
+            per_bank[int(b)] = int(count)
+        activations = int(misses.sum())
+
+        # Update open rows: last row accessed in each bank.
+        end_idx = np.concatenate([start_idx[1:] - 1, [b_sorted.size - 1]])
+        for idx in end_idx:
+            self._open_rows[int(b_sorted[idx])] = int(r_sorted[idx])
+
+        return activations, per_bank
+
+
+class DRAMReference:
+    """Per-access pure-Python DRAM simulator (test oracle for :class:`DRAM`).
+
+    Semantics are identical to :class:`DRAM`; only the implementation
+    differs (an explicit loop with per-bank open-row registers).  Tests
+    cross-validate activation counts exactly and cycle totals to floating
+    point tolerance.
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._open_rows: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+
+    def access(
+        self,
+        pattern: AccessPattern,
+        *,
+        rate_words_per_cycle: float,
+        kind: str = "read",
+    ) -> DRAMCost:
+        """Reference implementation of :meth:`DRAM.access`."""
+        if rate_words_per_cycle <= 0:
+            raise ConfigError(
+                f"rate_words_per_cycle must be positive, got {rate_words_per_cycle}"
+            )
+        addresses = pattern.addresses()
+        config = self.config
+        activations = 0
+        per_bank: Dict[int, int] = {}
+        for a in addresses:
+            dram_row = int(a) // config.row_words
+            bank = dram_row % config.banks
+            row = dram_row // config.banks
+            if self._open_rows.get(bank) != row:
+                activations += 1
+                per_bank[bank] = per_bank.get(bank, 0) + 1
+                self._open_rows[bank] = row
+        n = int(addresses.size)
+        issue_cycles = n / rate_words_per_cycle if n else 0.0
+        if config.activation_policy == "serialized":
+            activation_cycles = activations * config.row_cycle
+        else:
+            worst = max(per_bank.values()) if per_bank else 0
+            activation_cycles = max(0.0, worst * config.row_cycle - issue_cycles)
+        return DRAMCost(
+            words=n,
+            issue_cycles=issue_cycles,
+            activation_cycles=activation_cycles,
+            activations=activations,
+            access_latency=config.access_latency,
+        )
+
+
+def pad_pitch_for_banks(cols: int, config: DRAMConfig) -> int:
+    """Row pitch (>= ``cols``) that spreads strided column walks over banks.
+
+    A matrix stored with row pitch ``p`` is walked column-wise with stride
+    ``p``; successive accesses advance ``p // row_words`` DRAM rows, and if
+    that advance shares a factor with the bank count the walk hits only a
+    subset of banks (the "DRAM bank conflicts" §3.1 avoids with padding).
+    This helper returns the smallest pitch whose row advance is coprime
+    with the bank count (odd, for power-of-two bank counts).  When the
+    advance is zero (several matrix rows share a DRAM row) no padding is
+    needed.
+    """
+    import math
+
+    if cols <= 0:
+        raise ConfigError(f"cols must be positive, got {cols}")
+    pitch = cols
+    while True:
+        advance = pitch // config.row_words
+        if advance == 0 or math.gcd(advance, config.banks) == 1:
+            return pitch
+        # Step to the next row boundary: the advance increases by one,
+        # which flips parity (and so reaches coprimality for power-of-two
+        # bank counts within at most ``banks`` steps).
+        remainder = pitch % config.row_words
+        pitch += config.row_words - remainder if remainder else config.row_words

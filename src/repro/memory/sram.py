@@ -1,0 +1,80 @@
+"""Capacity-checked scratchpad memories.
+
+The paper's experimental design hinges on capacity relationships: the
+corner-turn matrix was sized to exceed Imagine's 128 KB SRF and Raw's
+aggregate local memory but fit VIRAM's 13 MB on-chip DRAM (§3.1), and the
+CSLC working set was sized to fit local memories (§4.3).  Mappings assert
+those relationships by allocating their working sets from a
+:class:`Scratchpad`; exceeding capacity raises
+:class:`repro.errors.CapacityError` instead of silently mis-modelling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import CapacityError, ConfigError
+
+
+class Scratchpad:
+    """A named on-chip memory with explicit allocation bookkeeping."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._allocations: Dict[str, int] = {}
+        self._high_water = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Peak allocation over the scratchpad's lifetime."""
+        return self._high_water
+
+    def allocate(self, label: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``label``.
+
+        Raises :class:`CapacityError` if the allocation would exceed
+        capacity, and :class:`ConfigError` on a duplicate label.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"{self.name}: negative allocation {nbytes}")
+        if label in self._allocations:
+            raise ConfigError(f"{self.name}: duplicate allocation {label!r}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise CapacityError(
+                f"{self.name}: allocating {nbytes} B for {label!r} exceeds "
+                f"capacity ({self.used_bytes}/{self.capacity_bytes} B used)"
+            )
+        self._allocations[label] = nbytes
+        self._high_water = max(self._high_water, self.used_bytes)
+
+    def free(self, label: str) -> None:
+        """Release the allocation made under ``label``."""
+        try:
+            del self._allocations[label]
+        except KeyError:
+            raise ConfigError(f"{self.name}: no allocation {label!r}") from None
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` could be allocated right now."""
+        return nbytes <= self.free_bytes
+
+    def reset(self) -> None:
+        self._allocations.clear()
+        self._high_water = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Scratchpad({self.name!r}, used={self.used_bytes}/"
+            f"{self.capacity_bytes} B)"
+        )

@@ -1,0 +1,201 @@
+"""Address-pattern descriptors.
+
+Kernel mappings describe their memory traffic as *patterns* — compact
+descriptions of ordered word-address sequences — rather than issuing
+addresses one by one.  The DRAM, cache, and TLB models consume patterns and
+compute costs from the full sequence at once (vectorised with numpy), which
+is what makes full-size workloads (a 1 M-element corner turn) tractable in
+pure Python while keeping the address streams *exact*.
+
+All addresses are in units of 32-bit words.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PatternError
+
+
+class AccessPattern:
+    """Base class: an ordered sequence of word addresses."""
+
+    @property
+    def n_words(self) -> int:
+        """Number of word accesses in the pattern."""
+        raise NotImplementedError
+
+    def addresses(self) -> np.ndarray:
+        """The address sequence as an ``int64`` numpy array, in order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{type(self).__name__}({self.n_words} words)"
+
+    def _check(self) -> None:
+        if self.n_words < 0:
+            raise PatternError(f"{self!r}: negative length")
+
+
+class Sequential(AccessPattern):
+    """``n`` consecutive words starting at ``start``."""
+
+    def __init__(self, start: int, n: int) -> None:
+        if start < 0:
+            raise PatternError(f"negative start address {start}")
+        if n < 0:
+            raise PatternError(f"negative length {n}")
+        self.start = int(start)
+        self.n = int(n)
+
+    @property
+    def n_words(self) -> int:
+        return self.n
+
+    def addresses(self) -> np.ndarray:
+        return np.arange(self.start, self.start + self.n, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"Sequential(start={self.start}, n={self.n})"
+
+
+class Strided(AccessPattern):
+    """``n`` single-word accesses, ``stride`` words apart."""
+
+    def __init__(self, start: int, n: int, stride: int) -> None:
+        if start < 0:
+            raise PatternError(f"negative start address {start}")
+        if n < 0:
+            raise PatternError(f"negative length {n}")
+        if stride <= 0:
+            raise PatternError(f"stride must be positive, got {stride}")
+        self.start = int(start)
+        self.n = int(n)
+        self.stride = int(stride)
+
+    @property
+    def n_words(self) -> int:
+        return self.n
+
+    def addresses(self) -> np.ndarray:
+        return self.start + self.stride * np.arange(self.n, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"Strided(start={self.start}, n={self.n}, stride={self.stride})"
+
+
+class Tiled2D(AccessPattern):
+    """All elements of a ``rows`` x ``cols`` tile of a 2-D array.
+
+    The array has row pitch ``pitch`` words; the tile's top-left element is
+    at word address ``base``.  ``order`` selects traversal: ``"row"`` walks
+    the tile row-major (rows outer), ``"col"`` column-major — the latter is
+    how a blocked transpose reads its source tile with strided vector
+    loads.
+    """
+
+    def __init__(
+        self, base: int, rows: int, cols: int, pitch: int, order: str = "row"
+    ) -> None:
+        if base < 0:
+            raise PatternError(f"negative base address {base}")
+        if rows < 0 or cols < 0:
+            raise PatternError(f"negative tile shape {rows}x{cols}")
+        if pitch < cols:
+            raise PatternError(f"pitch {pitch} smaller than tile cols {cols}")
+        if order not in ("row", "col"):
+            raise PatternError(f"order must be 'row' or 'col', got {order!r}")
+        self.base = int(base)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.pitch = int(pitch)
+        self.order = order
+
+    @property
+    def n_words(self) -> int:
+        return self.rows * self.cols
+
+    def addresses(self) -> np.ndarray:
+        r = np.arange(self.rows, dtype=np.int64)
+        c = np.arange(self.cols, dtype=np.int64)
+        grid = self.base + self.pitch * r[:, None] + c[None, :]
+        if self.order == "col":
+            grid = grid.T
+        return grid.reshape(-1)
+
+    def describe(self) -> str:
+        return (
+            f"Tiled2D(base={self.base}, {self.rows}x{self.cols}, "
+            f"pitch={self.pitch}, order={self.order})"
+        )
+
+
+class Gather(AccessPattern):
+    """Indexed accesses ``base + indices[i]`` (table lookups)."""
+
+    def __init__(self, base: int, indices: Sequence[int]) -> None:
+        if base < 0:
+            raise PatternError(f"negative base address {base}")
+        self.base = int(base)
+        self._indices = np.asarray(indices, dtype=np.int64)
+        if self._indices.ndim != 1:
+            raise PatternError("gather indices must be one-dimensional")
+        if self._indices.size and self._indices.min() < 0:
+            raise PatternError("gather indices must be non-negative")
+
+    @property
+    def n_words(self) -> int:
+        return int(self._indices.size)
+
+    def addresses(self) -> np.ndarray:
+        return self.base + self._indices
+
+    def describe(self) -> str:
+        return f"Gather(base={self.base}, n={self.n_words})"
+
+
+class Custom(AccessPattern):
+    """An explicit address sequence (already computed by the caller)."""
+
+    def __init__(self, addresses: Sequence[int], label: str = "custom") -> None:
+        self._addresses = np.asarray(addresses, dtype=np.int64)
+        if self._addresses.ndim != 1:
+            raise PatternError("custom addresses must be one-dimensional")
+        if self._addresses.size and self._addresses.min() < 0:
+            raise PatternError("custom addresses must be non-negative")
+        self.label = label
+
+    @property
+    def n_words(self) -> int:
+        return int(self._addresses.size)
+
+    def addresses(self) -> np.ndarray:
+        return self._addresses
+
+    def describe(self) -> str:
+        return f"Custom({self.label}, n={self.n_words})"
+
+
+class Concat(AccessPattern):
+    """Ordered concatenation of sub-patterns."""
+
+    def __init__(self, patterns: Sequence[AccessPattern]) -> None:
+        self.patterns: Tuple[AccessPattern, ...] = tuple(patterns)
+        for p in self.patterns:
+            if not isinstance(p, AccessPattern):
+                raise PatternError(f"not an AccessPattern: {p!r}")
+
+    @property
+    def n_words(self) -> int:
+        return sum(p.n_words for p in self.patterns)
+
+    def addresses(self) -> np.ndarray:
+        if not self.patterns:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([p.addresses() for p in self.patterns])
+
+    def describe(self) -> str:
+        return f"Concat({len(self.patterns)} patterns, {self.n_words} words)"

@@ -1,0 +1,22 @@
+"""Analytic performance models (§2.5) and published machine parameters.
+
+* :mod:`repro.models.throughput` — Table 1 (peak 32-bit words/cycle) and
+  Table 2 (processor parameters), derived from the machine configs.
+* :mod:`repro.models.bounds` — the §2.5 "simple performance models used
+  to estimate the upper bound of the performance of the kernels":
+  compute-rate and memory-rate lower bounds per kernel per machine
+  (Table 4's expected corner-turn execution).
+"""
+
+from repro.models.bounds import KernelBound, kernel_bound
+from repro.models.throughput import (
+    peak_throughput_table,
+    processor_parameter_table,
+)
+
+__all__ = [
+    "KernelBound",
+    "kernel_bound",
+    "peak_throughput_table",
+    "processor_parameter_table",
+]

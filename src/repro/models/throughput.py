@@ -1,0 +1,108 @@
+"""Tables 1 and 2: peak throughput and processor parameters.
+
+Table 1 ("Peak throughput (32-bit words per cycle)") and Table 2
+("Processor Parameters") are configuration tables; this module derives
+them from the machine configs so that any config change propagates, and
+the benchmark compares the derived values against the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.imagine.config import ImagineConfig
+from repro.arch.imagine.machine import IMAGINE_SPEC
+from repro.arch.ppc.machine import PPC_SPEC
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.machine import RAW_SPEC
+from repro.arch.viram.config import ViramConfig
+from repro.arch.viram.machine import VIRAM_SPEC
+
+#: Table 1 as published (32-bit words per cycle).
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "viram": {"onchip": 8, "offchip": 2, "computation": 8},
+    "imagine": {"onchip": 16, "offchip": 2, "computation": 48},
+    "raw": {"onchip": 16, "offchip": 28, "computation": 16},
+}
+
+#: Table 2 as published: (clock MHz, #ALUs, peak GFLOPS).
+PAPER_TABLE2: Dict[str, Tuple[float, int, float]] = {
+    "ppc": (1000, 4, 5.0),
+    "viram": (200, 16, 3.2),
+    "imagine": (300, 48, 14.4),
+    "raw": (300, 16, 4.64),
+}
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """One Table 1 column: a machine's peak word rates."""
+
+    machine: str
+    onchip_words_per_cycle: float
+    offchip_words_per_cycle: float
+    computation_words_per_cycle: float
+
+
+def peak_throughput_table(
+    viram: Optional[ViramConfig] = None,
+    imagine: Optional[ImagineConfig] = None,
+    raw: Optional[RawConfig] = None,
+) -> Tuple[ThroughputRow, ...]:
+    """Derive Table 1 from the machine configurations.
+
+    "On-chip" is each machine's nearest fast memory: VIRAM's DRAM
+    datapath, Imagine's SRF, Raw's per-tile caches (one access per tile
+    per cycle).  "Computation" counts 32-bit operations per cycle; for
+    VIRAM this is the FP-capable rate (one vector unit), matching the
+    published 8.
+    """
+    viram = viram or ViramConfig()
+    imagine = imagine or ImagineConfig()
+    raw = raw or RawConfig()
+    return (
+        ThroughputRow(
+            machine="viram",
+            onchip_words_per_cycle=viram.seq_words_per_cycle,
+            offchip_words_per_cycle=viram.offchip_dma_words_per_cycle,
+            computation_words_per_cycle=viram.lane_ops_per_cycle,
+        ),
+        ThroughputRow(
+            machine="imagine",
+            onchip_words_per_cycle=imagine.srf_words_per_cycle,
+            offchip_words_per_cycle=imagine.memory_words_per_cycle,
+            computation_words_per_cycle=imagine.total_alus,
+        ),
+        ThroughputRow(
+            machine="raw",
+            onchip_words_per_cycle=raw.onchip_words_per_cycle,
+            offchip_words_per_cycle=raw.offchip_words_per_cycle,
+            computation_words_per_cycle=raw.tiles,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ParameterRow:
+    """One Table 2 column: clock, ALU count, peak GFLOPS."""
+
+    machine: str
+    clock_mhz: float
+    n_alus: int
+    peak_gflops: float
+
+
+def processor_parameter_table() -> Tuple[ParameterRow, ...]:
+    """Derive Table 2 from the machine specs."""
+    rows = []
+    for spec in (PPC_SPEC, VIRAM_SPEC, IMAGINE_SPEC, RAW_SPEC):
+        rows.append(
+            ParameterRow(
+                machine=spec.name,
+                clock_mhz=spec.clock_mhz,
+                n_alus=spec.n_alus,
+                peak_gflops=spec.peak_gflops,
+            )
+        )
+    return tuple(rows)

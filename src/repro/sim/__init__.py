@@ -1,0 +1,33 @@
+"""Simulation substrate: cycle accounting, resources, schedulers, events.
+
+This subpackage contains the machinery shared by all four machine models:
+
+* :mod:`repro.sim.accounting` — :class:`CycleBreakdown`, the per-category
+  cycle ledger every kernel mapping returns.
+* :mod:`repro.sim.resources` — timeline resources (FUs, ports, controllers)
+  with contention and utilization tracking.
+* :mod:`repro.sim.schedule` — a dependency-graph earliest-start scheduler
+  used for stream programs and block pipelines.
+* :mod:`repro.sim.engine` — a small discrete-event engine for models that
+  need genuinely dynamic interleaving.
+* :mod:`repro.sim.stats` — counters and summary statistics.
+"""
+
+from repro.sim.accounting import CycleBreakdown
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import IssueSlots, ThroughputPort, TimelineResource
+from repro.sim.schedule import DependencyScheduler, Task
+from repro.sim.stats import Counter, RunningMean
+
+__all__ = [
+    "CycleBreakdown",
+    "Counter",
+    "DependencyScheduler",
+    "Engine",
+    "Event",
+    "IssueSlots",
+    "RunningMean",
+    "Task",
+    "ThroughputPort",
+    "TimelineResource",
+]

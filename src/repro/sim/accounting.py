@@ -1,0 +1,135 @@
+"""Per-category cycle accounting.
+
+Every kernel mapping in this library reports not just a total cycle count
+but a *breakdown* of where the cycles went, because the paper's analysis
+sections (§4.2–§4.4) are phrased as breakdowns ("about 21% of the total
+cycles are overhead due to DRAM pre-charge cycles and TLB misses", "87% of
+the cycles ... are due to memory transfers", ...).  The benchmark harness
+compares these fractions directly against the paper.
+
+A :class:`CycleBreakdown` is an ordered mapping from category name to a
+non-negative cycle count.  Categories are free-form strings; the module
+defines conventional names so mappings stay comparable across machines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+# Conventional category names.  Mappings may add machine-specific ones.
+COMPUTE = "compute"
+MEMORY = "memory"
+OVERHEAD = "overhead"
+STARTUP = "startup"
+IDLE = "idle"
+STALL = "stall"
+
+
+class CycleBreakdown:
+    """An ordered ledger of cycles charged to named categories.
+
+    The breakdown is additive: :attr:`total` is the sum of all categories.
+    Mappings that model *overlapped* activities charge only the exposed
+    (non-overlapped) portion of each activity, so the additive invariant
+    holds by construction.
+
+    Examples
+    --------
+    >>> bd = CycleBreakdown()
+    >>> bd.charge("memory", 870.0)
+    >>> bd.charge("compute", 130.0)
+    >>> bd.total
+    1000.0
+    >>> round(bd.fraction("memory"), 2)
+    0.87
+    """
+
+    def __init__(self, items: Mapping[str, float] | None = None) -> None:
+        self._cycles: "OrderedDict[str, float]" = OrderedDict()
+        if items:
+            for name, value in items.items():
+                self.charge(name, value)
+
+    def charge(self, category: str, cycles: float) -> None:
+        """Add ``cycles`` to ``category`` (creating it if needed)."""
+        if cycles < 0:
+            raise ValueError(
+                f"cannot charge negative cycles ({cycles}) to {category!r}"
+            )
+        self._cycles[category] = self._cycles.get(category, 0.0) + float(cycles)
+
+    @property
+    def total(self) -> float:
+        """Sum of cycles over all categories."""
+        return sum(self._cycles.values())
+
+    def get(self, category: str) -> float:
+        """Cycles charged to ``category`` (0.0 if never charged)."""
+        return self._cycles.get(category, 0.0)
+
+    def fraction(self, category: str) -> float:
+        """Fraction of the total charged to ``category`` (0.0 if empty)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.get(category) / total
+
+    def categories(self) -> Tuple[str, ...]:
+        """Category names in insertion order."""
+        return tuple(self._cycles)
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        """(category, cycles) pairs in insertion order."""
+        return tuple(self._cycles.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain dict copy of the ledger."""
+        return dict(self._cycles)
+
+    def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        """A new breakdown with ``other``'s charges added to this one."""
+        out = CycleBreakdown(self._cycles)
+        for name, value in other.items():
+            out.charge(name, value)
+        return out
+
+    def scaled(self, factor: float) -> "CycleBreakdown":
+        """A new breakdown with every category multiplied by ``factor``.
+
+        Used, e.g., for the paper's Raw CSLC perfect-load-balance
+        extrapolation (§4.3), which rescales the measured cycles.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        out = CycleBreakdown()
+        for name, value in self.items():
+            out.charge(name, value * factor)
+        return out
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cycles)
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    def __contains__(self, category: object) -> bool:
+        return category in self._cycles
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CycleBreakdown):
+            return NotImplemented
+        return self._cycles == other._cycles
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.0f}" for k, v in self._cycles.items())
+        return f"CycleBreakdown({inner}, total={self.total:.0f})"
+
+    def format(self, indent: str = "  ") -> str:
+        """A human-readable multi-line rendering with percentages."""
+        total = self.total
+        lines = [f"total cycles: {total:,.0f}"]
+        for name, value in self.items():
+            pct = 100.0 * value / total if total else 0.0
+            lines.append(f"{indent}{name:<24s} {value:>14,.0f}  ({pct:5.1f}%)")
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Timeline resources with contention and utilization tracking.
+
+A *timeline resource* models a hardware unit that serves one request at a
+time (or a fixed number per cycle) and is reserved for a duration: a memory
+controller, a functional unit, a network link, a DRAM bank.  Requests name
+an earliest start time; the resource grants the later of that time and its
+own next-free time, producing contention delays without a full event-driven
+simulation.
+
+This is the workhorse abstraction of the cycle-approximate models: mappings
+describe their work as transactions against resources, and end-to-end
+latency and utilization fall out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Result of a resource acquisition."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TimelineResource:
+    """A serially reusable unit: one transaction at a time.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._next_free = 0.0
+        self._busy = 0.0
+        self._transactions = 0
+
+    @property
+    def next_free(self) -> float:
+        """Earliest time a new transaction could begin."""
+        return self._next_free
+
+    @property
+    def busy_cycles(self) -> float:
+        """Total cycles spent serving transactions."""
+        return self._busy
+
+    @property
+    def transactions(self) -> int:
+        return self._transactions
+
+    def acquire(self, earliest: float, duration: float) -> Grant:
+        """Reserve the resource for ``duration`` cycles at or after
+        ``earliest`` and return the granted interval."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} on {self.name!r}")
+        start = max(earliest, self._next_free)
+        end = start + duration
+        self._next_free = end
+        self._busy += duration
+        self._transactions += 1
+        return Grant(start=start, end=end)
+
+    def utilization(self, horizon: float) -> float:
+        """Busy fraction over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy / horizon)
+
+    def reset(self) -> None:
+        self._next_free = 0.0
+        self._busy = 0.0
+        self._transactions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TimelineResource({self.name!r}, next_free={self._next_free:.1f},"
+            f" busy={self._busy:.1f})"
+        )
+
+
+class ThroughputPort(TimelineResource):
+    """A bandwidth-limited port that moves words at a fixed rate.
+
+    Used for memory controllers (Imagine: 1 word/cycle each), DRAM data
+    buses (VIRAM: 8 words/cycle sequential), Raw peripheral ports, and
+    network links.  A transfer of ``words`` occupies the port for
+    ``words / words_per_cycle`` cycles plus an optional fixed per-transfer
+    overhead (e.g. a DRAM row activation).
+    """
+
+    def __init__(self, name: str, words_per_cycle: float) -> None:
+        if words_per_cycle <= 0:
+            raise ValueError(
+                f"words_per_cycle must be positive, got {words_per_cycle}"
+            )
+        super().__init__(name)
+        self.words_per_cycle = words_per_cycle
+        self._words = 0.0
+
+    @property
+    def words_transferred(self) -> float:
+        return self._words
+
+    def transfer(
+        self, earliest: float, words: float, overhead: float = 0.0
+    ) -> Grant:
+        """Move ``words`` through the port at or after ``earliest``.
+
+        ``overhead`` adds fixed busy cycles to the transfer (row switches,
+        packet headers) that consume port time but move no data.
+        """
+        if words < 0:
+            raise ValueError(f"negative transfer of {words} words")
+        duration = words / self.words_per_cycle + overhead
+        grant = self.acquire(earliest, duration)
+        self._words += words
+        return grant
+
+    def transfer_cycles(self, words: float, overhead: float = 0.0) -> float:
+        """Duration of a transfer without reserving the port."""
+        if words < 0:
+            raise ValueError(f"negative transfer of {words} words")
+        return words / self.words_per_cycle + overhead
+
+    def reset(self) -> None:
+        super().reset()
+        self._words = 0.0
+
+
+class IssueSlots:
+    """An issue-bandwidth accountant for a ``width``-wide in-order front end.
+
+    This does not track per-cycle slot occupancy; it converts instruction
+    counts into issue cycles (``ceil(instructions / width)`` in the
+    continuous limit) and accumulates utilization, which is the right
+    granularity for the block-level models.
+    """
+
+    def __init__(self, name: str, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"issue width must be positive, got {width}")
+        self.name = name
+        self.width = width
+        self._instructions = 0.0
+
+    @property
+    def instructions(self) -> float:
+        return self._instructions
+
+    def issue_cycles(self, instructions: float, *, record: bool = True) -> float:
+        """Cycles needed to issue ``instructions``; optionally records them."""
+        if instructions < 0:
+            raise ValueError(f"negative instruction count {instructions}")
+        if record:
+            self._instructions += instructions
+        return instructions / self.width
+
+    def issue_cycles_exact(self, instructions: int) -> int:
+        """Integer-cycle variant: ``ceil(instructions / width)``."""
+        if instructions < 0:
+            raise ValueError(f"negative instruction count {instructions}")
+        return math.ceil(instructions / self.width)
+
+    def utilization(self, cycles: float) -> float:
+        """Fraction of issue slots used over ``cycles`` executed cycles."""
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self._instructions / (cycles * self.width))
+
+    def reset(self) -> None:
+        self._instructions = 0.0
+
+    def __repr__(self) -> str:
+        return f"IssueSlots({self.name!r}, width={self.width})"

@@ -1,0 +1,136 @@
+"""Dependency-graph earliest-start scheduling over timeline resources.
+
+Stream programs (Imagine) and block pipelines (Raw, VIRAM) are static
+dataflow graphs: each task needs one resource for a known duration and may
+depend on earlier tasks.  :class:`DependencyScheduler` computes start/end
+times by topological order, letting double-buffered overlap, serialization
+bottlenecks, and resource contention emerge without a discrete-event
+simulation.
+
+The scheduler is deterministic: tasks are processed in submission order,
+which models an in-order issue unit (Imagine's stream controller issues
+stream operations in program order; Raw's tiles execute their static
+schedules in order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ScheduleError
+from repro.sim.resources import TimelineResource
+
+
+@dataclass
+class Task:
+    """One unit of scheduled work.
+
+    Parameters
+    ----------
+    name:
+        Unique task identifier.
+    resource:
+        The :class:`TimelineResource` the task occupies, or ``None`` for a
+        pure synchronisation point (zero-width join).
+    duration:
+        Busy cycles on the resource.
+    deps:
+        Names of tasks that must finish before this task may start.
+    earliest:
+        Additional lower bound on the start time.
+    """
+
+    name: str
+    resource: Optional[TimelineResource]
+    duration: float
+    deps: Sequence[str] = field(default_factory=tuple)
+    earliest: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of a task on the timeline."""
+
+    name: str
+    start: float
+    end: float
+    resource: Optional[str]
+
+
+class DependencyScheduler:
+    """Greedy in-order earliest-start scheduler.
+
+    Tasks are submitted with :meth:`add` and placed immediately: the start
+    time is the max of the task's ``earliest`` bound, its dependencies'
+    finish times, and the resource's next-free time.  Because placement is
+    immediate and in submission order, later tasks can never displace
+    earlier ones — matching in-order issue hardware.
+    """
+
+    def __init__(self) -> None:
+        self._placed: Dict[str, ScheduledTask] = {}
+        self._order: List[str] = []
+
+    def add(self, task: Task) -> ScheduledTask:
+        """Place ``task`` and return its scheduled interval."""
+        if task.name in self._placed:
+            raise ScheduleError(f"duplicate task name {task.name!r}")
+        if task.duration < 0:
+            raise ScheduleError(
+                f"task {task.name!r} has negative duration {task.duration}"
+            )
+        ready = task.earliest
+        for dep in task.deps:
+            if dep not in self._placed:
+                raise ScheduleError(
+                    f"task {task.name!r} depends on unknown/not-yet-placed "
+                    f"task {dep!r} (scheduler is in-order)"
+                )
+            ready = max(ready, self._placed[dep].end)
+        if task.resource is None:
+            start = ready
+            end = ready + task.duration
+            resource_name = None
+        else:
+            grant = task.resource.acquire(ready, task.duration)
+            start, end = grant.start, grant.end
+            resource_name = task.resource.name
+        placed = ScheduledTask(
+            name=task.name, start=start, end=end, resource=resource_name
+        )
+        self._placed[task.name] = placed
+        self._order.append(task.name)
+        return placed
+
+    def get(self, name: str) -> ScheduledTask:
+        """Placement of a previously added task."""
+        try:
+            return self._placed[name]
+        except KeyError:
+            raise ScheduleError(f"unknown task {name!r}") from None
+
+    def end_time(self, name: str) -> float:
+        return self.get(name).end
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the latest task (0.0 if empty)."""
+        if not self._placed:
+            return 0.0
+        return max(t.end for t in self._placed.values())
+
+    @property
+    def tasks(self) -> Tuple[ScheduledTask, ...]:
+        """All placed tasks in submission order."""
+        return tuple(self._placed[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._placed)
+
+
+def critical_span(tasks: Sequence[ScheduledTask]) -> float:
+    """Span from the earliest start to the latest end of ``tasks``."""
+    if not tasks:
+        return 0.0
+    return max(t.end for t in tasks) - min(t.start for t in tasks)

@@ -1,0 +1,102 @@
+"""Lightweight statistics helpers used across the machine models."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter as _Counter
+from typing import Dict, Iterable, Tuple
+
+
+class Counter:
+    """A named integer event counter with a tally per label.
+
+    Machine models use one :class:`Counter` per event family, e.g. DRAM
+    row activations per bank or instruction counts per category.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tally: "_Counter[str]" = _Counter()
+
+    def add(self, label: str, count: float = 1) -> None:
+        """Add ``count`` events under ``label``."""
+        if count < 0:
+            raise ValueError(f"negative count {count} for {label!r}")
+        self._tally[label] += count
+
+    def get(self, label: str) -> float:
+        """Events recorded under ``label`` (0 if none)."""
+        return self._tally.get(label, 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all labels."""
+        return sum(self._tally.values())
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return tuple(self._tally.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._tally)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, total={self.total})"
+
+
+class RunningMean:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two observations."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    The paper quotes VIRAM's EEMBC result as a geometric mean normalised by
+    clock frequency; the evaluation harness uses the same aggregation for
+    cross-kernel speedup summaries.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def utilization(busy: float, total: float) -> float:
+    """Busy fraction, clamped to [0, 1]; 0.0 when ``total`` is zero."""
+    if total <= 0:
+        return 0.0
+    return min(1.0, max(0.0, busy / total))

@@ -1,0 +1,52 @@
+"""Small unit-conversion helpers shared across the library.
+
+The paper mixes several unit systems — cycles, seconds at per-machine clock
+rates, 32-bit words, bytes, GOPS/GFLOPS.  Centralising the conversions keeps
+the machine models and the evaluation harness consistent.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in one 32-bit data word (the paper's unit of bandwidth).
+WORD_BYTES = 4
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def words_to_bytes(words: float) -> float:
+    """Convert a count of 32-bit words to bytes."""
+    return words * WORD_BYTES
+
+
+def bytes_to_words(nbytes: float) -> float:
+    """Convert bytes to 32-bit words (may be fractional)."""
+    return nbytes / WORD_BYTES
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Execution time in seconds for ``cycles`` at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Cycle count corresponding to ``seconds`` at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def gflops(flops_per_cycle: float, clock_hz: float) -> float:
+    """Peak GFLOP/s given per-cycle floating-point throughput."""
+    return flops_per_cycle * clock_hz / GIGA
+
+
+def kilocycles(cycles: float) -> float:
+    """Cycles expressed in units of 10^3 cycles (the paper's Table 3 unit)."""
+    return cycles / KILO

@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.arch.base`."""
+
+import pytest
+
+from repro.arch.base import KernelRun, MachineSpec
+from repro.errors import ConfigError
+from repro.kernels.opcount import OpCounts
+from repro.sim.accounting import CycleBreakdown
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="toy",
+        display_name="Toy",
+        clock_hz=100e6,
+        n_alus=4,
+        peak_gflops=1.0,
+        flops_per_cycle=8.0,
+    )
+    defaults.update(overrides)
+    return MachineSpec(**defaults)
+
+
+def make_run(cycles=1000.0, flops=4000.0):
+    return KernelRun(
+        kernel="toy_kernel",
+        machine="toy",
+        spec=make_spec(),
+        breakdown=CycleBreakdown({"compute": cycles}),
+        ops=OpCounts(adds=flops),
+    )
+
+
+class TestMachineSpec:
+    def test_clock_mhz(self):
+        assert make_spec().clock_mhz == 100.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("clock_hz", 0.0),
+            ("n_alus", 0),
+            ("peak_gflops", 0.0),
+            ("flops_per_cycle", -1.0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            make_spec(**{field: value})
+
+
+class TestKernelRun:
+    def test_cycles_and_kilocycles(self):
+        run = make_run(cycles=5000.0)
+        assert run.cycles == 5000.0
+        assert run.kilocycles == 5.0
+
+    def test_seconds_at_clock(self):
+        run = make_run(cycles=100e6)  # one second at 100 MHz
+        assert run.seconds == pytest.approx(1.0)
+
+    def test_flops_per_cycle_and_peak(self):
+        run = make_run(cycles=1000.0, flops=4000.0)
+        assert run.flops_per_cycle == 4.0
+        assert run.percent_of_peak == 0.5
+
+    def test_gflops(self):
+        run = make_run(cycles=1000.0, flops=4000.0)
+        assert run.gflops == pytest.approx(4.0 * 100e6 / 1e9)
+
+    def test_zero_cycles_safe(self):
+        run = make_run(cycles=0.0)
+        assert run.flops_per_cycle == 0.0
+
+    def test_summary_mentions_key_facts(self):
+        run = make_run()
+        text = run.summary()
+        assert "toy_kernel" in text
+        assert "Toy" in text
+        assert "functional check: ok" in text
+
+    def test_summary_reports_failure(self):
+        run = make_run()
+        run.functional_ok = False
+        assert "FAILED" in run.summary()
+
+    def test_metrics_in_summary(self):
+        run = make_run()
+        run.metrics["answer"] = 42
+        assert "answer" in run.summary()

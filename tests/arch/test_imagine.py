@@ -1,0 +1,181 @@
+"""Tests for :mod:`repro.arch.imagine`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.imagine.cluster import (
+    ClusterOpMix,
+    MicroOp,
+    cluster_schedule_cycles,
+    list_schedule_cycles,
+)
+from repro.arch.imagine.config import ImagineConfig
+from repro.arch.imagine.machine import IMAGINE_SPEC, ImagineMachine
+from repro.errors import CapacityError, ConfigError, ScheduleError
+from repro.memory.streams import Gather, Sequential
+
+
+class TestConfig:
+    def test_published_values(self):
+        """§2.2's numbers."""
+        c = ImagineConfig()
+        assert c.clusters == 8
+        assert c.alus_per_cluster == 6
+        assert c.total_alus == 48
+        assert c.srf_bytes == 128 * 1024
+        assert c.memory_words_per_cycle == 2
+
+    def test_spec_matches_table2(self):
+        assert IMAGINE_SPEC.clock_mhz == 300
+        assert IMAGINE_SPEC.n_alus == 48
+        assert IMAGINE_SPEC.peak_gflops == 14.4
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ImagineConfig(clusters=0)
+        with pytest.raises(ConfigError):
+            ImagineConfig(srf_bytes=64)
+
+
+class TestClusterOpMix:
+    def test_add_and_scale(self):
+        a = ClusterOpMix(adds=3, muls=2) + ClusterOpMix(adds=1, comms=4)
+        assert a.adds == 4 and a.comms == 4
+        assert a.scaled(2).muls == 4
+        assert a.total == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterOpMix(adds=-1)
+        with pytest.raises(ConfigError):
+            ClusterOpMix(adds=1).scaled(-1)
+
+
+class TestResourceBound:
+    def test_adder_bound(self):
+        mix = ClusterOpMix(adds=30)
+        assert cluster_schedule_cycles(mix, ImagineConfig()) == 10.0
+
+    def test_multiplier_bound(self):
+        mix = ClusterOpMix(adds=3, muls=30)
+        assert cluster_schedule_cycles(mix, ImagineConfig()) == 15.0
+
+    def test_inefficiency(self):
+        mix = ClusterOpMix(adds=30)
+        assert cluster_schedule_cycles(mix, ImagineConfig(), 1.5) == 15.0
+
+    def test_invalid_inefficiency(self):
+        with pytest.raises(ConfigError):
+            cluster_schedule_cycles(ClusterOpMix(), ImagineConfig(), 0.9)
+
+
+class TestListScheduler:
+    def test_empty(self):
+        assert list_schedule_cycles([], ImagineConfig()) == 0
+
+    def test_independent_adds_pack_three_wide(self):
+        ops = [MicroOp("add") for _ in range(9)]
+        assert list_schedule_cycles(ops, ImagineConfig()) == 3
+
+    def test_dependency_chain_is_critical_path(self):
+        ops = [MicroOp("add", deps=(i - 1,) if i else ()) for i in range(5)]
+        assert list_schedule_cycles(ops, ImagineConfig()) == 5
+
+    def test_latency_respected(self):
+        ops = [MicroOp("mul", latency=4), MicroOp("add", deps=(0,))]
+        assert list_schedule_cycles(ops, ImagineConfig()) == 5
+
+    def test_unknown_fu_rejected(self):
+        with pytest.raises(ScheduleError):
+            list_schedule_cycles([MicroOp("fpu")], ImagineConfig())
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ScheduleError):
+            list_schedule_cycles([MicroOp("add", deps=(1,))], ImagineConfig())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "mul", "div", "comm"]),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_list_schedule_never_beats_resource_bound(self, spec):
+        """The dependency-aware schedule is always >= the resource bound
+        the machine model uses."""
+        ops = []
+        for i, (fu, dep_prev) in enumerate(spec):
+            deps = (i - 1,) if dep_prev and i else ()
+            ops.append(MicroOp(fu, deps=deps))
+        config = ImagineConfig()
+        mix = ClusterOpMix(
+            adds=sum(1 for op in ops if op.fu == "add"),
+            muls=sum(1 for op in ops if op.fu == "mul"),
+            divs=sum(1 for op in ops if op.fu == "div"),
+            comms=sum(1 for op in ops if op.fu == "comm"),
+        )
+        bound = cluster_schedule_cycles(mix, config)
+        assert list_schedule_cycles(ops, config) >= bound - 1e-9
+
+
+class TestMachine:
+    def test_stream_cycles_sequential(self):
+        m = ImagineMachine()
+        cycles = m.stream_cycles(Sequential(0, 1000), kind="read")
+        assert cycles >= 1000.0  # one word per controller-cycle + rows
+
+    def test_gather_derated(self):
+        m = ImagineMachine()
+        plain = m.stream_cycles(Sequential(0, 100), kind="read")
+        m.reset()
+        gathered = m.stream_cycles(
+            Gather(0, list(range(100))), kind="read", gather=True
+        )
+        assert gathered == pytest.approx(100 * m.cal.gather_derate)
+        assert gathered > plain
+
+    def test_memory_time_spreads_over_controllers(self):
+        m = ImagineMachine()
+        assert m.memory_time(1000.0) == 500.0
+
+    def test_network_port_rate(self):
+        m = ImagineMachine()
+        assert m.network_port_time(1000) == 500.0
+
+    def test_kernel_cycles_comm_exposed(self):
+        """Comm words add exposed time even when the comm unit itself is
+        not the resource bound (§4.3's ~30% parallel-FFT penalty)."""
+        m = ImagineMachine()
+        without = m.kernel_cycles(ClusterOpMix(adds=300))
+        with_comm = m.kernel_cycles(ClusterOpMix(adds=300, comms=50))
+        assert with_comm == pytest.approx(
+            without + 50 * m.cal.comm_exposure
+        )
+
+    def test_kernel_startups(self):
+        m = ImagineMachine()
+        assert m.kernel_startups(3) == 3 * m.cal.kernel_startup
+        with pytest.raises(ConfigError):
+            m.kernel_startups(-1)
+
+    def test_srf_capacity_enforced(self):
+        m = ImagineMachine()
+        with pytest.raises(CapacityError):
+            m.srf.allocate("too-big", 256 * 1024)
+
+    def test_spread_over_clusters(self):
+        m = ImagineMachine()
+        assert m.spread_over_clusters(80) == 10.0
+
+    def test_reset(self):
+        m = ImagineMachine()
+        m.srf.allocate("x", 1024)
+        m.stream_cycles(Sequential(0, 10), kind="read")
+        m.reset()
+        assert m.srf.used_bytes == 0
+        assert m.dram.total_words == 0

@@ -1,0 +1,121 @@
+"""Tests for :mod:`repro.arch.imagine.stream_program`."""
+
+import pytest
+
+from repro.arch.imagine.machine import ImagineMachine
+from repro.arch.imagine.stream_program import (
+    StreamOp,
+    StreamProgram,
+    execute,
+)
+from repro.errors import ScheduleError
+from repro.memory.streams import Sequential
+
+
+@pytest.fixture
+def machine():
+    return ImagineMachine()
+
+
+class TestProgramConstruction:
+    def test_builder_methods(self):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 8))
+        p.kernel("k", 100.0, deps=("a",))
+        p.store("out", Sequential(8, 8), deps=("k",))
+        assert len(p) == 3
+        assert [op.kind for op in p.ops] == ["load", "kernel", "store"]
+
+    def test_duplicate_name_rejected(self):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 8))
+        with pytest.raises(ScheduleError):
+            p.load("a", Sequential(0, 8))
+
+    def test_forward_dep_rejected(self):
+        p = StreamProgram()
+        with pytest.raises(ScheduleError):
+            p.kernel("k", 1.0, deps=("ghost",))
+
+    def test_kernel_with_pattern_rejected(self):
+        with pytest.raises(ScheduleError):
+            StreamOp("k", "kernel", pattern=Sequential(0, 1))
+
+    def test_memory_op_needs_pattern(self):
+        with pytest.raises(ScheduleError):
+            StreamOp("l", "load")
+
+    def test_bad_kind(self):
+        with pytest.raises(ScheduleError):
+            StreamOp("x", "dma")
+
+
+class TestExecution:
+    def test_dependent_chain_serialises(self, machine):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 200))  # 200 ctrl-cycles / 2 = 100
+        p.kernel("k", 50.0, deps=("a",))
+        p.store("out", Sequential(200, 200), deps=("k",))
+        schedule = execute(p, machine)
+        assert schedule.makespan == pytest.approx(100 + 50 + 100, rel=0.05)
+
+    def test_kernel_overlaps_independent_memory(self, machine):
+        """Software pipelining: a prefetch issued before the kernel runs
+        under it."""
+        p = StreamProgram()
+        p.load("a", Sequential(0, 200))
+        p.load("b", Sequential(200, 200))  # prefetch for the next round
+        p.kernel("k", 150.0, deps=("a",))
+        schedule = execute(p, machine)
+        # b runs on the memory system while k runs on the clusters.
+        assert schedule.makespan == pytest.approx(100 + 150, rel=0.05)
+
+    def test_memory_stripes_across_controllers(self, machine):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 1000))
+        schedule = execute(p, machine)
+        assert schedule.makespan == pytest.approx(
+            1000 / machine.config.memory_words_per_cycle, rel=0.05
+        )
+
+    def test_memory_wall_and_exposure(self, machine):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 200))
+        p.kernel("k", 500.0, deps=("a",))
+        schedule = execute(p, machine)
+        assert schedule.memory_wall == pytest.approx(100, rel=0.05)
+        assert schedule.exposed_over_memory == pytest.approx(500, rel=0.05)
+
+    def test_gather_derated(self, machine):
+        from repro.memory.streams import Gather
+
+        p = StreamProgram()
+        p.load("g", Gather(0, list(range(100))), gather=True)
+        schedule = execute(p, machine)
+        assert schedule.memory_busy == pytest.approx(
+            100 * machine.cal.gather_derate
+            / machine.config.memory_words_per_cycle
+        )
+
+    def test_op_intervals_reported(self, machine):
+        p = StreamProgram()
+        p.load("a", Sequential(0, 20))
+        p.kernel("k", 5.0, deps=("a",))
+        schedule = execute(p, machine)
+        assert schedule.op_intervals["k"][0] == pytest.approx(
+            schedule.op_intervals["a"][1]
+        )
+
+    def test_in_order_memory_no_backfill(self, machine):
+        """The memory system serves streams in issue order: a later load
+        cannot jump a blocked store (why the mappings emit programs in
+        software-pipelined order)."""
+        p = StreamProgram()
+        p.load("a", Sequential(0, 20))
+        p.kernel("k", 400.0, deps=("a",))
+        p.store("out", Sequential(100, 20), deps=("k",))
+        p.load("late", Sequential(200, 20))
+        schedule = execute(p, machine)
+        assert schedule.op_intervals["late"][0] >= (
+            schedule.op_intervals["out"][1] - 1e-9
+        )

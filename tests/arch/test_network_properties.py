@@ -1,0 +1,99 @@
+"""Property tests across the Raw network models and the Imagine stream
+executor: conservation and bound invariants that must hold for any
+traffic or program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.imagine.machine import ImagineMachine
+from repro.arch.imagine.stream_program import StreamProgram, execute
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.dynamic import Message, deliver
+from repro.memory.streams import Sequential
+
+coords = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+@st.composite
+def message_sets(draw):
+    n = draw(st.integers(1, 8))
+    messages = []
+    for _ in range(n):
+        src = draw(coords)
+        dst = draw(coords)
+        words = draw(st.integers(1, 120))
+        inject = draw(st.floats(0, 100))
+        messages.append(Message(src, dst, words, inject_time=inject))
+    return messages
+
+
+@settings(max_examples=40, deadline=None)
+@given(message_sets())
+def test_dynamic_network_invariants(messages):
+    result = deliver(messages, RawConfig())
+    # Every message delivered exactly once.
+    assert len(result.deliveries) == len(messages)
+    # Wire words >= payload (headers + padding only add).
+    payload = sum(m.words for m in messages)
+    assert result.total_wire_words >= payload
+    # Completion never precedes injection; makespan covers all.
+    for d in result.deliveries:
+        assert d.complete_time >= d.message.inject_time
+        assert d.complete_time <= result.makespan + 1e-9
+    # The busiest link carries at most all wire words.
+    assert result.busiest_link_words <= result.total_wire_words + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(message_sets())
+def test_dynamic_network_serial_upper_bound(messages):
+    """Makespan never exceeds last injection + fully serialised service
+    over the worst route (a crude upper bound every schedule beats)."""
+    result = deliver(messages, RawConfig())
+    serial = max(m.inject_time for m in messages) + sum(
+        (m.words + m.words // 31 + 1) * 7 for m in messages
+    )
+    assert result.makespan <= serial
+
+
+@st.composite
+def stream_programs(draw):
+    program = StreamProgram()
+    n = draw(st.integers(1, 10))
+    names = []
+    base = 0
+    for i in range(n):
+        kind = draw(st.sampled_from(["load", "store", "kernel"]))
+        deps = ()
+        if names and draw(st.booleans()):
+            deps = (draw(st.sampled_from(names)),)
+        name = f"op{i}"
+        if kind == "kernel":
+            program.kernel(name, draw(st.floats(0, 500)), deps=deps)
+        else:
+            words = draw(st.integers(1, 400))
+            if kind == "load":
+                program.load(name, Sequential(base, words), deps=deps)
+            else:
+                program.store(name, Sequential(base, words), deps=deps)
+            base += words
+        names.append(name)
+    return program
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream_programs())
+def test_stream_program_invariants(program):
+    machine = ImagineMachine()
+    schedule = execute(program, machine)
+    # Makespan bounds: at least the busiest resource, at most the sum of
+    # both resources' busy time (full serialisation).
+    lower = max(schedule.memory_busy, schedule.cluster_busy)
+    upper = schedule.memory_busy + schedule.cluster_busy
+    assert schedule.makespan >= lower - 1e-9
+    assert schedule.makespan <= upper + 1e-9
+    # Every op got an interval, ordered sanely.
+    assert len(schedule.op_intervals) == len(program)
+    for start, end in schedule.op_intervals.values():
+        assert end >= start >= 0.0

@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.arch.ppc`."""
+
+import pytest
+
+from repro.arch.ppc.config import PpcConfig
+from repro.arch.ppc.machine import ALTIVEC_SPEC, PPC_SPEC, PpcMachine
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_published_values(self):
+        c = PpcConfig()
+        assert c.clock_hz == 1e9
+        assert c.issue_width == 3
+        assert c.altivec_width == 4
+        assert c.l1_lines == 1024
+        assert c.l2_lines == 8192
+        assert c.l1_line_words == 8
+
+    def test_specs_match_table2(self):
+        assert PPC_SPEC.clock_mhz == 1000
+        assert PPC_SPEC.n_alus == 4
+        assert PPC_SPEC.peak_gflops == 5.0
+        assert ALTIVEC_SPEC.flops_per_cycle == 8.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            PpcConfig(issue_width=0)
+        with pytest.raises(ConfigError):
+            PpcConfig(l1_size_bytes=1000)  # not line multiple
+
+
+class TestIssue:
+    def test_three_wide(self):
+        m = PpcMachine()
+        assert m.issue_cycles(9) == 3.0
+
+    def test_vector_one_per_cycle(self):
+        m = PpcMachine()
+        assert m.vector_issue_cycles(7) == 7.0
+
+    def test_negative_rejected(self):
+        m = PpcMachine()
+        with pytest.raises(ConfigError):
+            m.issue_cycles(-1)
+        with pytest.raises(ConfigError):
+            m.vector_issue_cycles(-1)
+
+
+class TestStalls:
+    def test_scalar_fp(self):
+        m = PpcMachine()
+        assert m.scalar_fp_stall_cycles(10) == 10 * m.cal.fp_dependency_stall
+
+    def test_trig(self):
+        m = PpcMachine()
+        assert m.trig_cycles(5) == 5 * m.cal.trig_call_cycles
+
+    def test_vector(self):
+        m = PpcMachine()
+        assert m.vector_stall_cycles(2) == pytest.approx(
+            2 * m.cal.vector_dependency_stall_per_butterfly
+        )
+
+    def test_cache_cost_helpers(self):
+        m = PpcMachine()
+        assert m.l2_hit_stall(10) == 10 * m.cal.l2_hit_cycles
+        assert m.memory_miss_stall(1) == pytest.approx(
+            m.cal.l2_hit_cycles + m.cal.dram_latency_cycles
+        )
+
+    def test_negative_rejected(self):
+        m = PpcMachine()
+        for fn in (
+            m.scalar_fp_stall_cycles,
+            m.trig_cycles,
+            m.vector_stall_cycles,
+            m.l2_hit_stall,
+            m.memory_miss_stall,
+        ):
+            with pytest.raises(ConfigError):
+                fn(-1)
+
+
+class TestHierarchy:
+    def test_fresh_hierarchy_is_cold(self):
+        m = PpcMachine()
+        h1 = m.make_hierarchy()
+        h1.run_trace([0])
+        h2 = m.make_hierarchy()
+        result = h2.run_trace([0])
+        assert result.l1.misses == 1  # not warmed by h1
+
+    def test_geometry_from_config(self):
+        m = PpcMachine()
+        h = m.make_hierarchy()
+        assert h.l1.config.size_bytes == 32 * 1024
+        assert h.l2.config.size_bytes == 256 * 1024
+        assert h.memory_latency == m.cal.dram_latency_cycles

@@ -1,0 +1,189 @@
+"""Tests for :mod:`repro.arch.raw`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.machine import RAW_SPEC, RawMachine
+from repro.arch.raw.network import (
+    StaticNetwork,
+    dynamic_packet_words,
+    port_coords,
+    route_hops,
+    transfer_latency,
+    xy_route_links,
+)
+from repro.errors import CapacityError, ConfigError
+
+
+class TestConfig:
+    def test_published_values(self):
+        """§2.3's numbers."""
+        c = RawConfig()
+        assert c.tiles == 16
+        assert c.tile_sram_kib == 128
+        assert c.aggregate_local_memory_bytes == 2 * 1024 * 1024
+        assert c.onchip_words_per_cycle == 16
+        assert c.offchip_words_per_cycle == 28
+
+    def test_spec_matches_table2(self):
+        assert RAW_SPEC.clock_mhz == 300
+        assert RAW_SPEC.n_alus == 16
+        assert RAW_SPEC.peak_gflops == 4.64
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            RawConfig(mesh_rows=0)
+        with pytest.raises(ConfigError):
+            RawConfig(tile_data_kib=256)  # exceeds tile SRAM
+
+
+class TestNetworkLatency:
+    def test_nearest_neighbor_is_three_cycles(self):
+        """§2.3: 'a latency of three cycles between nearest neighbor
+        tiles.'"""
+        assert transfer_latency(RawConfig(), (0, 0), (0, 1)) == 3
+
+    def test_one_cycle_per_extra_hop(self):
+        """§2.3: 'One additional cycle of latency is added for each
+        hop.'"""
+        c = RawConfig()
+        assert transfer_latency(c, (0, 0), (0, 2)) == 4
+        assert transfer_latency(c, (0, 0), (3, 3)) == 3 + 5
+
+    def test_local_is_free(self):
+        assert transfer_latency(RawConfig(), (1, 1), (1, 1)) == 0
+
+    def test_route_hops(self):
+        assert route_hops((0, 0), (2, 3)) == 5
+
+    def test_xy_route_links(self):
+        links = xy_route_links((0, 0), (1, 2))
+        assert links == [
+            ((0, 0), (0, 1)),
+            ((0, 1), (0, 2)),
+            ((0, 2), (1, 2)),
+        ]
+
+
+class TestStaticNetwork:
+    def test_flow_accumulates_on_links(self):
+        net = StaticNetwork(RawConfig())
+        net.add_flow((0, 0), (0, 2), 100)
+        net.add_flow((0, 1), (0, 2), 50)
+        assert net.max_link_words == 150  # shared (0,1)->(0,2) link
+
+    def test_feasibility(self):
+        net = StaticNetwork(RawConfig())
+        net.add_flow((0, 0), (0, 1), 100)
+        assert net.check_feasible(100)
+        assert not net.check_feasible(99)
+
+    def test_out_of_mesh_rejected(self):
+        net = StaticNetwork(RawConfig())
+        with pytest.raises(ConfigError):
+            net.add_flow((0, 0), (9, 9), 1)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ConfigError):
+            StaticNetwork(RawConfig()).add_flow((0, 0), (0, 1), -1)
+
+    def test_reset(self):
+        net = StaticNetwork(RawConfig())
+        net.add_flow((0, 0), (0, 1), 5)
+        net.reset()
+        assert net.max_link_words == 0
+
+
+class TestDynamicNetwork:
+    def test_header_plus_payload(self):
+        """§2.3: 'A packet contains header and data.'"""
+        assert dynamic_packet_words(RawConfig(), 4) == 5
+
+    def test_small_payload_padded(self):
+        """§2.3: 'If the data is smaller than a packet, dummy data is
+        added.'"""
+        assert dynamic_packet_words(RawConfig(), 0) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            dynamic_packet_words(RawConfig(), -1)
+
+
+class TestPorts:
+    def test_sixteen_ports_on_4x4(self):
+        """§2.3: 16 peripheral ports on the 4x4 prototype."""
+        coords = port_coords(RawConfig())
+        assert len(coords) == 16
+        # Corner tiles attach to two ports each.
+        assert coords.count((0, 0)) == 2
+
+    def test_interior_excluded_on_larger_mesh(self):
+        coords = port_coords(RawConfig(mesh_rows=6, mesh_cols=6))
+        assert (2, 2) not in coords
+        assert len(coords) == 24
+
+
+class TestMachine:
+    def test_tile_cycles_single_issue(self):
+        m = RawMachine()
+        assert m.tile_cycles(1000) == 1000
+
+    def test_cache_stall_fraction(self):
+        """Stalls are the calibrated fraction of total time (§4.3: <10%)."""
+        m = RawMachine()
+        busy = 920.0
+        stall = m.cache_stall_cycles(busy)
+        assert stall / (busy + stall) == pytest.approx(
+            m.cal.cache_stall_fraction
+        )
+
+    def test_distribute_73_over_16(self):
+        """§4.3: 'some tiles processed five sets while others processed
+        four.'"""
+        m = RawMachine()
+        shares = m.distribute(73)
+        assert sorted(set(shares)) == [4, 5]
+        assert shares.count(5) == 9
+        assert sum(shares) == 73
+
+    def test_imbalance_and_balanced_makespans(self):
+        m = RawMachine()
+        per_set = 100.0
+        assert m.imbalance_makespan(per_set, 73) == 500.0
+        assert m.balanced_makespan(per_set, 73) == pytest.approx(456.25)
+
+    def test_imbalance_idle_fraction_is_about_8_percent(self):
+        m = RawMachine()
+        idle = 1 - m.balanced_makespan(1.0, 73) / m.imbalance_makespan(1.0, 73)
+        assert idle == pytest.approx(0.0875)
+
+    def test_offchip_time(self):
+        m = RawMachine()
+        assert m.offchip_time(280) == 10.0
+
+    def test_onchip_issue_time(self):
+        m = RawMachine()
+        assert m.onchip_issue_time(160) == 10.0
+
+    def test_tile_memory_capacity(self):
+        m = RawMachine()
+        m.tile_memories[0].allocate("block", 64 * 64 * 4)  # 16 KB fits
+        with pytest.raises(CapacityError):
+            m.tile_memories[0].allocate("second", 20 * 1024)
+
+    def test_negative_inputs(self):
+        m = RawMachine()
+        with pytest.raises(ConfigError):
+            m.tile_cycles(-1)
+        with pytest.raises(ConfigError):
+            m.distribute(-1)
+
+
+@given(st.integers(0, 500), st.integers(1, 64))
+def test_distribute_conserves_items(n_items, tiles):
+    m = RawMachine(config=RawConfig(mesh_rows=1, mesh_cols=tiles))
+    shares = m.distribute(n_items)
+    assert sum(shares) == n_items
+    assert max(shares) - min(shares) <= 1

@@ -1,0 +1,112 @@
+"""Tests for :mod:`repro.arch.raw.dynamic` — the dynamic network."""
+
+import pytest
+
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.dynamic import (
+    MAX_PAYLOAD_WORDS,
+    Message,
+    cslc_set_delivery,
+    deliver,
+    segment,
+)
+from repro.errors import ConfigError
+
+
+class TestMessage:
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            Message((0, 0), (0, 1), 0)
+        with pytest.raises(ConfigError):
+            Message((0, 0), (0, 1), 4, inject_time=-1.0)
+
+
+class TestSegmentation:
+    def test_single_packet(self):
+        sizes = segment(Message((0, 0), (0, 1), 8), RawConfig())
+        assert sizes == [9]  # 8 payload + 1 header
+
+    def test_large_message_segmented(self):
+        sizes = segment(Message((0, 0), (0, 1), 70), RawConfig())
+        assert len(sizes) == 3  # 31 + 31 + 8
+        assert sizes[0] == MAX_PAYLOAD_WORDS + 1
+        assert sizes[-1] == 8 + 1
+
+    def test_tiny_payload_padded(self):
+        """§2.3: 'If the data is smaller than a packet, dummy data is
+        added' — every packet carries at least one payload word plus the
+        header."""
+        sizes = segment(Message((0, 0), (0, 1), 1), RawConfig())
+        assert sizes == [2]
+
+
+class TestDelivery:
+    def test_single_hop_time(self):
+        result = deliver([Message((0, 0), (0, 1), 8)])
+        delivery = result.deliveries[0]
+        assert delivery.complete_time == pytest.approx(9.0)
+        assert delivery.packets == 1
+
+    def test_multi_hop_adds_latency(self):
+        near = deliver([Message((0, 0), (0, 1), 8)]).makespan
+        far = deliver([Message((0, 0), (0, 3), 8)]).makespan
+        assert far > near
+
+    def test_local_message_immediate(self):
+        result = deliver([Message((1, 1), (1, 1), 8)])
+        assert result.deliveries[0].complete_time == 0.0
+
+    def test_shared_link_contention(self):
+        """Two messages crossing the same link serialise on it."""
+        messages = [
+            Message((0, 0), (0, 2), 20),
+            Message((0, 1), (0, 2), 20),
+        ]
+        together = deliver(messages).makespan
+        alone = deliver(messages[:1]).makespan
+        assert together > alone
+
+    def test_disjoint_routes_parallel(self):
+        messages = [
+            Message((0, 0), (0, 1), 20),
+            Message((3, 0), (3, 1), 20),
+        ]
+        together = deliver(messages).makespan
+        alone = deliver(messages[:1]).makespan
+        assert together == pytest.approx(alone)
+
+    def test_injection_time_respected(self):
+        result = deliver([Message((0, 0), (0, 1), 8, inject_time=100.0)])
+        assert result.deliveries[0].complete_time >= 100.0
+
+    def test_wire_words_include_headers(self):
+        result = deliver([Message((0, 0), (0, 1), 62)])
+        assert result.total_wire_words == 62 + 2  # two packet headers
+
+    def test_empty_traffic(self):
+        result = deliver([])
+        assert result.makespan == 0.0
+        assert result.busiest_link_words == 0.0
+
+
+class TestCslcDelivery:
+    def test_one_message_per_tile(self):
+        result = cslc_set_delivery()
+        assert len(result.deliveries) == 16
+
+    def test_delivery_fits_stall_budget(self):
+        """§4.3: '<10% of the execution time is spent on memory stalls' —
+        the working-set delivery bandwidth must not be the limiter."""
+        from repro.arch.raw.tile import execute_program, fft_program
+        from repro.kernels.fft import FFTPlan, radix2_radices
+
+        delivery = cslc_set_delivery()
+        plan = FFTPlan(128, radix2_radices(128))
+        compute = execute_program(fft_program(plan, transforms=6)).cycles
+        assert delivery.makespan < 0.10 * compute
+
+    def test_headers_overhead_small(self):
+        result = cslc_set_delivery()
+        payload = 16 * 6 * 256
+        overhead = result.total_wire_words - payload
+        assert overhead / payload < 0.05

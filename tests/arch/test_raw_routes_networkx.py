@@ -1,0 +1,50 @@
+"""Route-correctness checks against networkx (independent graph oracle).
+
+The static-network feasibility analysis hinges on XY routes being valid
+mesh paths of minimal length; networkx's shortest-path machinery on the
+same mesh graph is the oracle.
+"""
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.raw.config import RawConfig
+from repro.arch.raw.network import route_hops, xy_route_links
+
+
+def mesh_graph(config: RawConfig):
+    return networkx.grid_2d_graph(config.mesh_rows, config.mesh_cols)
+
+
+coords = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+@given(coords, coords)
+def test_xy_route_is_a_valid_minimal_path(src, dst):
+    config = RawConfig()
+    graph = mesh_graph(config)
+    links = xy_route_links(src, dst)
+    # Links chain src -> dst along existing mesh edges.
+    node = src
+    for a, b in links:
+        assert a == node
+        assert graph.has_edge(a, b)
+        node = b
+    assert node == dst
+    # Length equals the graph-theoretic shortest path.
+    expected = networkx.shortest_path_length(graph, src, dst)
+    assert len(links) == expected
+    assert route_hops(src, dst) == expected
+
+
+def test_all_pairs_route_lengths_match_networkx():
+    config = RawConfig()
+    graph = mesh_graph(config)
+    lengths = dict(networkx.all_pairs_shortest_path_length(graph))
+    for src in graph.nodes:
+        for dst in graph.nodes:
+            assert route_hops(src, dst) == lengths[src][dst]

@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.arch.raw.tile` — the per-tile pipeline executor."""
+
+import pytest
+
+from repro.arch.raw.machine import RawMachine
+from repro.arch.raw.tile import (
+    Segment,
+    TileProgram,
+    execute_program,
+    fft_program,
+)
+from repro.errors import ConfigError
+from repro.kernels.fft import FFTPlan, radix2_radices
+
+
+class TestSegments:
+    def test_unknown_category(self):
+        with pytest.raises(ConfigError):
+            Segment("simd", 1)
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigError):
+            Segment("alu", -1)
+
+
+class TestProgram:
+    def test_totals(self):
+        p = TileProgram(
+            body=(Segment("alu", 10), Segment("load", 4)), iterations=3
+        )
+        assert p.instructions_per_iteration == 14
+        assert p.total_instructions == 42
+        assert p.category_totals() == {"alu": 30.0, "load": 12.0}
+
+    def test_negative_iterations(self):
+        with pytest.raises(ConfigError):
+            TileProgram(body=(), iterations=-1)
+
+
+class TestExecution:
+    def test_pure_alu_is_cpi_one(self):
+        p = TileProgram(body=(Segment("alu", 100),), iterations=1)
+        result = execute_program(p)
+        assert result.cycles == 100
+        assert result.cpi == 1.0
+
+    def test_load_use_bubbles(self):
+        p = TileProgram(body=(Segment("load", 10),), iterations=1)
+        result = execute_program(p, load_use_fraction=0.5)
+        assert result.load_use_bubbles == 5
+        assert result.cycles == 15
+
+    def test_branch_bubbles(self):
+        p = TileProgram(
+            body=(Segment("alu", 8), Segment("branch", 2)), iterations=5
+        )
+        result = execute_program(p)
+        assert result.branch_bubbles == 10
+
+    def test_switch_port_conflicts(self):
+        p = TileProgram(
+            body=(Segment("load", 4), Segment("store", 2)), iterations=10
+        )
+        result = execute_program(
+            p, load_use_fraction=0.0, switch_words_per_iteration=3.0
+        )
+        assert result.memory_port_conflicts == 30  # min(60 slots, 30 words)
+
+    def test_conflicts_bounded_by_memory_slots(self):
+        p = TileProgram(body=(Segment("load", 1),), iterations=2)
+        result = execute_program(
+            p, load_use_fraction=0.0, switch_words_per_iteration=100.0
+        )
+        assert result.memory_port_conflicts == 2
+
+    def test_invalid_fraction(self):
+        p = TileProgram(body=(), iterations=1)
+        with pytest.raises(ConfigError):
+            execute_program(p, load_use_fraction=1.5)
+
+    def test_empty_program(self):
+        result = execute_program(TileProgram(body=(), iterations=5))
+        assert result.cycles == 0
+        assert result.cpi == 0.0
+
+
+class TestFftProgramValidation:
+    """The executor must reproduce the block-level Raw CSLC accounting:
+    same instruction totals, and total cycles within ~12% once the
+    hazard bubbles stand in for the calibrated stall fraction."""
+
+    PLAN = FFTPlan(128, radix2_radices(128))
+
+    def test_instruction_totals_match_census(self):
+        program = fft_program(self.PLAN)
+        mem = self.PLAN.memory_census()
+        butterflies = sum(s.butterflies for s in self.PLAN.stages)
+        totals = program.category_totals()
+        assert totals["load"] == pytest.approx(mem.loads)
+        assert totals["store"] == pytest.approx(mem.stores)
+        assert totals["alu"] == pytest.approx(mem.flops)
+        assert totals["addr"] == pytest.approx(5.0 * butterflies)
+
+    def test_cycles_close_to_block_model(self):
+        machine = RawMachine()
+        program = fft_program(self.PLAN, transforms=6)
+        executed = execute_program(program)
+        block_busy = machine.tile_cycles(program.total_instructions)
+        block_total = block_busy + machine.cache_stall_cycles(block_busy)
+        assert executed.cycles == pytest.approx(block_total, rel=0.12)
+
+    def test_stall_fraction_in_paper_band(self):
+        """§4.3: stalls under 10-ish percent of execution time."""
+        executed = execute_program(fft_program(self.PLAN))
+        assert executed.stall_fraction < 0.20
+
+    def test_transforms_scale_linearly(self):
+        one = execute_program(fft_program(self.PLAN, transforms=1))
+        six = execute_program(fft_program(self.PLAN, transforms=6))
+        assert six.cycles == pytest.approx(6 * one.cycles)
+
+    def test_invalid_transforms(self):
+        with pytest.raises(ConfigError):
+            fft_program(self.PLAN, transforms=0)

@@ -1,0 +1,125 @@
+"""Tests for :mod:`repro.arch.viram`."""
+
+import pytest
+
+from repro.arch.viram.config import ViramConfig
+from repro.arch.viram.machine import VIRAM_SPEC, ViramMachine, padded_pitch
+from repro.errors import CapacityError, ConfigError
+from repro.memory.streams import Sequential, Strided
+
+
+class TestConfig:
+    def test_published_values(self):
+        """§2.1's numbers."""
+        c = ViramConfig()
+        assert c.clock_hz == 200e6
+        assert c.max_vl_32bit == 64
+        assert c.seq_words_per_cycle == 8
+        assert c.strided_words_per_cycle == 4
+        assert c.total_banks == 8  # two wings of four banks
+        assert c.vector_register_file_bytes == 8 * 1024
+        assert c.onchip_dram_bytes == 13 * 1024 * 1024
+
+    def test_spec_matches_table2(self):
+        assert VIRAM_SPEC.clock_mhz == 200
+        assert VIRAM_SPEC.n_alus == 16
+        assert VIRAM_SPEC.peak_gflops == 3.2
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            ViramConfig(clock_hz=0)
+        with pytest.raises(ConfigError):
+            ViramConfig(address_generators=0)
+        with pytest.raises(ConfigError):
+            ViramConfig(vector_register_bits=100)  # not word multiple
+
+
+class TestMemory:
+    def test_sequential_rate(self):
+        m = ViramMachine()
+        cost = m.load(Sequential(0, 800), strided=False)
+        assert cost.issue_cycles == 100.0
+
+    def test_strided_rate_is_address_generator_bound(self):
+        m = ViramMachine()
+        cost = m.load(Strided(0, 800, 2048), strided=True)
+        assert cost.issue_cycles == 200.0
+
+    def test_tlb_sees_accesses(self):
+        m = ViramMachine()
+        m.load(Sequential(0, 8), strided=False)
+        assert m.tlb.accesses > 0
+
+    def test_capacity_check(self):
+        m = ViramMachine()
+        m.check_fits_onchip(13 * 1024 * 1024, "exact fit")
+        with pytest.raises(CapacityError):
+            m.check_fits_onchip(14 * 1024 * 1024, "too big")
+
+    def test_reset_clears_state(self):
+        m = ViramMachine()
+        m.load(Strided(0, 64, 2048), strided=True)
+        m.reset()
+        assert m.dram.total_activations == 0
+        assert m.tlb.misses == 0
+
+
+class TestVectorIssue:
+    def test_vfu_rate(self):
+        m = ViramMachine()
+        assert m.vfu_cycles(80) == 10.0
+
+    def test_fp_restricted_to_vfu0(self):
+        """The x1.52 mechanism: FP runs at 8/cycle, not 16."""
+        m = ViramMachine()
+        assert m.fp_issue_cycles(160) == 20.0
+
+    def test_fp_unrestricted_variant(self):
+        m = ViramMachine(config=ViramConfig(fp_on_vfu0_only=False))
+        assert m.fp_issue_cycles(160) == 10.0
+
+    def test_instruction_count_default_vl(self):
+        m = ViramMachine()
+        assert m.instruction_count(640) == 10.0
+
+    def test_instruction_count_custom_vl(self):
+        m = ViramMachine()
+        assert m.instruction_count(640, vl=16) == 40.0
+
+    def test_instruction_count_invalid_vl(self):
+        m = ViramMachine()
+        with pytest.raises(ConfigError):
+            m.instruction_count(10, vl=0)
+        with pytest.raises(ConfigError):
+            m.instruction_count(10, vl=65)
+
+    def test_dead_time(self):
+        m = ViramMachine()
+        assert m.dead_time(10) == 10 * m.cal.vector_dead_time
+
+    def test_negative_inputs_rejected(self):
+        m = ViramMachine()
+        with pytest.raises(ConfigError):
+            m.vfu_cycles(-1)
+        with pytest.raises(ConfigError):
+            m.dead_time(-1)
+
+    def test_blocks_for(self):
+        m = ViramMachine()
+        assert m.blocks_for(64, 32, 16) == 8
+        with pytest.raises(ConfigError):
+            m.blocks_for(65, 32, 16)
+
+
+class TestPaddedPitch:
+    def test_canonical_matrix_needs_no_pad(self):
+        """1024 words/row over 1024-word DRAM rows: advance 1 is already
+        coprime with 8 banks."""
+        m = ViramMachine()
+        assert padded_pitch(1024, m) == 1024
+
+    def test_conflicting_pitch_padded(self):
+        m = ViramMachine()
+        pitch = padded_pitch(2048, m)  # advance 2 -> conflicts
+        assert pitch > 2048
+        assert (pitch // 1024) % 2 == 1

@@ -1,0 +1,128 @@
+"""Tests for :mod:`repro.arch.viram.isa` — the vector-stream validator."""
+
+import pytest
+
+from repro.arch.viram.isa import (
+    VectorInstruction,
+    fft_stream,
+    schedule_stream,
+)
+from repro.arch.viram.machine import ViramMachine
+from repro.errors import ConfigError, ScheduleError
+from repro.kernels.fft import FFTPlan
+
+
+class TestInstruction:
+    def test_unknown_unit(self):
+        with pytest.raises(ConfigError):
+            VectorInstruction("x", "simd", 8)
+
+    def test_negative_elements(self):
+        with pytest.raises(ConfigError):
+            VectorInstruction("x", "fp", -1)
+
+
+class TestScheduleStream:
+    def test_independent_instructions_pipeline(self):
+        stream = [
+            VectorInstruction(f"i{k}", "fp", 64) for k in range(10)
+        ]
+        sched = schedule_stream(stream)
+        # 10 x 64 element-ops at 8/cycle, no dead time: 80 cycles.
+        assert sched.makespan == pytest.approx(80)
+        assert sched.dead_time_total == 0.0
+
+    def test_dependent_chain_pays_dead_time(self):
+        machine = ViramMachine()
+        stream = [
+            VectorInstruction("a", "fp", 64),
+            VectorInstruction("b", "fp", 64, deps=("a",)),
+        ]
+        sched = schedule_stream(stream, machine)
+        assert sched.dead_time_total == machine.cal.vector_dead_time
+        assert sched.makespan == pytest.approx(
+            16 + machine.cal.vector_dead_time
+        )
+
+    def test_cross_unit_overlap(self):
+        """Shuffles on VFU1 overlap FP on VFU0 when independent."""
+        stream = [
+            VectorInstruction("sh", "shuffle", 640),
+            VectorInstruction("fp", "fp", 640),
+        ]
+        sched = schedule_stream(stream)
+        assert sched.makespan == pytest.approx(80)
+
+    def test_strided_memory_rate(self):
+        stream = [VectorInstruction("ld", "load", 64, strided=True)]
+        sched = schedule_stream(stream)
+        assert sched.makespan == pytest.approx(16)  # 4 words/cycle
+
+    def test_sequential_memory_rate(self):
+        stream = [VectorInstruction("st", "store", 64)]
+        sched = schedule_stream(stream)
+        assert sched.makespan == pytest.approx(8)
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_stream([VectorInstruction("a", "fp", 8, deps=("z",))])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_stream(
+                [
+                    VectorInstruction("a", "fp", 8),
+                    VectorInstruction("a", "fp", 8),
+                ]
+            )
+
+
+class TestFftStreamValidation:
+    """The scheduled stream must sit just below the composite model: the
+    schedule charges dead time only on true dependency chains and hides
+    shuffles under FP where the dataflow allows, so it lower-bounds the
+    mapping's calibrated (paper-anchored) accounting."""
+
+    def test_element_op_totals_match_censuses(self):
+        machine = ViramMachine()
+        plan = FFTPlan(128)
+        stream = fft_stream(plan, batch=64, machine=machine)
+        fp = sum(i.elements for i in stream if i.unit == "fp")
+        sh = sum(i.elements for i in stream if i.unit == "shuffle")
+        assert fp == pytest.approx(plan.flops() * 64)
+        assert sh == pytest.approx(plan.shuffle_census().permutes * 64)
+
+    def test_schedule_brackets_composite(self):
+        machine = ViramMachine()
+        plan = FFTPlan(128)
+        stream = fft_stream(plan, batch=64, machine=machine)
+        sched = schedule_stream(stream, machine)
+        flops = plan.flops() * 64
+        permutes = plan.shuffle_census().permutes * 64
+        composite = (
+            machine.fp_issue_cycles(flops)
+            + machine.vfu_cycles(permutes)
+            * machine.cal.shuffle_exposed_fraction
+            + machine.dead_time(machine.instruction_count(flops + permutes))
+        )
+        ratio = sched.makespan / composite
+        assert 0.55 < ratio <= 1.0
+
+    def test_fp_issue_is_the_floor(self):
+        machine = ViramMachine()
+        plan = FFTPlan(128)
+        sched = schedule_stream(fft_stream(plan, machine=machine), machine)
+        assert sched.makespan >= machine.fp_issue_cycles(plan.flops() * 64)
+
+    def test_smaller_batch_scales_down(self):
+        machine = ViramMachine()
+        plan = FFTPlan(64)
+        full = schedule_stream(fft_stream(plan, batch=64), machine)
+        half = schedule_stream(fft_stream(plan, batch=32), machine)
+        assert half.makespan < full.makespan
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigError):
+            fft_stream(FFTPlan(64), batch=0)
+        with pytest.raises(ConfigError):
+            fft_stream(FFTPlan(64), batch=128)

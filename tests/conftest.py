@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.workloads import (
+    small_beam_steering,
+    small_corner_turn,
+    small_cslc,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_ct():
+    return small_corner_turn()
+
+
+@pytest.fixture
+def small_cs():
+    return small_cslc()
+
+
+@pytest.fixture
+def small_bs():
+    return small_beam_steering()
+
+
+@pytest.fixture
+def small_workloads(small_ct, small_cs, small_bs):
+    """Workload overrides keyed the way the experiment registry expects."""
+    return {
+        "corner_turn": small_ct,
+        "cslc": small_cs,
+        "beam_steering": small_bs,
+    }

@@ -1,0 +1,89 @@
+"""Tests for :mod:`repro.eval.experiments` at small workload sizes.
+
+Every registered experiment must run end to end, produce a non-empty
+rendering, and carry well-formed (model, paper) checks.  Canonical-size
+fidelity is asserted separately in tests/test_paper_reproduction.py.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.tables import run_table3
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    workloads = {
+        "corner_turn": small_corner_turn(),
+        "cslc": small_cslc(),
+        "beam_steering": small_beam_steering(),
+    }
+    return workloads, run_table3(workloads)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+class TestAllExperiments:
+    def test_runs_and_renders(self, experiment_id, small_env):
+        workloads, results = small_env
+        outcome = run_experiment(
+            experiment_id, results=results, workloads=workloads
+        )
+        assert outcome.id == experiment_id
+        assert outcome.title
+        assert outcome.rendered
+        assert outcome.data
+
+    def test_checks_are_pairs(self, experiment_id, small_env):
+        workloads, results = small_env
+        outcome = run_experiment(
+            experiment_id, results=results, workloads=workloads
+        )
+        for name, pair in outcome.checks.items():
+            assert len(pair) == 2, name
+            model, paper = pair
+            assert isinstance(model, (int, float))
+            assert isinstance(paper, (int, float))
+
+
+class TestRegistry:
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+    def test_expected_experiments_present(self):
+        for experiment_id in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure8",
+            "figure9",
+            "sec4.2",
+            "sec4.3",
+            "sec4.4",
+            "sec4.5",
+            "ablation_imagine_network_port",
+            "ablation_raw_streamed_fft",
+            "ablation_raw_load_balance",
+            "ablation_imagine_srf_tables",
+        ):
+            assert experiment_id in EXPERIMENTS
+
+
+class TestCheckRatios:
+    def test_ratio_helper_skips_zero_paper(self, small_env):
+        workloads, results = small_env
+        outcome = run_experiment(
+            "sec4.4", results=results, workloads=workloads
+        )
+        ratios = outcome.check_ratios()
+        assert "raw_loads_stores" not in ratios  # paper value is 0
+        for value in ratios.values():
+            assert value > 0

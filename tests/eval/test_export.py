@@ -1,0 +1,89 @@
+"""Tests for :mod:`repro.eval.export`."""
+
+import json
+
+import pytest
+
+from repro.eval.export import (
+    SCHEMA_VERSION,
+    experiment_record,
+    full_document,
+    kernel_run_record,
+    table3_document,
+    write_json,
+)
+from repro.eval.tables import run_table3
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return run_table3(
+        {
+            "corner_turn": small_corner_turn(),
+            "cslc": small_cslc(),
+            "beam_steering": small_beam_steering(),
+        }
+    )
+
+
+class TestKernelRunRecord:
+    def test_json_serialisable(self, small_results):
+        record = kernel_run_record(small_results[("cslc", "viram")])
+        text = json.dumps(record)  # must not raise
+        back = json.loads(text)
+        assert back["kernel"] == "cslc"
+        assert back["machine"] == "viram"
+        assert back["functional_ok"] is True
+
+    def test_breakdown_round_trips(self, small_results):
+        run = small_results[("corner_turn", "raw")]
+        record = kernel_run_record(run)
+        assert sum(record["breakdown"].values()) == pytest.approx(run.cycles)
+
+    def test_output_arrays_excluded(self, small_results):
+        record = kernel_run_record(small_results[("corner_turn", "ppc")])
+        assert "output" not in record
+
+
+class TestDocuments:
+    def test_table3_document(self, small_results):
+        doc = table3_document(small_results)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert len(doc["table3"]) == 15
+        json.dumps(doc)
+
+    def test_paper_values_attached(self, small_results):
+        doc = table3_document(small_results)
+        cells = {(r["kernel"], r["machine"]): r for r in doc["table3"]}
+        assert cells[("corner_turn", "raw")]["paper_kilocycles"] == 146
+
+    def test_full_document_without_experiments(self, small_results):
+        doc = full_document(small_results, include_experiments=False)
+        assert "experiments" not in doc
+
+
+class TestExperimentRecord:
+    def test_checks_structure(self, small_results):
+        from repro.eval.experiments import exp_sec45
+
+        record = experiment_record(exp_sec45(results=small_results))
+        json.dumps(record)
+        assert record["id"] == "sec4.5"
+        assert "cslc_gain" in record["checks"]
+        assert set(record["checks"]["cslc_gain"]) == {"model", "paper"}
+
+
+class TestWriteJson:
+    def test_writes_file(self, tmp_path, small_results):
+        path = write_json(
+            tmp_path / "out.json",
+            table3_document(small_results),
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["schema_version"] == SCHEMA_VERSION

@@ -1,0 +1,48 @@
+"""End-to-end export: the full document including every experiment."""
+
+import json
+
+import pytest
+
+from repro.eval.export import full_document
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.tables import run_table3
+
+
+@pytest.fixture(scope="module")
+def document(small_workloads_export):
+    results = run_table3(small_workloads_export)
+    return full_document(
+        results, include_experiments=True, workloads=small_workloads_export
+    )
+
+
+@pytest.fixture(scope="module")
+def small_workloads_export():
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return {
+        "corner_turn": small_corner_turn(),
+        "cslc": small_cslc(),
+        "beam_steering": small_beam_steering(),
+    }
+
+
+def test_document_serialises(document):
+    text = json.dumps(document)
+    assert len(text) > 1000
+
+
+def test_every_experiment_exported(document):
+    exported = {record["id"] for record in document["experiments"]}
+    assert exported == set(EXPERIMENTS)
+
+
+def test_check_pairs_complete(document):
+    for record in document["experiments"]:
+        for name, pair in record["checks"].items():
+            assert set(pair) == {"model", "paper"}, (record["id"], name)

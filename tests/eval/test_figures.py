@@ -1,0 +1,45 @@
+"""Tests for :mod:`repro.eval.figures`."""
+
+from repro.eval.figures import _log_bar, speedup_figure
+
+
+class TestLogBar:
+    def test_monotone_in_value(self):
+        vmax = 1000.0
+        assert len(_log_bar(10, vmax)) < len(_log_bar(100, vmax))
+
+    def test_max_fills_width(self):
+        assert len(_log_bar(1000, 1000.0, width=40)) == 40
+
+    def test_nonpositive_empty(self):
+        assert _log_bar(0, 1000.0) == ""
+        assert _log_bar(-5, 1000.0) == ""
+
+    def test_small_value_still_visible(self):
+        assert len(_log_bar(1.5, 1000.0)) >= 1
+
+
+class TestSpeedupFigure:
+    DATA = {
+        "corner_turn": {"viram": 52.0, "raw": 200.0},
+        "cslc": {"viram": 11.0, "raw": 13.0},
+    }
+
+    def test_contains_all_entries(self):
+        text = speedup_figure("Figure 8", self.DATA)
+        assert "Figure 8" in text
+        for kernel in self.DATA:
+            assert kernel in text
+        assert "viram" in text and "raw" in text
+
+    def test_paper_column_optional(self):
+        without = speedup_figure("F", self.DATA)
+        with_paper = speedup_figure(
+            "F", self.DATA, paper={"corner_turn": {"viram": 52.9}}
+        )
+        assert "paper" not in without
+        assert "paper" in with_paper
+
+    def test_log_scale_axis_label(self):
+        text = speedup_figure("F", self.DATA)
+        assert "log scale" in text

@@ -1,0 +1,43 @@
+"""Tests for :mod:`repro.eval.report`."""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text(small_workloads_module):
+    return full_report(small_workloads_module)
+
+
+@pytest.fixture(scope="module")
+def small_workloads_module():
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return {
+        "corner_turn": small_corner_turn(),
+        "cslc": small_cslc(),
+        "beam_steering": small_beam_steering(),
+    }
+
+
+class TestFullReport:
+    def test_every_experiment_titled(self, report_text):
+        for fn in EXPERIMENTS.values():
+            # Titles are unique; each must appear as a section header.
+            assert "== " in report_text
+        assert report_text.count("== ") == len(EXPERIMENTS)
+
+    def test_checks_rendered_with_ratios(self, report_text):
+        assert "checks (model vs paper):" in report_text
+        assert "ratio=" in report_text
+
+    def test_tables_present(self, report_text):
+        assert "Table 3. Experimental results" in report_text
+        assert "Figure 8." in report_text
+        assert "Figure 9." in report_text

@@ -1,0 +1,61 @@
+"""Tests for :mod:`repro.eval.speedup`."""
+
+import pytest
+
+from repro.arch.base import KernelRun, MachineSpec
+from repro.errors import ExperimentError
+from repro.eval.speedup import speedup_cycles, speedup_time
+from repro.kernels.opcount import OpCounts
+from repro.sim.accounting import CycleBreakdown
+
+
+def fake_run(name, cycles, clock_hz):
+    spec = MachineSpec(
+        name=name,
+        display_name=name,
+        clock_hz=clock_hz,
+        n_alus=1,
+        peak_gflops=1.0,
+        flops_per_cycle=1.0,
+    )
+    return KernelRun(
+        kernel="k",
+        machine=name,
+        spec=spec,
+        breakdown=CycleBreakdown({"x": cycles}),
+        ops=OpCounts(adds=1),
+    )
+
+
+class TestSpeedupCycles:
+    def test_baseline_is_one(self):
+        runs = {
+            "altivec": fake_run("altivec", 1000, 1e9),
+            "fast": fake_run("fast", 100, 2e8),
+        }
+        s = speedup_cycles(runs)
+        assert s["altivec"] == 1.0
+        assert s["fast"] == 10.0
+
+    def test_missing_baseline(self):
+        with pytest.raises(ExperimentError):
+            speedup_cycles({"fast": fake_run("fast", 1, 1e9)})
+
+
+class TestSpeedupTime:
+    def test_clock_matters(self):
+        """Figure 8 vs Figure 9: a slower-clocked machine's cycle
+        speedup shrinks in time."""
+        runs = {
+            "altivec": fake_run("altivec", 1000, 1e9),  # 1 us
+            "viramish": fake_run("viramish", 100, 2e8),  # 0.5 us
+        }
+        cycles = speedup_cycles(runs)
+        times = speedup_time(runs)
+        assert cycles["viramish"] == 10.0
+        assert times["viramish"] == pytest.approx(2.0)
+        assert times["viramish"] < cycles["viramish"]
+
+    def test_missing_baseline(self):
+        with pytest.raises(ExperimentError):
+            speedup_time({"x": fake_run("x", 1, 1e9)})

@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.eval.svg`."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.svg import speedup_figure_svg, write_figures
+
+DATA = {
+    "corner_turn": {"viram": 52.0, "raw": 200.0},
+    "cslc": {"viram": 11.6, "raw": 13.8},
+}
+PAPER = {
+    "corner_turn": {"viram": 52.9, "raw": 200.6},
+    "cslc": {"viram": 11.6},
+}
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestSpeedupFigureSvg:
+    def test_valid_xml_with_title(self):
+        root = parse(speedup_figure_svg("Figure 8", DATA))
+        assert root.tag == f"{SVG_NS}svg"
+        title = root.find(f"{SVG_NS}title")
+        assert title is not None and title.text == "Figure 8"
+
+    def test_one_bar_per_value(self):
+        root = parse(speedup_figure_svg("F", DATA))
+        bars = [
+            el
+            for el in root.iter(f"{SVG_NS}rect")
+            if el.get("class") == "bar"
+        ]
+        assert len(bars) == 4
+
+    def test_bar_heights_monotone_in_value(self):
+        root = parse(speedup_figure_svg("F", DATA))
+        heights = {
+            (el.get("data-kernel"), el.get("data-machine")): float(
+                el.get("height")
+            )
+            for el in root.iter(f"{SVG_NS}rect")
+            if el.get("class") == "bar"
+        }
+        assert heights[("corner_turn", "raw")] > heights[
+            ("corner_turn", "viram")
+        ]
+        assert heights[("cslc", "raw")] > heights[("cslc", "viram")]
+
+    def test_paper_ticks_only_where_given(self):
+        root = parse(speedup_figure_svg("F", DATA, PAPER))
+        ticks = [
+            el
+            for el in root.iter(f"{SVG_NS}line")
+            if el.get("class") == "paper-tick"
+        ]
+        assert len(ticks) == 3  # cslc/raw has no paper value
+
+    def test_tick_near_matching_bar_top(self):
+        root = parse(speedup_figure_svg("F", DATA, PAPER))
+        bar = next(
+            el
+            for el in root.iter(f"{SVG_NS}rect")
+            if el.get("data-machine") == "viram"
+            and el.get("data-kernel") == "corner_turn"
+        )
+        tick = next(
+            el
+            for el in root.iter(f"{SVG_NS}line")
+            if el.get("class") == "paper-tick"
+            and el.get("data-machine") == "viram"
+            and el.get("data-kernel") == "corner_turn"
+        )
+        bar_top = float(bar.get("y"))
+        tick_y = float(tick.get("y1"))
+        assert abs(bar_top - tick_y) < 5  # 52.0 vs 52.9 on a log axis
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedup_figure_svg("F", {})
+
+
+class TestWriteFigures:
+    def test_writes_both_figures(self, tmp_path, small_workloads):
+        from repro.eval.tables import run_table3
+
+        results = run_table3(small_workloads)
+        paths = write_figures(tmp_path, results=results)
+        assert [p.name for p in paths] == ["figure8.svg", "figure9.svg"]
+        for path in paths:
+            root = parse(path.read_text())
+            bars = [
+                el
+                for el in root.iter(f"{SVG_NS}rect")
+                if el.get("class") == "bar"
+            ]
+            assert len(bars) == 15  # 3 kernels x 5 machines

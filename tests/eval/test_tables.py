@@ -1,0 +1,76 @@
+"""Tests for :mod:`repro.eval.tables`."""
+
+import pytest
+
+from repro.eval.tables import (
+    PAPER_TABLE3,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_table3,
+)
+from repro.mappings.registry import KERNELS, MACHINES
+
+
+@pytest.fixture(scope="module")
+def small_results(request):
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return run_table3(
+        {
+            "corner_turn": small_corner_turn(),
+            "cslc": small_cslc(),
+            "beam_steering": small_beam_steering(),
+        }
+    )
+
+
+class TestPaperTable3:
+    def test_complete(self):
+        assert len(PAPER_TABLE3) == 15
+        for kernel in KERNELS:
+            for machine in MACHINES:
+                assert (kernel, machine) in PAPER_TABLE3
+
+    def test_headline_values(self):
+        assert PAPER_TABLE3[("corner_turn", "raw")] == 146
+        assert PAPER_TABLE3[("cslc", "imagine")] == 196
+        assert PAPER_TABLE3[("beam_steering", "viram")] == 35
+
+
+class TestRunTable3:
+    def test_all_cells_run(self, small_results):
+        assert len(small_results) == 15
+        for run_ in small_results.values():
+            assert run_.cycles > 0
+
+    def test_workload_override_used(self, small_results, small_ct):
+        assert small_results[("corner_turn", "raw")].metrics["blocks"] == (
+            (small_ct.rows // 64) * (small_ct.cols // 64)
+        )
+
+
+class TestRenderers:
+    def test_table1_mentions_rates(self):
+        text = render_table1()
+        assert "On-chip" in text
+        assert "model" in text and "paper" in text
+
+    def test_table2_mentions_clock(self):
+        text = render_table2()
+        assert "Clock (MHz)" in text
+
+    def test_table3_has_all_machines(self, small_results):
+        text = render_table3(small_results)
+        for title in ("PPC", "Altivec", "VIRAM", "Imagine", "Raw"):
+            assert title in text
+
+    def test_table4_lists_bounds(self, small_results):
+        text = render_table4(small_results)
+        assert "binding" in text
+        assert "achieved" in text

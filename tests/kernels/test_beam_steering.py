@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.kernels.beam_steering`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.beam_steering import (
+    BeamSteeringTables,
+    BeamSteeringWorkload,
+    beam_steering_reference,
+    make_tables,
+)
+from repro.kernels.workloads import canonical_beam_steering
+
+
+def scalar_oracle(workload, tables):
+    """Element-at-a-time implementation of §4.4's op sequence: the
+    independent oracle for the vectorised reference."""
+    shift = workload.shift
+    rounding = (1 << shift) >> 1 if shift else 0
+    mask = (1 << workload.phase_bits) - 1
+    out = np.zeros(
+        (workload.dwells, workload.directions, workload.elements), dtype=np.int64
+    )
+    for t in range(workload.dwells):
+        for d in range(workload.directions):
+            for e in range(workload.elements):
+                acc = int(tables.steer[t, d]) + int(tables.pos[e])  # add 1
+                acc += int(tables.coarse[e])  # add 2
+                acc += int(tables.fine[e, d])  # add 3
+                acc += int(tables.temp[t])  # add 4
+                acc += rounding  # add 5
+                out[t, d, e] = (acc >> shift) & mask  # shift
+    return out
+
+
+class TestWorkload:
+    def test_canonical(self):
+        w = canonical_beam_steering()
+        assert w.elements == 1608
+        assert w.directions == 4
+        assert w.outputs == 1608 * 4 * w.dwells
+
+    def test_op_census_matches_section_4_4(self):
+        """'2 reads and 1 write ... 5 additions and 1 shift' per output."""
+        w = BeamSteeringWorkload(elements=10, directions=2, dwells=1)
+        c = w.op_counts()
+        per_output = w.outputs
+        assert c.adds == 5 * per_output
+        assert c.shifts == per_output
+        assert c.loads == 2 * per_output
+        assert c.stores == per_output
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigError):
+            BeamSteeringWorkload(elements=0)
+
+    def test_invalid_phase_bits(self):
+        with pytest.raises(ConfigError):
+            BeamSteeringWorkload(phase_bits=0)
+        with pytest.raises(ConfigError):
+            BeamSteeringWorkload(accumulator_bits=16, phase_bits=24)
+
+    def test_table_sizes(self):
+        w = BeamSteeringWorkload(elements=100, directions=4)
+        assert w.coarse_table_words == 100
+        assert w.fine_table_words == 400
+        assert w.table_bytes == 2000
+
+
+class TestTables:
+    def test_shapes_validated(self, small_bs):
+        tables = make_tables(small_bs)
+        tables.validate(small_bs)  # no raise
+        bad = BeamSteeringTables(
+            coarse=tables.coarse[:-1],
+            fine=tables.fine,
+            pos=tables.pos,
+            steer=tables.steer,
+            temp=tables.temp,
+        )
+        with pytest.raises(ConfigError):
+            bad.validate(small_bs)
+
+    def test_float_tables_rejected(self, small_bs):
+        tables = make_tables(small_bs)
+        bad = BeamSteeringTables(
+            coarse=tables.coarse.astype(np.float64),
+            fine=tables.fine,
+            pos=tables.pos,
+            steer=tables.steer,
+            temp=tables.temp,
+        )
+        with pytest.raises(ConfigError):
+            bad.validate(small_bs)
+
+    def test_deterministic(self, small_bs):
+        a = make_tables(small_bs, seed=5)
+        b = make_tables(small_bs, seed=5)
+        assert np.array_equal(a.fine, b.fine)
+
+
+class TestReference:
+    def test_matches_scalar_oracle(self, small_bs):
+        tables = make_tables(small_bs, seed=1)
+        fast = beam_steering_reference(small_bs, tables)
+        slow = scalar_oracle(small_bs, tables)
+        assert np.array_equal(fast, slow)
+
+    def test_output_range(self, small_bs):
+        tables = make_tables(small_bs, seed=2)
+        phases = beam_steering_reference(small_bs, tables)
+        assert phases.min() >= 0
+        assert phases.max() < (1 << small_bs.phase_bits)
+
+    def test_shape(self, small_bs):
+        phases = beam_steering_reference(small_bs, make_tables(small_bs))
+        assert phases.shape == (
+            small_bs.dwells,
+            small_bs.directions,
+            small_bs.elements,
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(1, 12),
+    st.integers(1, 4),
+    st.integers(1, 3),
+    st.integers(0, 1000),
+)
+def test_reference_equals_oracle_property(elements, directions, dwells, seed):
+    w = BeamSteeringWorkload(
+        elements=elements, directions=directions, dwells=dwells
+    )
+    tables = make_tables(w, seed=seed)
+    assert np.array_equal(
+        beam_steering_reference(w, tables), scalar_oracle(w, tables)
+    )

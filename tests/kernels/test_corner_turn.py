@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.kernels.corner_turn`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.corner_turn import (
+    CornerTurnWorkload,
+    blocked_corner_turn,
+    corner_turn_reference,
+)
+
+
+class TestWorkload:
+    def test_canonical_size(self):
+        w = CornerTurnWorkload()
+        assert w.words == 1024 * 1024
+        assert w.nbytes == 4 * 1024 * 1024
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            CornerTurnWorkload(rows=0, cols=4)
+
+    def test_matrix_deterministic(self):
+        w = CornerTurnWorkload(rows=8, cols=8)
+        assert np.array_equal(w.make_matrix(1), w.make_matrix(1))
+        assert not np.array_equal(w.make_matrix(1), w.make_matrix(2))
+
+    def test_op_counts(self):
+        c = CornerTurnWorkload(rows=4, cols=8).op_counts()
+        assert c.loads == 32
+        assert c.stores == 32
+        assert c.flops == 0
+
+
+class TestReference:
+    def test_transpose(self, rng):
+        m = rng.normal(size=(4, 6)).astype(np.float32)
+        t = corner_turn_reference(m)
+        assert t.shape == (6, 4)
+        assert np.array_equal(t, m.T)
+        assert t.flags["C_CONTIGUOUS"]
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigError):
+            corner_turn_reference(np.zeros(4))
+
+
+class TestBlocked:
+    @pytest.mark.parametrize("block", [1, 2, 4, 8])
+    def test_matches_reference(self, block, rng):
+        m = rng.normal(size=(16, 8)).astype(np.float32)
+        assert np.array_equal(
+            blocked_corner_turn(m, block), corner_turn_reference(m)
+        )
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            blocked_corner_turn(np.zeros((10, 10)), 4)
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ConfigError):
+            blocked_corner_turn(np.zeros((8, 8)), 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigError):
+            blocked_corner_turn(np.zeros(8), 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 6).map(lambda k: 2 ** k),
+    st.integers(1, 6).map(lambda k: 2 ** k),
+    st.sampled_from([1, 2, 4]),
+)
+def test_blocked_transpose_is_involution(rows, cols, block):
+    if rows % block or cols % block:
+        return
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=(rows, cols)).astype(np.float32)
+    twice = blocked_corner_turn(blocked_corner_turn(m, block), block)
+    assert np.array_equal(twice, m)

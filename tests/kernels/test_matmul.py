@@ -1,0 +1,87 @@
+"""Tests for :mod:`repro.kernels.matmul`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.matmul import (
+    MatmulWorkload,
+    blocked_matmul,
+    matmul_reference,
+)
+
+
+class TestWorkload:
+    def test_counts(self):
+        w = MatmulWorkload(2, 3, 4)
+        assert w.macs == 24
+        assert w.flops == 48
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            MatmulWorkload(0, 1, 1)
+
+    def test_censuses_ordered(self):
+        """Streaming drops the per-MAC load (§2.3's mechanism)."""
+        w = MatmulWorkload(8, 8, 8)
+        ls = w.loadstore_census()
+        stream = w.streamed_census()
+        assert ls.flops == stream.flops
+        assert stream.loads == 0
+        assert stream.total < ls.total
+
+    def test_inputs_deterministic(self):
+        w = MatmulWorkload(4, 4, 4)
+        a1, b1 = w.make_inputs(1)
+        a2, b2 = w.make_inputs(1)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestFunctional:
+    def test_reference_matches_numpy(self, rng):
+        a = rng.standard_normal((5, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 3)).astype(np.float32)
+        assert np.allclose(matmul_reference(a, b), a @ b, rtol=1e-4)
+
+    def test_blocked_matches_reference(self, rng):
+        a = rng.standard_normal((16, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 12)).astype(np.float32)
+        assert np.allclose(
+            blocked_matmul(a, b, 4), matmul_reference(a, b), rtol=1e-4
+        )
+
+    def test_block_larger_than_matrix_ok(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        assert np.allclose(
+            blocked_matmul(a, b, 64), matmul_reference(a, b), rtol=1e-4
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            matmul_reference(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ConfigError):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((4, 2)), 2)
+
+    def test_bad_block(self):
+        with pytest.raises(ConfigError):
+            blocked_matmul(np.zeros((2, 2)), np.zeros((2, 2)), 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.sampled_from([1, 2, 4]),
+)
+def test_blocked_matmul_property(n, k, m, block):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, k)).astype(np.float32)
+    b = rng.standard_normal((k, m)).astype(np.float32)
+    assert np.allclose(
+        blocked_matmul(a, b, block), matmul_reference(a, b), rtol=1e-3,
+        atol=1e-5,
+    )

@@ -1,0 +1,68 @@
+"""Tests for :mod:`repro.kernels.opcount`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels.opcount import OpCounts
+
+
+class TestDerived:
+    def test_flops(self):
+        c = OpCounts(adds=2, muls=3, divs=1, shifts=4)
+        assert c.flops == 6
+        assert c.arithmetic == 10
+
+    def test_memory_and_total(self):
+        c = OpCounts(adds=1, loads=2, stores=3, permutes=4, other=5)
+        assert c.memory_ops == 5
+        assert c.total == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounts(adds=-1)
+
+
+class TestCombinators:
+    def test_add(self):
+        c = OpCounts(adds=1, loads=2) + OpCounts(adds=3, stores=4)
+        assert c.adds == 4
+        assert c.loads == 2
+        assert c.stores == 4
+
+    def test_scaled(self):
+        c = OpCounts(adds=2, muls=3).scaled(10)
+        assert c.adds == 20
+        assert c.muls == 30
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounts(adds=1).scaled(-1)
+
+    def test_as_dict_and_format(self):
+        c = OpCounts(adds=1.0)
+        assert c.as_dict()["adds"] == 1.0
+        assert "adds" in c.format()
+        assert "empty" in OpCounts().format()
+
+
+nonneg = st.floats(min_value=0, max_value=1e9)
+
+
+@given(nonneg, nonneg, nonneg, nonneg, nonneg, nonneg)
+def test_total_consistency_property(adds, muls, divs, shifts, loads, stores):
+    c = OpCounts(
+        adds=adds, muls=muls, divs=divs, shifts=shifts, loads=loads, stores=stores
+    )
+    assert c.total == pytest.approx(
+        c.flops + c.shifts + c.memory_ops + c.permutes + c.other
+    )
+
+
+@given(nonneg, nonneg, st.floats(0, 100))
+def test_scale_then_add_distributes(adds, muls, factor):
+    a = OpCounts(adds=adds, muls=muls)
+    lhs = (a + a).scaled(factor)
+    rhs = a.scaled(factor) + a.scaled(factor)
+    assert lhs.adds == pytest.approx(rhs.adds)
+    assert lhs.muls == pytest.approx(rhs.muls)

@@ -1,0 +1,55 @@
+"""Cross-checks against scipy, the second independent oracle.
+
+numpy.fft is the primary oracle throughout the suite; these tests bring
+scipy in as an implementation-independent second opinion on the FFT
+library and the CSLC weight solve.
+"""
+
+import numpy as np
+import pytest
+
+scipy_fft = pytest.importorskip("scipy.fft")
+scipy_linalg = pytest.importorskip("scipy.linalg")
+
+from repro.kernels.cslc import estimate_weights
+from repro.kernels.fft import FFTPlan, radix2_radices
+
+
+class TestFftAgainstScipy:
+    @pytest.mark.parametrize("n", [16, 128, 256])
+    def test_forward(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(FFTPlan(n).execute(x), scipy_fft.fft(x))
+
+    def test_inverse(self, rng):
+        x = rng.normal(size=128) + 1j * rng.normal(size=128)
+        assert np.allclose(
+            FFTPlan(128).execute(x, inverse=True), scipy_fft.ifft(x)
+        )
+
+    def test_radix2_plan(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        plan = FFTPlan(64, radix2_radices(64))
+        assert np.allclose(plan.execute(x), scipy_fft.fft(x))
+
+    def test_batch(self, rng):
+        x = rng.normal(size=(7, 32)) + 1j * rng.normal(size=(7, 32))
+        assert np.allclose(
+            FFTPlan(32).execute_batch(x), scipy_fft.fft(x, axis=-1)
+        )
+
+
+class TestWeightsAgainstScipy:
+    def test_unregularised_solve_matches_scipy_lstsq(self, rng):
+        n_sub, n_aux, bins = 12, 2, 6
+        aux = rng.normal(size=(n_aux, n_sub, bins)) + 1j * rng.normal(
+            size=(n_aux, n_sub, bins)
+        )
+        mains = rng.normal(size=(1, n_sub, bins)) + 1j * rng.normal(
+            size=(1, n_sub, bins)
+        )
+        ours = estimate_weights(mains, aux, loading=0.0)
+        for k in range(bins):
+            a = aux[:, :, k].T
+            expected, *_ = scipy_linalg.lstsq(a, mains[0, :, k])
+            assert np.allclose(ours[0, :, k], expected, atol=1e-8)

@@ -1,0 +1,76 @@
+"""Tests for :mod:`repro.kernels.signal`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.signal import (
+    ChannelSet,
+    make_jammed_channels,
+    power_db,
+    tone_indices,
+)
+
+
+class TestChannelSet:
+    def test_properties(self):
+        cs = make_jammed_channels(256, n_mains=2, n_aux=3)
+        assert cs.n_mains == 2
+        assert cs.n_aux == 3
+        assert cs.samples == 256
+
+    def test_mismatched_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            ChannelSet(
+                mains=np.zeros((1, 8)),
+                auxes=np.zeros((1, 9)),
+                signal=np.zeros(8),
+                jammer=np.zeros(8),
+            )
+
+    def test_one_d_rejected(self):
+        with pytest.raises(ConfigError):
+            ChannelSet(
+                mains=np.zeros(8),
+                auxes=np.zeros((1, 8)),
+                signal=np.zeros(8),
+                jammer=np.zeros(8),
+            )
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = make_jammed_channels(128, seed=9)
+        b = make_jammed_channels(128, seed=9)
+        assert np.array_equal(a.mains, b.mains)
+
+    def test_jammer_dominates_mains(self):
+        cs = make_jammed_channels(1024, jammer_to_signal_db=30.0, seed=1)
+        # The jammer leaks at ~0.05 gain into mains; at +30 dB the main
+        # channel power sits well above the clean signal power.
+        assert power_db(cs.mains[0]) > power_db(cs.signal)
+
+    def test_aux_channels_observe_jammer(self):
+        cs = make_jammed_channels(1024, seed=1)
+        # Aux power tracks the jammer to within a couple of dB.
+        assert abs(power_db(cs.auxes[0]) - power_db(cs.jammer)) < 3.0
+
+    def test_invalid_samples(self):
+        with pytest.raises(ConfigError):
+            make_jammed_channels(0)
+
+    def test_invalid_channel_counts(self):
+        with pytest.raises(ConfigError):
+            make_jammed_channels(64, n_mains=0)
+
+
+class TestHelpers:
+    def test_power_db_of_unit_signal(self):
+        assert power_db(np.ones(16)) == pytest.approx(0.0)
+
+    def test_power_db_floor(self):
+        assert power_db(np.zeros(16)) == -300.0
+
+    def test_tone_indices_wrap(self):
+        idx = tone_indices(16, 0.0, width=2)
+        assert sorted(idx.tolist()) == sorted([14, 15, 0, 1, 2])

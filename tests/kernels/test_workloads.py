@@ -1,0 +1,51 @@
+"""Tests for :mod:`repro.kernels.workloads` — the canonical/test sizes."""
+
+from repro.kernels.workloads import (
+    canonical_beam_steering,
+    canonical_corner_turn,
+    canonical_cslc,
+    small_beam_steering,
+    small_corner_turn,
+    small_cslc,
+)
+
+
+class TestCanonicalSizes:
+    def test_corner_turn_exceeds_srf_and_raw_memories(self):
+        """§3.1: 'larger than Imagine's SRF (128 KB) and Raw's internal
+        memories (2 MB), but smaller than VIRAM's on-chip memory
+        (13 MB)'."""
+        w = canonical_corner_turn()
+        assert w.nbytes > 128 * 1024
+        assert w.nbytes > 2 * 1024 * 1024
+        assert 2 * w.nbytes < 13 * 1024 * 1024  # source + destination
+
+    def test_cslc_matches_section_3_2(self):
+        w = canonical_cslc()
+        assert (w.n_mains, w.n_aux) == (2, 2)
+        assert w.samples == 8 * 1024
+        assert (w.n_subbands, w.subband_len) == (73, 128)
+
+    def test_beam_steering_matches_section_3_3(self):
+        w = canonical_beam_steering()
+        assert w.elements == 1608
+        assert w.directions == 4
+
+
+class TestSmallSizes:
+    def test_corner_turn_divisible_by_blocks(self):
+        w = small_corner_turn()
+        assert w.rows % 16 == 0 and w.cols % 16 == 0  # VIRAM block
+        assert w.rows % 64 == 0 and w.cols % 64 == 0  # Raw block
+        assert w.rows % 8 == 0  # Imagine strip
+
+    def test_cslc_not_multiple_of_tiles(self):
+        """Keeps the Raw load-imbalance path exercised at test size."""
+        assert small_cslc().n_subbands % 16 != 0
+
+    def test_cslc_tiles_exactly(self):
+        w = small_cslc()
+        assert w.hop * (w.n_subbands - 1) + w.subband_len == w.samples
+
+    def test_beam_steering_divides_over_tiles(self):
+        assert small_beam_steering().elements % 16 == 0

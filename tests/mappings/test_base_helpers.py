@@ -1,0 +1,57 @@
+"""Tests for :mod:`repro.mappings.base` — the shared mapping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.errors import MappingError
+from repro.mappings.base import functional_match, require, resolve_calibration
+
+
+class TestFunctionalMatch:
+    def test_float_tolerance(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert functional_match(a, a + 1e-8)
+        assert not functional_match(a, a + 1.0)
+
+    def test_integer_exact(self):
+        a = np.array([1, 2, 3])
+        assert functional_match(a, a.copy())
+        assert not functional_match(a, np.array([1, 2, 4]))
+
+    def test_shape_mismatch_fails(self):
+        assert not functional_match(np.zeros(3), np.zeros(4))
+
+    def test_complex_outputs(self):
+        a = np.array([1 + 2j, 3 - 4j])
+        assert functional_match(a, a + 1e-9)
+
+    def test_failure_injection_reaches_kernel_run(self, small_ct):
+        """A corrupted output must surface as functional_ok=False end to
+        end, not be silently accepted."""
+        from repro.kernels.corner_turn import corner_turn_reference
+
+        matrix = small_ct.make_matrix(0)
+        good = corner_turn_reference(matrix)
+        corrupted = good.copy()
+        corrupted[0, 0] += 100.0
+        assert functional_match(good, corner_turn_reference(matrix))
+        assert not functional_match(corrupted, corner_turn_reference(matrix))
+
+
+class TestResolveCalibration:
+    def test_default(self):
+        assert resolve_calibration(None) is DEFAULT_CALIBRATION
+
+    def test_explicit_passthrough(self):
+        cal = Calibration()
+        assert resolve_calibration(cal) is cal
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(MappingError, match="boom"):
+            require(False, "boom")

@@ -1,0 +1,135 @@
+"""Cross-validate the PPC corner turn's closed-form miss model against
+the trace-driven cache simulator.
+
+The full-size mapping uses closed forms (DESIGN.md: "fast analytic + slow
+reference" policy); here the same traversal is replayed through
+:class:`repro.memory.cache.CacheHierarchy` at sizes where the trace is
+cheap, and the analytic classification must match what the trace shows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.ppc.machine import PpcMachine
+from repro.kernels.corner_turn import CornerTurnWorkload
+from repro.mappings.ppc_corner_turn import (
+    classify_write_revisits,
+    scalar_miss_cycles,
+)
+
+
+def transpose_trace(workload: CornerTurnWorkload):
+    """Word-address trace of the scalar transpose loop: read source
+    row-major, write destination column-walk, interleaved per element.
+
+    The destination pitch is padded by one cache line, as the mapping's
+    modelled code does (see its module docstring) — without it every
+    destination line aliases into one L1 set and both cache levels
+    thrash on conflicts rather than capacity.
+    """
+    rows, cols = workload.rows, workload.cols
+    dst_pitch = rows + 8  # one line of padding
+    src = np.arange(rows * cols, dtype=np.int64)
+    i = src // cols
+    j = src % cols
+    dst = rows * cols + j * dst_pitch + i
+    trace = np.empty(2 * rows * cols, dtype=np.int64)
+    trace[0::2] = src
+    trace[1::2] = dst
+    return trace
+
+
+def run_trace(workload: CornerTurnWorkload):
+    machine = PpcMachine()
+    hierarchy = machine.make_hierarchy()
+    return machine, hierarchy.run_trace(transpose_trace(workload))
+
+
+class TestSmallMatrixL1Regime:
+    """128 columns: write-reuse distance fits L1."""
+
+    def test_classification(self):
+        machine = PpcMachine()
+        assert classify_write_revisits(128, machine) == "l1"
+
+    def test_trace_confirms_l1_hits(self):
+        workload = CornerTurnWorkload(rows=128, cols=128)
+        machine, result = run_trace(workload)
+        # Analytic: misses are compulsory only (reads + writes, one per
+        # line).
+        expected_compulsory = 2 * workload.words / 8
+        assert result.l1.misses == pytest.approx(
+            expected_compulsory, rel=0.05
+        )
+
+    def test_stall_cycles_match_analytic(self):
+        workload = CornerTurnWorkload(rows=128, cols=128)
+        machine, result = run_trace(workload)
+        analytic = scalar_miss_cycles(workload, machine)
+        total_analytic = (
+            analytic["read_stall"]
+            + analytic["write_first_stall"]
+            + analytic["write_revisit_stall"]
+        )
+        assert result.stall_cycles == pytest.approx(total_analytic, rel=0.10)
+
+
+class TestMediumMatrixL2Regime:
+    """1024-column reuse distance spills L1 but fits L2.  A 256x1024
+    matrix keeps the trace cheap while exercising the canonical regime."""
+
+    WORKLOAD = CornerTurnWorkload(rows=256, cols=1024)
+
+    def test_classification(self):
+        machine = PpcMachine()
+        assert classify_write_revisits(1024, machine) == "l2"
+
+    def test_trace_shows_l1_write_misses_hitting_l2(self):
+        machine, result = run_trace(self.WORKLOAD)
+        # Most writes miss L1 (reuse distance 1024 lines) but hit L2.
+        words = self.WORKLOAD.words
+        assert result.l1.misses > 0.8 * words  # nearly every write misses
+        assert result.l2.hits > 0.7 * (words - words / 8)
+
+    def test_stall_cycles_match_analytic(self):
+        machine, result = run_trace(self.WORKLOAD)
+        analytic = scalar_miss_cycles(self.WORKLOAD, machine)
+        total_analytic = (
+            analytic["read_stall"]
+            + analytic["write_first_stall"]
+            + analytic["write_revisit_stall"]
+        )
+        assert result.stall_cycles == pytest.approx(total_analytic, rel=0.15)
+
+
+class TestCslcStreamingMisses:
+    """The PPC CSLC charges compulsory streaming misses with a closed
+    form; the trace confirms it: sequential channel reads miss exactly
+    once per line."""
+
+    def test_sequential_stream_compulsory_only(self, small_cs):
+        machine = PpcMachine()
+        hierarchy = machine.make_hierarchy()
+        words = (
+            (small_cs.n_channels + small_cs.n_mains) * small_cs.samples * 2
+        )
+        result = hierarchy.run_trace(np.arange(words))
+        expected_lines = words / machine.config.l1_line_words
+        assert result.l1.misses == expected_lines
+        assert result.stall_cycles == pytest.approx(
+            machine.memory_miss_stall(expected_lines)
+        )
+
+
+class TestBeamSteeringTraceRegime:
+    """Sanity on the beam-steering trace path the mapping uses directly."""
+
+    def test_second_dwell_mostly_hits(self, small_bs):
+        from repro.mappings.ppc_beam_steering import table_read_trace
+
+        machine = PpcMachine()
+        hierarchy = machine.make_hierarchy()
+        trace = table_read_trace(small_bs)
+        first = hierarchy.run_trace(trace[: trace.size // small_bs.dwells])
+        later = hierarchy.run_trace(trace[trace.size // small_bs.dwells :])
+        assert later.l1.miss_rate < first.l1.miss_rate

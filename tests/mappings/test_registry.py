@@ -1,0 +1,36 @@
+"""Tests for :mod:`repro.mappings.registry`."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mappings.registry import KERNELS, MACHINES, available, run
+
+
+class TestRegistry:
+    def test_all_fifteen_cells_present(self):
+        pairs = available()
+        assert len(pairs) == 15
+        for kernel in KERNELS:
+            for machine in MACHINES:
+                assert (kernel, machine) in pairs
+
+    def test_unknown_kernel(self):
+        with pytest.raises(MappingError):
+            run("matmul", "viram")
+
+    def test_unknown_machine(self):
+        with pytest.raises(MappingError):
+            run("cslc", "trips")
+
+    def test_run_dispatches(self, small_ct):
+        result = run("corner_turn", "raw", workload=small_ct)
+        assert result.kernel == "corner_turn"
+        assert result.machine == "raw"
+
+    def test_kwargs_forwarded(self, small_cs):
+        balanced = run("cslc", "raw", workload=small_cs, balanced=True)
+        skewed = run("cslc", "raw", workload=small_cs, balanced=False)
+        assert skewed.cycles > balanced.cycles
+
+    def test_machine_order_matches_table3(self):
+        assert MACHINES == ("ppc", "altivec", "viram", "imagine", "raw")

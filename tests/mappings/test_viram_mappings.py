@@ -1,0 +1,110 @@
+"""Behavioural tests for the VIRAM mappings (§3/§4 mechanisms)."""
+
+import pytest
+
+from repro.calibration import Calibration, ViramCalibration
+from repro.kernels.corner_turn import CornerTurnWorkload
+from repro.mappings import viram_beam_steering, viram_corner_turn, viram_cslc
+
+
+class TestCornerTurn:
+    def test_block_not_divisible_rejected(self):
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError):
+            viram_corner_turn.run(CornerTurnWorkload(rows=24, cols=24))
+
+    def test_strided_loads_cost_twice_sequential_stores(self, small_ct):
+        """The address-generator limit: 4 strided vs 8 sequential
+        words/cycle means load issue time is twice store issue time."""
+        run = viram_corner_turn.run(small_ct)
+        assert run.breakdown.get("strided loads") == pytest.approx(
+            2 * run.breakdown.get("sequential stores")
+        )
+
+    def test_startup_latency_per_block(self, small_ct):
+        run = viram_corner_turn.run(small_ct)
+        blocks = (small_ct.rows // 16) * (small_ct.cols // 16)
+        assert run.breakdown.get("startup latency") == pytest.approx(
+            blocks * 12.0
+        )
+
+    def test_row_cycle_zero_removes_activation_overhead(self, small_ct):
+        cal = Calibration(viram=ViramCalibration(dram_row_cycle=0.0))
+        run = viram_corner_turn.run(small_ct, calibration=cal)
+        assert run.breakdown.get("dram row activations") == 0.0
+
+    def test_canonical_overhead_anchors(self):
+        """§4.2: ~21% precharge+TLB, ~24% strided-load limitation."""
+        run = viram_corner_turn.run()
+        assert run.metrics["precharge_tlb_fraction"] == pytest.approx(
+            0.21, abs=0.04
+        )
+        assert run.metrics["strided_penalty_fraction"] == pytest.approx(
+            0.24, abs=0.04
+        )
+
+    def test_scales_roughly_with_area(self, small_ct):
+        small = viram_corner_turn.run(small_ct)
+        bigger = viram_corner_turn.run(
+            CornerTurnWorkload(rows=256, cols=256)
+        )
+        ratio = bigger.cycles / small.cycles
+        assert 3.0 < ratio < 5.5  # 4x the data
+
+
+class TestCSLC:
+    def test_compute_charged_at_fp_rate(self, small_cs):
+        run = viram_cslc.run(small_cs)
+        assert run.breakdown.get("compute") == pytest.approx(
+            run.ops.flops / 8.0
+        )
+
+    def test_shuffle_overhead_positive(self, small_cs):
+        run = viram_cslc.run(small_cs)
+        assert run.breakdown.get("fft shuffles") > 0
+
+    def test_canonical_slowdown_factor(self):
+        """§4.3: CSLC takes ~3.6x the peak-rate prediction."""
+        run = viram_cslc.run()
+        assert run.metrics["slowdown_vs_peak"] == pytest.approx(3.6, rel=0.2)
+
+    def test_factor_decomposition_multiplies_out(self, small_cs):
+        run = viram_cslc.run(small_cs)
+        product = (
+            run.metrics["overhead_instruction_factor"]
+            * run.metrics["alu_restriction_factor"]
+            * run.metrics["memory_startup_factor"]
+        )
+        assert product == pytest.approx(run.metrics["slowdown_vs_peak"])
+
+    def test_cancellation_reported(self, small_cs):
+        run = viram_cslc.run(small_cs)
+        assert len(run.metrics["cancellation_db"]) == small_cs.n_mains
+
+
+class TestBeamSteering:
+    def test_compute_is_lower_bound_fraction(self, small_bs):
+        """§4.4: compute is the 56% lower bound; memory is hidden."""
+        run = viram_beam_steering.run(small_bs)
+        frac = run.metrics["compute_lower_bound_fraction"]
+        assert 0.4 < frac < 0.75
+        assert run.breakdown.get("memory") == 0.0
+
+    def test_canonical_lower_bound_matches_paper(self):
+        run = viram_beam_steering.run()
+        assert run.metrics["compute_lower_bound_fraction"] == pytest.approx(
+            0.56, abs=0.05
+        )
+
+    def test_memory_hidden_cycles_reported(self, small_bs):
+        run = viram_beam_steering.run(small_bs)
+        assert run.metrics["memory_hidden_cycles"] > 0
+
+    def test_dead_time_scales_with_instructions(self, small_bs):
+        fast = Calibration(viram=ViramCalibration(vector_dead_time=0.0))
+        lazy = Calibration(viram=ViramCalibration(vector_dead_time=8.0))
+        a = viram_beam_steering.run(small_bs, calibration=fast)
+        b = viram_beam_steering.run(small_bs, calibration=lazy)
+        assert b.cycles > a.cycles
+        assert a.breakdown.get("startup") == 0.0

@@ -1,0 +1,68 @@
+"""Property tests: mapping invariants hold across workload shapes.
+
+The canonical sizes get exact assertions elsewhere; here hypothesis
+varies the workload geometry and every mapping must keep its structural
+invariants — additive breakdowns, positive cycles, verified outputs, and
+feasible networks/ports.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.beam_steering import BeamSteeringWorkload
+from repro.kernels.corner_turn import CornerTurnWorkload
+from repro.kernels.cslc import CSLCWorkload
+from repro.mappings.registry import MACHINES, run
+
+corner_sizes = st.integers(1, 4).map(lambda k: 64 * k)
+
+
+@settings(max_examples=6, deadline=None)
+@given(rows=corner_sizes, cols=corner_sizes)
+def test_corner_turn_shape_invariants(rows, cols):
+    workload = CornerTurnWorkload(rows=rows, cols=cols)
+    for machine in MACHINES:
+        result = run("corner_turn", machine, workload=workload)
+        assert result.cycles > 0
+        assert result.cycles == pytest.approx(
+            sum(v for _, v in result.breakdown.items())
+        )
+        assert result.functional_ok, machine
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    subbands=st.integers(2, 12),
+    log_len=st.integers(4, 6),
+)
+def test_cslc_shape_invariants(subbands, log_len):
+    length = 2 ** log_len
+    workload = CSLCWorkload(
+        samples=length * subbands,
+        n_subbands=subbands,
+        subband_len=length,
+    )
+    for machine in ("viram", "imagine", "raw"):
+        result = run("cslc", machine, workload=workload, seed=1)
+        assert result.cycles > 0
+        assert result.functional_ok, machine
+        assert result.percent_of_peak <= 1.0 + 1e-9
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    elements=st.integers(1, 40).map(lambda k: 16 * k),
+    directions=st.integers(1, 4),
+    dwells=st.integers(1, 3),
+)
+def test_beam_steering_shape_invariants(elements, directions, dwells):
+    workload = BeamSteeringWorkload(
+        elements=elements, directions=directions, dwells=dwells
+    )
+    for machine in MACHINES:
+        result = run("beam_steering", machine, workload=workload)
+        assert result.cycles > 0
+        assert result.functional_ok, machine
+        # Output volume drives the op census exactly.
+        assert result.ops.stores == workload.outputs

@@ -1,0 +1,219 @@
+"""Tests for :mod:`repro.memory.dram`.
+
+The key property: the vectorised :class:`DRAM` model and the per-access
+:class:`DRAMReference` simulator agree exactly on activation counts (and
+therefore on cycles) over arbitrary pattern sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.dram import (
+    DRAM,
+    DRAMConfig,
+    DRAMReference,
+    pad_pitch_for_banks,
+)
+from repro.memory.streams import Custom, Sequential, Strided
+
+
+def make_config(**overrides):
+    defaults = dict(
+        name="test",
+        banks=4,
+        row_words=64,
+        row_cycle=3.0,
+        access_latency=10.0,
+        activation_policy="bank-parallel",
+    )
+    defaults.update(overrides)
+    return DRAMConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("banks", 0),
+            ("row_words", 0),
+            ("row_cycle", -1.0),
+            ("access_latency", -1.0),
+            ("activation_policy", "magic"),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            make_config(**{field: value})
+
+
+class TestSequentialAccess:
+    def test_issue_cycles_at_rate(self):
+        dram = DRAM(make_config())
+        cost = dram.access(Sequential(0, 128), rate_words_per_cycle=8)
+        assert cost.issue_cycles == 16.0
+        assert cost.words == 128
+
+    def test_one_activation_per_row(self):
+        dram = DRAM(make_config(row_words=64, banks=4))
+        cost = dram.access(Sequential(0, 256), rate_words_per_cycle=8)
+        assert cost.activations == 4  # four 64-word rows
+
+    def test_sequential_activations_hidden_bank_parallel(self):
+        """Rows rotate across banks, so no bank accumulates more switch
+        time than the transfer takes (§4.2: "mostly hidden with
+        sequential accesses")."""
+        dram = DRAM(make_config(row_words=64, banks=4, row_cycle=3.0))
+        cost = dram.access(Sequential(0, 1024), rate_words_per_cycle=8)
+        assert cost.activation_cycles == 0.0
+
+    def test_open_row_hit_on_repeat(self):
+        dram = DRAM(make_config())
+        dram.access(Sequential(0, 64), rate_words_per_cycle=8)
+        cost = dram.access(Sequential(0, 64), rate_words_per_cycle=8)
+        assert cost.activations == 0
+
+
+class TestStridedAccess:
+    def test_large_stride_activates_every_access(self):
+        config = make_config(row_words=64, banks=4)
+        dram = DRAM(config)
+        cost = dram.access(
+            Strided(0, 16, stride=64), rate_words_per_cycle=4
+        )
+        assert cost.activations == 16
+
+    def test_bank_parallel_exposure_is_excess_over_issue(self):
+        config = make_config(row_words=64, banks=4, row_cycle=3.0)
+        dram = DRAM(config)
+        # 16 accesses, one per row, rotating over 4 banks: 4 switches per
+        # bank x 3 cycles = 12 > issue 16/4 = 4?  No: 12 vs 4 -> exposed 8.
+        cost = dram.access(Strided(0, 16, stride=64), rate_words_per_cycle=4)
+        assert cost.issue_cycles == 4.0
+        assert cost.activation_cycles == pytest.approx(12.0 - 4.0)
+
+    def test_serialized_policy_charges_all(self):
+        config = make_config(activation_policy="serialized", row_cycle=3.0)
+        dram = DRAM(config)
+        cost = dram.access(Strided(0, 16, stride=64), rate_words_per_cycle=4)
+        assert cost.activation_cycles == 16 * 3.0
+
+
+class TestState:
+    def test_state_persists_across_calls(self):
+        dram = DRAM(make_config())
+        dram.access(Strided(0, 4, stride=64), rate_words_per_cycle=4)
+        assert dram.open_rows  # rows now open
+        dram.reset()
+        assert dram.open_rows == {}
+        assert dram.total_activations == 0
+
+    def test_totals_accumulate(self):
+        dram = DRAM(make_config())
+        dram.access(Sequential(0, 64), rate_words_per_cycle=8)
+        dram.access(Sequential(64, 64), rate_words_per_cycle=8)
+        assert dram.total_words == 128
+        assert dram.total_activations == 2
+
+    def test_empty_pattern(self):
+        dram = DRAM(make_config())
+        cost = dram.access(Sequential(0, 0), rate_words_per_cycle=8)
+        assert cost.words == 0
+        assert cost.stream_cycles == 0.0
+
+    def test_invalid_rate_rejected(self):
+        dram = DRAM(make_config())
+        with pytest.raises(ConfigError):
+            dram.access(Sequential(0, 8), rate_words_per_cycle=0)
+
+    def test_invalid_kind_rejected(self):
+        dram = DRAM(make_config())
+        with pytest.raises(ConfigError):
+            dram.access(Sequential(0, 8), rate_words_per_cycle=1, kind="rmw")
+
+
+class TestCostProperties:
+    def test_cycles_per_word(self):
+        dram = DRAM(make_config())
+        cost = dram.access(Sequential(0, 64), rate_words_per_cycle=8)
+        assert cost.cycles_per_word == pytest.approx(
+            cost.stream_cycles / 64
+        )
+
+    def test_zero_words_cycles_per_word(self):
+        dram = DRAM(make_config())
+        cost = dram.access(Sequential(0, 0), rate_words_per_cycle=8)
+        assert cost.cycles_per_word == 0.0
+
+
+class TestPadPitch:
+    def test_even_advance_gets_padding(self):
+        config = make_config(row_words=64, banks=4)
+        pitch = pad_pitch_for_banks(128, config)  # advance 2, gcd 2
+        assert pitch >= 128
+        assert (pitch // 64) % 2 == 1 or pitch // 64 == 0
+
+    def test_subrow_pitch_needs_no_padding(self):
+        config = make_config(row_words=64, banks=4)
+        assert pad_pitch_for_banks(16, config) == 16
+
+    def test_odd_advance_unchanged(self):
+        config = make_config(row_words=64, banks=4)
+        assert pad_pitch_for_banks(64, config) == 64  # advance 1
+
+    def test_invalid_cols(self):
+        with pytest.raises(ConfigError):
+            pad_pitch_for_banks(0, make_config())
+
+
+@st.composite
+def pattern_sequences(draw):
+    """Random sequences of small access patterns."""
+    n_patterns = draw(st.integers(1, 5))
+    patterns = []
+    for _ in range(n_patterns):
+        kind = draw(st.sampled_from(["seq", "strided", "custom"]))
+        if kind == "seq":
+            patterns.append(
+                Sequential(draw(st.integers(0, 500)), draw(st.integers(0, 80)))
+            )
+        elif kind == "strided":
+            patterns.append(
+                Strided(
+                    draw(st.integers(0, 500)),
+                    draw(st.integers(0, 40)),
+                    draw(st.integers(1, 200)),
+                )
+            )
+        else:
+            addresses = draw(
+                st.lists(st.integers(0, 2000), min_size=0, max_size=60)
+            )
+            patterns.append(Custom(addresses))
+    return patterns
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pattern_sequences(),
+    st.integers(1, 8),
+    st.integers(8, 128),
+    st.sampled_from(["bank-parallel", "serialized"]),
+)
+def test_vectorized_matches_reference(patterns, banks, row_words, policy):
+    """The numpy DRAM and the per-access reference agree exactly."""
+    config = make_config(
+        banks=banks, row_words=row_words, activation_policy=policy
+    )
+    fast = DRAM(config)
+    slow = DRAMReference(config)
+    for pattern in patterns:
+        fast_cost = fast.access(pattern, rate_words_per_cycle=4)
+        slow_cost = slow.access(pattern, rate_words_per_cycle=4)
+        assert fast_cost.activations == slow_cost.activations
+        assert fast_cost.issue_cycles == pytest.approx(slow_cost.issue_cycles)
+        assert fast_cost.activation_cycles == pytest.approx(
+            slow_cost.activation_cycles
+        )

@@ -1,0 +1,91 @@
+"""Tests for :mod:`repro.memory.sram`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.memory.sram import Scratchpad
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 400)
+        assert pad.used_bytes == 400
+        assert pad.free_bytes == 600
+        pad.free("a")
+        assert pad.used_bytes == 0
+
+    def test_over_capacity_raises(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 800)
+        with pytest.raises(CapacityError):
+            pad.allocate("b", 300)
+
+    def test_exact_fit_allowed(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 1000)
+        assert pad.free_bytes == 0
+
+    def test_duplicate_label_rejected(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 100)
+        with pytest.raises(ConfigError):
+            pad.allocate("a", 100)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            Scratchpad("srf", 1000).free("ghost")
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ConfigError):
+            Scratchpad("srf", 1000).allocate("a", -1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Scratchpad("srf", 0)
+
+
+class TestBookkeeping:
+    def test_high_water_mark(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 700)
+        pad.free("a")
+        pad.allocate("b", 300)
+        assert pad.high_water_bytes == 700
+
+    def test_fits(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 900)
+        assert pad.fits(100)
+        assert not pad.fits(101)
+
+    def test_reset(self):
+        pad = Scratchpad("srf", 1000)
+        pad.allocate("a", 500)
+        pad.reset()
+        assert pad.used_bytes == 0
+        assert pad.high_water_bytes == 0
+
+    def test_paper_sizing_srf(self):
+        """The corner-turn matrix (4 MB) must not fit Imagine's SRF."""
+        srf = Scratchpad("imagine-srf", 128 * 1024)
+        assert not srf.fits(4 * 1024 * 1024)
+
+    def test_paper_sizing_raw_block(self):
+        """A 64x64 word block (16 KB) fits a Raw tile's 32 KB."""
+        tile = Scratchpad("raw-tile", 32 * 1024)
+        tile.allocate("block", 64 * 64 * 4)
+
+
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=30))
+def test_used_is_sum_of_live_allocations(sizes):
+    pad = Scratchpad("pad", 100_000)
+    for i, size in enumerate(sizes):
+        pad.allocate(f"a{i}", size)
+    assert pad.used_bytes == sum(sizes)
+    for i in range(0, len(sizes), 2):
+        pad.free(f"a{i}")
+    expected = sum(s for i, s in enumerate(sizes) if i % 2 == 1)
+    assert pad.used_bytes == expected

@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.memory.tlb`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.tlb import TLB
+
+
+class TestBasic:
+    def test_compulsory_miss_then_hit(self):
+        tlb = TLB(entries=4, page_words=1024, miss_cycles=6.0)
+        assert tlb.access_pages([3]) == 1
+        assert tlb.access_pages([3]) == 0
+        assert tlb.misses == 1
+        assert tlb.stall_cycles == 6.0
+
+    def test_capacity_eviction_lru(self):
+        tlb = TLB(entries=2, page_words=1024, miss_cycles=1.0)
+        tlb.access_pages([0, 1, 2])  # 0 evicted
+        assert tlb.access_pages([0]) == 1
+        assert tlb.access_pages([2]) == 0  # still resident
+
+    def test_lru_refresh_on_hit(self):
+        tlb = TLB(entries=2, page_words=1024, miss_cycles=1.0)
+        tlb.access_pages([0, 1, 0, 2])  # hit on 0 makes 1 the LRU victim
+        assert tlb.access_pages([0]) == 0
+        assert tlb.access_pages([1]) == 1
+
+    def test_sweep_larger_than_capacity_always_misses(self):
+        """The VIRAM corner-turn situation: 64 pages per sweep against a
+        48-entry TLB means every sweep misses everything (§4.2)."""
+        tlb = TLB(entries=48, page_words=1024, miss_cycles=6.0)
+        sweep = list(range(64))
+        first = tlb.access_pages(sweep)
+        second = tlb.access_pages(sweep)
+        assert first == 64
+        assert second == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(entries=0, page_words=1, miss_cycles=1.0),
+            dict(entries=1, page_words=0, miss_cycles=1.0),
+            dict(entries=1, page_words=1, miss_cycles=-1.0),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            TLB(**kwargs)
+
+
+class TestAddressInterface:
+    def test_addresses_map_to_pages(self):
+        tlb = TLB(entries=4, page_words=100, miss_cycles=1.0)
+        misses = tlb.access_addresses([0, 50, 99, 100, 250])
+        assert misses == 3  # pages 0, 1, 2
+
+    def test_empty(self):
+        tlb = TLB(entries=4, page_words=100, miss_cycles=1.0)
+        assert tlb.access_addresses(np.array([], dtype=np.int64)) == 0
+
+    def test_reset(self):
+        tlb = TLB(entries=4, page_words=100, miss_cycles=1.0)
+        tlb.access_addresses([0])
+        tlb.reset()
+        assert tlb.misses == 0
+        assert tlb.access_addresses([0]) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 10_000), min_size=1, max_size=200),
+    st.integers(1, 16),
+)
+def test_rle_compression_preserves_miss_count(addresses, entries):
+    """access_addresses (run-length compressed) matches the per-access
+    page walk exactly."""
+    page_words = 64
+    fast = TLB(entries=entries, page_words=page_words, miss_cycles=1.0)
+    slow = TLB(entries=entries, page_words=page_words, miss_cycles=1.0)
+    fast_misses = fast.access_addresses(addresses)
+    slow_misses = slow.access_pages([a // page_words for a in addresses])
+    assert fast_misses == slow_misses
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+def test_misses_bounded(pages):
+    tlb = TLB(entries=8, page_words=1, miss_cycles=1.0)
+    misses = tlb.access_pages(pages)
+    assert len(set(pages)) >= 1
+    assert misses >= len(set(pages)) - 8  # at most 8 were resident-free
+    assert misses <= len(pages)
+    assert misses >= min(len(set(pages)), 1)

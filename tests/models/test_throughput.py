@@ -1,0 +1,53 @@
+"""Tests for :mod:`repro.models.throughput` — Tables 1 and 2."""
+
+import pytest
+
+from repro.models.throughput import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    peak_throughput_table,
+    processor_parameter_table,
+)
+
+
+class TestTable1:
+    def test_derived_values_match_published(self):
+        """Table 1 must fall out of the machine configs exactly."""
+        for row in peak_throughput_table():
+            paper = PAPER_TABLE1[row.machine]
+            assert row.onchip_words_per_cycle == paper["onchip"], row.machine
+            assert row.offchip_words_per_cycle == paper["offchip"], row.machine
+            assert (
+                row.computation_words_per_cycle == paper["computation"]
+            ), row.machine
+
+    def test_three_machines(self):
+        machines = [r.machine for r in peak_throughput_table()]
+        assert machines == ["viram", "imagine", "raw"]
+
+    def test_raw_offchip_highest(self):
+        """Table 1's standout: Raw's 28-word/cycle off-chip interface."""
+        rows = {r.machine: r for r in peak_throughput_table()}
+        assert rows["raw"].offchip_words_per_cycle > max(
+            rows["viram"].offchip_words_per_cycle,
+            rows["imagine"].offchip_words_per_cycle,
+        )
+
+    def test_imagine_computation_highest(self):
+        rows = {r.machine: r for r in peak_throughput_table()}
+        assert rows["imagine"].computation_words_per_cycle == max(
+            r.computation_words_per_cycle for r in rows.values()
+        )
+
+
+class TestTable2:
+    def test_derived_values_match_published(self):
+        for row in processor_parameter_table():
+            clock, alus, gflops = PAPER_TABLE2[row.machine]
+            assert row.clock_mhz == clock, row.machine
+            assert row.n_alus == alus, row.machine
+            assert row.peak_gflops == pytest.approx(gflops), row.machine
+
+    def test_four_machines_in_paper_order(self):
+        machines = [r.machine for r in processor_parameter_table()]
+        assert machines == ["ppc", "viram", "imagine", "raw"]

@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.sim.accounting`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.accounting import CycleBreakdown
+
+
+class TestCharge:
+    def test_total_sums_categories(self):
+        bd = CycleBreakdown()
+        bd.charge("memory", 870.0)
+        bd.charge("compute", 130.0)
+        assert bd.total == 1000.0
+
+    def test_charge_accumulates_same_category(self):
+        bd = CycleBreakdown()
+        bd.charge("memory", 10.0)
+        bd.charge("memory", 5.0)
+        assert bd.get("memory") == 15.0
+
+    def test_negative_charge_rejected(self):
+        bd = CycleBreakdown()
+        with pytest.raises(ValueError):
+            bd.charge("memory", -1.0)
+
+    def test_init_from_mapping(self):
+        bd = CycleBreakdown({"a": 1.0, "b": 2.0})
+        assert bd.total == 3.0
+        assert bd.categories() == ("a", "b")
+
+    def test_unknown_category_reads_zero(self):
+        assert CycleBreakdown().get("nope") == 0.0
+
+
+class TestFractions:
+    def test_fraction(self):
+        bd = CycleBreakdown({"memory": 87.0, "kernel": 13.0})
+        assert bd.fraction("memory") == pytest.approx(0.87)
+
+    def test_fraction_of_empty_is_zero(self):
+        assert CycleBreakdown().fraction("x") == 0.0
+
+
+class TestCombinators:
+    def test_merged_adds_by_category(self):
+        a = CycleBreakdown({"x": 1.0, "y": 2.0})
+        b = CycleBreakdown({"y": 3.0, "z": 4.0})
+        merged = a.merged(b)
+        assert merged.get("x") == 1.0
+        assert merged.get("y") == 5.0
+        assert merged.get("z") == 4.0
+        # Originals untouched.
+        assert a.get("y") == 2.0
+
+    def test_scaled(self):
+        bd = CycleBreakdown({"x": 2.0}).scaled(2.5)
+        assert bd.get("x") == 5.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CycleBreakdown({"x": 1.0}).scaled(-1.0)
+
+    def test_equality(self):
+        assert CycleBreakdown({"x": 1.0}) == CycleBreakdown({"x": 1.0})
+        assert CycleBreakdown({"x": 1.0}) != CycleBreakdown({"x": 2.0})
+
+
+class TestDunder:
+    def test_iteration_order_is_insertion_order(self):
+        bd = CycleBreakdown({"b": 1.0, "a": 2.0})
+        assert list(bd) == ["b", "a"]
+
+    def test_contains_and_len(self):
+        bd = CycleBreakdown({"a": 1.0})
+        assert "a" in bd
+        assert "b" not in bd
+        assert len(bd) == 1
+
+    def test_format_includes_percentages(self):
+        text = CycleBreakdown({"memory": 87.0, "kernel": 13.0}).format()
+        assert "87.0%" in text
+        assert "memory" in text
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.floats(min_value=0, max_value=1e12),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_total_equals_sum_property(charges):
+    bd = CycleBreakdown(charges)
+    assert bd.total == pytest.approx(sum(charges.values()))
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.floats(min_value=0, max_value=1e9),
+        min_size=1,
+        max_size=8,
+    ),
+    st.floats(min_value=0, max_value=100),
+)
+def test_scaling_scales_total_property(charges, factor):
+    bd = CycleBreakdown(charges)
+    assert bd.scaled(factor).total == pytest.approx(bd.total * factor)

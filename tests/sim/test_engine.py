@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.sim.engine`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5.0, lambda: seen.append("b"))
+        eng.schedule(1.0, lambda: seen.append("a"))
+        eng.run()
+        assert seen == ["a", "b"]
+
+    def test_simultaneous_events_fifo(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.schedule(3.0, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        eng = Engine()
+        eng.schedule(7.5, lambda: None)
+        assert eng.run() == 7.5
+        assert eng.now == 7.5
+
+    def test_schedule_after(self):
+        eng = Engine()
+        times = []
+        eng.schedule(2.0, lambda: eng.schedule_after(3.0, lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [5.0]
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+
+class TestControl:
+    def test_cancel_skips_event(self):
+        eng = Engine()
+        seen = []
+        event = eng.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        eng.run()
+        assert seen == []
+        assert eng.events_processed == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.0, lambda: seen.append(1))
+        eng.schedule(10.0, lambda: seen.append(10))
+        eng.run(until=5.0)
+        assert seen == [1]
+        assert eng.now == 5.0
+        assert eng.pending == 1
+        eng.run()
+        assert seen == [1, 10]
+
+    def test_cascading_events(self):
+        """A process expressed as chained callbacks."""
+        eng = Engine()
+        ticks = []
+
+        def tick():
+            ticks.append(eng.now)
+            if len(ticks) < 4:
+                eng.schedule_after(2.0, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+
+@given(st.lists(st.floats(0, 1000), max_size=50))
+def test_events_processed_in_nondecreasing_time(times):
+    eng = Engine()
+    seen = []
+    for t in times:
+        eng.schedule(t, lambda t=t: seen.append(t))
+    eng.run()
+    assert seen == sorted(seen)
+    assert eng.events_processed == len(times)

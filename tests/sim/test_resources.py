@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.sim.resources`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.resources import IssueSlots, ThroughputPort, TimelineResource
+
+
+class TestTimelineResource:
+    def test_first_grant_starts_at_request(self):
+        r = TimelineResource("fu")
+        grant = r.acquire(5.0, 3.0)
+        assert grant.start == 5.0
+        assert grant.end == 8.0
+
+    def test_contention_delays_second_request(self):
+        r = TimelineResource("fu")
+        r.acquire(0.0, 10.0)
+        grant = r.acquire(2.0, 1.0)
+        assert grant.start == 10.0
+
+    def test_idle_gap_allowed(self):
+        r = TimelineResource("fu")
+        r.acquire(0.0, 1.0)
+        grant = r.acquire(100.0, 1.0)
+        assert grant.start == 100.0
+
+    def test_busy_and_transactions_tracked(self):
+        r = TimelineResource("fu")
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 3.0)
+        assert r.busy_cycles == 5.0
+        assert r.transactions == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineResource("fu").acquire(0.0, -1.0)
+
+    def test_utilization(self):
+        r = TimelineResource("fu")
+        r.acquire(0.0, 5.0)
+        assert r.utilization(10.0) == 0.5
+        assert r.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        r = TimelineResource("fu")
+        r.acquire(0.0, 5.0)
+        r.reset()
+        assert r.next_free == 0.0
+        assert r.busy_cycles == 0.0
+
+
+class TestThroughputPort:
+    def test_transfer_duration(self):
+        p = ThroughputPort("port", words_per_cycle=2.0)
+        grant = p.transfer(0.0, 10.0)
+        assert grant.duration == 5.0
+
+    def test_overhead_adds_busy_time(self):
+        p = ThroughputPort("port", words_per_cycle=2.0)
+        grant = p.transfer(0.0, 10.0, overhead=3.0)
+        assert grant.duration == 8.0
+
+    def test_words_tracked(self):
+        p = ThroughputPort("port", words_per_cycle=1.0)
+        p.transfer(0.0, 4.0)
+        p.transfer(0.0, 6.0)
+        assert p.words_transferred == 10.0
+
+    def test_transfer_cycles_does_not_reserve(self):
+        p = ThroughputPort("port", words_per_cycle=4.0)
+        assert p.transfer_cycles(8.0) == 2.0
+        assert p.next_free == 0.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputPort("port", words_per_cycle=0.0)
+
+    def test_negative_words_rejected(self):
+        p = ThroughputPort("port", words_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            p.transfer(0.0, -1.0)
+
+
+class TestIssueSlots:
+    def test_issue_cycles(self):
+        slots = IssueSlots("fe", width=3)
+        assert slots.issue_cycles(9.0) == 3.0
+
+    def test_exact_rounds_up(self):
+        slots = IssueSlots("fe", width=3)
+        assert slots.issue_cycles_exact(10) == 4
+
+    def test_utilization(self):
+        slots = IssueSlots("fe", width=2)
+        slots.issue_cycles(10.0)
+        assert slots.utilization(10.0) == 0.5
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IssueSlots("fe", width=0)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)), max_size=30))
+def test_timeline_grants_never_overlap(requests):
+    """Grants on a serial resource are disjoint and ordered."""
+    r = TimelineResource("fu")
+    grants = [r.acquire(earliest, duration) for earliest, duration in requests]
+    for a, b in zip(grants, grants[1:]):
+        assert b.start >= a.end
+
+
+@given(st.lists(st.floats(0.1, 50), min_size=1, max_size=20))
+def test_port_busy_equals_word_time(transfers):
+    p = ThroughputPort("port", words_per_cycle=2.0)
+    for words in transfers:
+        p.transfer(0.0, words)
+    assert p.busy_cycles == pytest.approx(sum(transfers) / 2.0)

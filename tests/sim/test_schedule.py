@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.sim.schedule`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.sim.resources import TimelineResource
+from repro.sim.schedule import DependencyScheduler, Task, critical_span
+
+
+class TestBasicScheduling:
+    def test_independent_tasks_on_one_resource_serialize(self):
+        fu = TimelineResource("fu")
+        sched = DependencyScheduler()
+        a = sched.add(Task("a", fu, 5.0))
+        b = sched.add(Task("b", fu, 3.0))
+        assert a.start == 0.0
+        assert b.start == 5.0
+        assert sched.makespan == 8.0
+
+    def test_dependency_delays_start(self):
+        fu1, fu2 = TimelineResource("fu1"), TimelineResource("fu2")
+        sched = DependencyScheduler()
+        sched.add(Task("load", fu1, 10.0))
+        compute = sched.add(Task("compute", fu2, 2.0, deps=("load",)))
+        assert compute.start == 10.0
+
+    def test_parallel_resources_overlap(self):
+        fu1, fu2 = TimelineResource("fu1"), TimelineResource("fu2")
+        sched = DependencyScheduler()
+        sched.add(Task("a", fu1, 5.0))
+        sched.add(Task("b", fu2, 5.0))
+        assert sched.makespan == 5.0
+
+    def test_earliest_bound_respected(self):
+        fu = TimelineResource("fu")
+        sched = DependencyScheduler()
+        placed = sched.add(Task("a", fu, 1.0, earliest=42.0))
+        assert placed.start == 42.0
+
+    def test_sync_task_without_resource(self):
+        fu = TimelineResource("fu")
+        sched = DependencyScheduler()
+        sched.add(Task("a", fu, 5.0))
+        join = sched.add(Task("join", None, 0.0, deps=("a",)))
+        assert join.start == 5.0
+        assert join.resource is None
+
+    def test_double_buffering_pattern(self):
+        """Load(i+1) overlaps compute(i): the classic pipeline shape the
+        Imagine mappings rely on."""
+        mem = TimelineResource("mem")
+        alu = TimelineResource("alu")
+        sched = DependencyScheduler()
+        for i in range(4):
+            deps = (f"load{i}",) if True else ()
+            sched.add(Task(f"load{i}", mem, 10.0))
+            sched.add(Task(f"compute{i}", alu, 10.0, deps=(f"load{i}",)))
+        # Perfect overlap: total = first load + 4 computes.
+        assert sched.makespan == 50.0
+
+
+class TestErrors:
+    def test_duplicate_name_rejected(self):
+        sched = DependencyScheduler()
+        sched.add(Task("a", None, 1.0))
+        with pytest.raises(ScheduleError):
+            sched.add(Task("a", None, 1.0))
+
+    def test_unknown_dependency_rejected(self):
+        sched = DependencyScheduler()
+        with pytest.raises(ScheduleError):
+            sched.add(Task("a", None, 1.0, deps=("ghost",)))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            DependencyScheduler().add(Task("a", None, -1.0))
+
+    def test_get_unknown_task(self):
+        with pytest.raises(ScheduleError):
+            DependencyScheduler().get("ghost")
+
+
+class TestQueries:
+    def test_tasks_in_submission_order(self):
+        sched = DependencyScheduler()
+        sched.add(Task("b", None, 1.0))
+        sched.add(Task("a", None, 1.0))
+        assert [t.name for t in sched.tasks] == ["b", "a"]
+
+    def test_end_time(self):
+        sched = DependencyScheduler()
+        sched.add(Task("a", None, 7.0))
+        assert sched.end_time("a") == 7.0
+
+    def test_empty_makespan(self):
+        assert DependencyScheduler().makespan == 0.0
+
+    def test_critical_span(self):
+        sched = DependencyScheduler()
+        sched.add(Task("a", None, 3.0, earliest=2.0))
+        assert critical_span(sched.tasks) == 3.0
+        assert critical_span(()) == 0.0
+
+
+@given(
+    st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20),
+    st.integers(min_value=1, max_value=4),
+)
+def test_makespan_bounds_property(durations, n_resources):
+    """Makespan is at least the busiest-resource bound and at most the
+    serial sum."""
+    resources = [TimelineResource(f"r{i}") for i in range(n_resources)]
+    sched = DependencyScheduler()
+    for i, duration in enumerate(durations):
+        sched.add(Task(f"t{i}", resources[i % n_resources], duration))
+    total = sum(durations)
+    busiest = max(
+        sum(d for i, d in enumerate(durations) if i % n_resources == r)
+        for r in range(n_resources)
+    )
+    assert sched.makespan >= busiest - 1e-9
+    assert sched.makespan <= total + 1e-9

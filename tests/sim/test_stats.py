@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.sim.stats`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, RunningMean, geometric_mean, utilization
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter("events")
+        c.add("x", 3)
+        c.add("x")
+        c.add("y", 2)
+        assert c.get("x") == 4
+        assert c.total == 6
+
+    def test_unknown_label_is_zero(self):
+        assert Counter("c").get("nope") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").add("x", -1)
+
+    def test_as_dict(self):
+        c = Counter("c")
+        c.add("a", 1)
+        assert c.as_dict() == {"a": 1}
+
+
+class TestRunningMean:
+    def test_mean_and_variance(self):
+        rm = RunningMean()
+        for v in (2.0, 4.0, 6.0):
+            rm.add(v)
+        assert rm.mean == pytest.approx(4.0)
+        assert rm.variance == pytest.approx(4.0)
+        assert rm.stddev == pytest.approx(2.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            RunningMean().mean
+
+    def test_single_observation_variance_zero(self):
+        rm = RunningMean()
+        rm.add(5.0)
+        assert rm.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_matches_two_pass_formula(self, values):
+        rm = RunningMean()
+        for v in values:
+            rm.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert rm.mean == pytest.approx(mean, abs=1e-6)
+        assert rm.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 1e6), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= gm <= max(values) * (1 + 1e-9)
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert utilization(5.0, 10.0) == 0.5
+
+    def test_clamped(self):
+        assert utilization(20.0, 10.0) == 1.0
+        assert utilization(-1.0, 10.0) == 0.0
+
+    def test_zero_total(self):
+        assert utilization(1.0, 0.0) == 0.0

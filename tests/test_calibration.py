@@ -1,0 +1,75 @@
+"""Tests for :mod:`repro.calibration` — the constants and their contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    ImagineCalibration,
+    PpcCalibration,
+    RawCalibration,
+    ViramCalibration,
+)
+
+GROUPS = (ViramCalibration, ImagineCalibration, RawCalibration, PpcCalibration)
+
+
+class TestStructure:
+    def test_default_is_all_defaults(self):
+        assert DEFAULT_CALIBRATION == Calibration()
+
+    @pytest.mark.parametrize("group", GROUPS)
+    def test_frozen(self, group):
+        instance = group()
+        field = dataclasses.fields(instance)[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(instance, field.name, 0.0)
+
+    @pytest.mark.parametrize("group", GROUPS)
+    def test_all_constants_nonnegative(self, group):
+        instance = group()
+        for field in dataclasses.fields(instance):
+            assert getattr(instance, field.name) >= 0, field.name
+
+    @pytest.mark.parametrize("group", GROUPS)
+    def test_every_constant_documented(self, group):
+        """The calibration contract: every constant's name appears in
+        its group's docstring with a paper anchor."""
+        doc = group.__doc__
+        for field in dataclasses.fields(group):
+            assert f"``{field.name}``" in doc or field.name in doc, (
+                f"{group.__name__}.{field.name} lacks a documented anchor"
+            )
+
+    def test_independent_group_replacement(self):
+        custom = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            raw=RawCalibration(cache_stall_fraction=0.05),
+        )
+        assert custom.raw.cache_stall_fraction == 0.05
+        assert custom.viram == DEFAULT_CALIBRATION.viram
+
+
+class TestPhysicalSanity:
+    def test_viram_row_cycle_sustains_between_strided_and_seq(self):
+        """The corner-turn mechanism requires the bank array to sustain
+        less than the 4-word/cycle address generators when every access
+        misses its row, but more than zero."""
+        cal = DEFAULT_CALIBRATION.viram
+        sustained = 8 / cal.dram_row_cycle  # 8 banks
+        assert 1.0 < sustained < 4.0
+
+    def test_raw_stall_fraction_below_paper_bound(self):
+        """§4.3: 'less than 10% of the execution time.'"""
+        assert DEFAULT_CALIBRATION.raw.cache_stall_fraction < 0.10
+
+    def test_imagine_inefficiency_at_least_one(self):
+        assert (
+            DEFAULT_CALIBRATION.imagine.cluster_schedule_inefficiency >= 1.0
+        )
+
+    def test_ppc_memory_latencies_ordered(self):
+        cal = DEFAULT_CALIBRATION.ppc
+        assert cal.l2_hit_cycles < cal.dram_latency_cycles

@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.cli`."""
+
+import pytest
+
+from repro.cli import _parse_option, main
+
+
+class TestParseOption:
+    def test_bool(self):
+        assert _parse_option("balanced=false") == ("balanced", False)
+        assert _parse_option("x=True") == ("x", True)
+
+    def test_int_and_float(self):
+        assert _parse_option("seed=3") == ("seed", 3)
+        assert _parse_option("f=1.5") == ("f", 1.5)
+
+    def test_string(self):
+        assert _parse_option("mode=fast") == ("mode", "fast")
+
+    def test_missing_equals(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_option("oops")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "corner_turn" in out
+        assert "viram" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "figure8" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "corner_turn", "raw"]) == 0
+        out = capsys.readouterr().out
+        assert "corner_turn on Raw" in out
+        assert "functional check: ok" in out
+
+    def test_run_with_option(self, capsys):
+        assert main(
+            ["run", "cslc", "raw", "--option", "balanced=false"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load-imbalance idle" in out
+
+    def test_run_unknown_kernel_exits_nonzero(self, capsys):
+        assert main(["run", "matmul3d", "raw"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_table(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Peak throughput" in capsys.readouterr().out
+
+    def test_table_rejects_bad_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "7"])
+
+    def test_figure(self, capsys):
+        assert main(["figure", "8"]) == 0
+        assert "log scale" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "beam_steering" in result.stdout

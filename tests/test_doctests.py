@@ -1,0 +1,28 @@
+"""Run the docstring examples, keeping them honest.
+
+Modules whose docstrings carry ``>>>`` examples are executed with
+:mod:`doctest`; a stale example fails the suite like any other test.
+"""
+
+import doctest
+
+import pytest
+
+import repro.kernels.fft
+import repro.sim.accounting
+import repro.sim.engine
+
+MODULES_WITH_EXAMPLES = [
+    repro.sim.accounting,
+    repro.sim.engine,
+    repro.kernels.fft,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

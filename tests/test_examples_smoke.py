@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts and the top-level convenience API.
+
+The heavyweight examples (reproduce_paper, architecture_explorer) are
+exercised indirectly through the experiment-registry tests; here the two
+fast ones run end to end as subprocesses, and the ``repro.run_kernel``
+facade is checked directly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "beam_steering")
+        assert result.returncode == 0, result.stderr
+        assert "Raw" in result.stdout
+        assert "functional" in result.stdout
+
+    def test_quickstart_rejects_unknown_kernel(self):
+        result = run_example("quickstart.py", "raytrace")
+        assert result.returncode != 0
+
+    def test_custom_kernel(self):
+        result = run_example("custom_kernel.py")
+        assert result.returncode == 0, result.stderr
+        assert "streaming" in result.stdout
+        assert "MIMD" in result.stdout
+
+
+class TestRunKernelFacade:
+    def test_run_kernel(self, small_bs):
+        import repro
+
+        result = repro.run_kernel("beam_steering", "raw", workload=small_bs)
+        assert result.kernel == "beam_steering"
+        assert result.cycles > 0
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,48 @@
+"""Regression pin: the canonical model outputs, frozen.
+
+The golden test (tests/test_paper_reproduction.py) checks fidelity to
+the *paper* with deliberately loose bands; this one pins the model's own
+current canonical outputs tightly, so an accidental behaviour change —
+a mapping edit, a substrate fix, a calibration bump — fails visibly even
+when it stays inside the paper bands.  Update the pins (and EXPERIMENTS
+.md) deliberately when a change is intentional.
+"""
+
+import pytest
+
+from repro.eval.tables import run_table3
+
+#: Canonical model kilocycles at the default calibration.
+PINNED_KILOCYCLES = {
+    ("corner_turn", "ppc"): 38_448,
+    ("corner_turn", "altivec"): 28_661,
+    ("corner_turn", "viram"): 566,
+    ("corner_turn", "imagine"): 1_511,
+    ("corner_turn", "raw"): 145,
+    ("cslc", "ppc"): 28_330,
+    ("cslc", "altivec"): 4_976,
+    ("cslc", "viram"): 416,
+    ("cslc", "imagine"): 202,
+    ("cslc", "raw"): 366,
+    ("beam_steering", "ppc"): 644,
+    ("beam_steering", "altivec"): 342,
+    ("beam_steering", "viram"): 34,
+    ("beam_steering", "imagine"): 90,
+    ("beam_steering", "raw"): 18,
+}
+
+
+@pytest.fixture(scope="module")
+def canonical_results():
+    return run_table3()
+
+
+@pytest.mark.parametrize("cell", sorted(PINNED_KILOCYCLES))
+def test_pinned_cycles(canonical_results, cell):
+    model = canonical_results[cell].kilocycles
+    pinned = PINNED_KILOCYCLES[cell]
+    assert model == pytest.approx(pinned, rel=0.01), (
+        f"{cell}: model {model:,.1f}k drifted from pinned {pinned:,}k — "
+        "if this change is intentional, update PINNED_KILOCYCLES and "
+        "EXPERIMENTS.md together"
+    )
