@@ -1,0 +1,57 @@
+"""Perf-regression guard for the run cache and the vectorized hot paths.
+
+Times the canonical Table 3 sweep cold (empty cache) and warm (every
+cell cached) and asserts the warm pass is at least 10x faster — the
+memoization contract with margin to spare.  Also measures one full
+``report`` generation and writes ``BENCH_PR1.json`` at the repo root so
+wall-times are tracked alongside the model-accuracy benchmarks.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.eval.report import full_report
+from repro.eval.tables import run_table3
+from repro.perf.cache import RUN_CACHE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_cached_table3_at_least_10x_faster(benchmark):
+    RUN_CACHE.clear()
+
+    t0 = time.perf_counter()
+    cold_results = run_table3()
+    cold = time.perf_counter() - t0
+
+    def warm_pass():
+        return run_table3()
+
+    warm_results = benchmark.pedantic(warm_pass, rounds=3, iterations=1)
+    warm = benchmark.stats.stats.mean
+
+    assert repr(warm_results) == repr(cold_results)
+    assert RUN_CACHE.hits >= 15
+    speedup = cold / warm
+    assert speedup >= 10.0, (
+        f"cached sweep only {speedup:.1f}x faster (cold {cold:.3f}s, "
+        f"warm {warm:.4f}s); the run cache has regressed"
+    )
+
+    t0 = time.perf_counter()
+    report_text = full_report()
+    report_seconds = time.perf_counter() - t0
+
+    payload = {
+        "table3_cold_seconds": cold,
+        "table3_warm_seconds": warm,
+        "cache_speedup": speedup,
+        "report_seconds": report_seconds,
+        "report_lines": report_text.count("\n") + 1,
+        "run_cache": RUN_CACHE.stats(),
+    }
+    (REPO_ROOT / "BENCH_PR1.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    benchmark.extra_info.update(payload)

@@ -9,6 +9,8 @@ Commands
     columns.
 ``report``
     Run every registered experiment (the EXPERIMENTS.md content).
+    ``--jobs N`` spreads the kernel runs over N worker processes;
+    ``--perf`` prints timer and run-cache statistics to stderr.
 ``experiments``
     List the experiment registry.
 ``list``
@@ -23,6 +25,7 @@ Examples
     python -m repro table 3
     python -m repro figure 8
     python -m repro report
+    python -m repro report --jobs 4 --perf
 """
 
 from __future__ import annotations
@@ -85,7 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
     figure_p = sub.add_parser("figure", help="regenerate a paper figure")
     figure_p.add_argument("number", type=int, choices=(8, 9))
 
-    sub.add_parser("report", help="run every experiment (EXPERIMENTS.md)")
+    report_p = sub.add_parser(
+        "report", help="run every experiment (EXPERIMENTS.md)"
+    )
+    report_p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "evaluate the suite's kernel runs on N worker processes "
+            "(output is identical to serial; default serial)"
+        ),
+    )
+    report_p.add_argument(
+        "--perf",
+        action="store_true",
+        help="print timer and run-cache statistics to stderr afterwards",
+    )
     sub.add_parser("experiments", help="list the experiment registry")
     sub.add_parser("list", help="list kernels and machines")
     return parser
@@ -116,10 +137,17 @@ def _cmd_figure(args) -> int:
     return 0
 
 
-def _cmd_report(_args) -> int:
+def _cmd_report(args) -> int:
     from repro.eval.report import full_report
 
-    print(full_report())
+    # Perf output goes to stderr so the report on stdout stays
+    # byte-identical whether or not instrumentation is requested.
+    print(full_report(jobs=args.jobs))
+    if args.perf:
+        from repro.perf import RUN_CACHE, timers
+
+        print(timers.render(), file=sys.stderr)
+        print(RUN_CACHE.format_stats(), file=sys.stderr)
     return 0
 
 

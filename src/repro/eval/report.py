@@ -9,12 +9,24 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.eval.experiments import EXPERIMENTS, ExperimentResult
+from repro.eval.experiments import EXPERIMENTS, ExperimentResult, prewarm
 from repro.eval.tables import run_table3
 
 
-def full_report(workloads: Optional[Dict[str, object]] = None) -> str:
-    """Run all experiments (sharing one Table 3 sweep) and render them."""
+def full_report(
+    workloads: Optional[Dict[str, object]] = None,
+    jobs: Optional[int] = None,
+) -> str:
+    """Run all experiments (sharing one Table 3 sweep) and render them.
+
+    ``jobs > 1`` prewarms the run cache on a process pool first; the
+    experiments then render from cache hits, so the report text is
+    byte-identical to a serial run.
+    """
+    from repro.perf.executor import resolve_jobs
+
+    if resolve_jobs(jobs) > 1:
+        prewarm(workloads, jobs=jobs)
     results = run_table3(workloads)
     sections = []
     for experiment_id, fn in EXPERIMENTS.items():

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.kernels.corner_turn import CornerTurnWorkload
@@ -45,38 +45,69 @@ class ScalingPoint:
 def corner_turn_scaling(
     sizes: Sequence[int] = DEFAULT_SIZES,
     machines: Sequence[str] = SCALING_MACHINES,
+    jobs: Optional[int] = None,
 ) -> Tuple[ScalingPoint, ...]:
     """Run the corner turn at each square ``size`` on each machine.
 
     Results are memoised per (sizes, machines): the sweep is
-    deterministic and each large-matrix run costs seconds.
+    deterministic and each large-matrix run costs seconds.  ``jobs > 1``
+    evaluates the grid on a process pool — the points are independent,
+    so the tuple is identical to serial execution (and the memo is
+    shared across ``jobs`` values).
     """
-    return _corner_turn_scaling(tuple(sizes), tuple(machines))
+    return _corner_turn_scaling(tuple(sizes), tuple(machines), jobs=jobs)
 
 
 @lru_cache(maxsize=16)
-def _corner_turn_scaling(
+def _scaling_memo(
     sizes: Tuple[int, ...], machines: Tuple[str, ...]
+) -> Dict[str, object]:
+    """Shared memo cell for one (sizes, machines) grid.
+
+    ``jobs`` must not be part of the memo key — parallel and serial
+    results are identical, so the first evaluation wins regardless of
+    how it was computed.
+    """
+    return {}
+
+
+def _corner_turn_scaling(
+    sizes: Tuple[int, ...], machines: Tuple[str, ...],
+    jobs: Optional[int] = None,
 ) -> Tuple[ScalingPoint, ...]:
     if not sizes:
         raise ExperimentError("empty size sweep")
+    memo = _scaling_memo(sizes, machines)
+    if "points" in memo:
+        return memo["points"]
+    from repro.perf.executor import run_cells
+
+    workloads = {
+        size: CornerTurnWorkload(rows=size, cols=size) for size in sizes
+    }
+    grid = [(size, machine) for size in sizes for machine in machines]
+    outcomes = run_cells(
+        [
+            ("corner_turn", machine, {"workload": workloads[size]})
+            for size, machine in grid
+        ],
+        jobs=jobs,
+    )
     points = []
-    for size in sizes:
-        workload = CornerTurnWorkload(rows=size, cols=size)
-        for machine in machines:
-            result = run("corner_turn", machine, workload=workload)
-            points.append(
-                ScalingPoint(
-                    size=size,
-                    machine=machine,
-                    cycles=result.cycles,
-                    cycles_per_word=result.cycles / workload.words,
-                    fits_onchip=bool(
-                        result.metrics.get("fits_onchip", True)
-                    ),
-                )
+    for (size, machine), result in zip(grid, outcomes):
+        points.append(
+            ScalingPoint(
+                size=size,
+                machine=machine,
+                cycles=result.cycles,
+                cycles_per_word=result.cycles / workloads[size].words,
+                fits_onchip=bool(
+                    result.metrics.get("fits_onchip", True)
+                ),
             )
-    return tuple(points)
+        )
+    memo["points"] = tuple(points)
+    return memo["points"]
 
 
 def crossover_summary(points: Sequence[ScalingPoint]) -> Dict[str, float]:

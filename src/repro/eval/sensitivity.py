@@ -122,25 +122,32 @@ def sweep(
     delta: float = 0.25,
     constants: Optional[Sequence[Tuple[str, str]]] = None,
     workloads: Optional[Dict[str, object]] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[SensitivityRow, ...]:
     """Perturb each constant by ±``delta`` and measure its cells.
 
     ``constants`` restricts the sweep (default: all of
     :data:`CONSTANT_CELLS`); ``workloads`` overrides the canonical
-    workloads per kernel (used by tests for speed).
+    workloads per kernel (used by tests for speed); ``jobs > 1``
+    evaluates the perturbed cells on a process pool — each (cell,
+    calibration) run is independent, so the rows are identical to
+    serial execution.
     """
     if not 0 < delta < 1:
         raise ExperimentError(f"delta must be in (0, 1), got {delta}")
     targets = list(constants) if constants else list(CONSTANT_CELLS)
-    rows: List[SensitivityRow] = []
-    baseline_cache: Dict[Cell, float] = {}
 
-    def run_cell(kernel: str, machine: str, cal: Calibration) -> float:
-        kwargs = {}
+    def cell_kwargs(kernel: str, cal: Calibration) -> Dict[str, object]:
+        kwargs: Dict[str, object] = {"calibration": cal}
         if workloads and kernel in workloads:
             kwargs["workload"] = workloads[kernel]
-        return run(kernel, machine, calibration=cal, **kwargs).cycles
+        return kwargs
 
+    # First pass: one run request per (cell, calibration) measurement,
+    # in deterministic order; the executor folds duplicates (shared
+    # baselines, cells reached by several constants) into one run each.
+    requests = []
+    row_specs = []
     for machine, constant in targets:
         if (machine, constant) not in CONSTANT_CELLS:
             raise ExperimentError(
@@ -150,22 +157,35 @@ def sweep(
         down = perturbed_calibration(machine, constant, 1 - delta)
         for cell in CONSTANT_CELLS[(machine, constant)]:
             kernel, cell_machine = cell
-            if cell not in baseline_cache:
-                baseline_cache[cell] = run_cell(
-                    kernel, cell_machine, DEFAULT_CALIBRATION
+            indices = {}
+            for which, cal in (
+                ("baseline", DEFAULT_CALIBRATION),
+                ("up", up),
+                ("down", down),
+            ):
+                indices[which] = len(requests)
+                requests.append(
+                    (kernel, cell_machine, cell_kwargs(kernel, cal))
                 )
-            rows.append(
-                SensitivityRow(
-                    machine=machine,
-                    constant=constant,
-                    kernel=kernel,
-                    cell_machine=cell_machine,
-                    baseline_cycles=baseline_cache[cell],
-                    up_cycles=run_cell(kernel, cell_machine, up),
-                    down_cycles=run_cell(kernel, cell_machine, down),
-                    delta=delta,
-                )
+            row_specs.append((machine, constant, cell, indices))
+
+    from repro.perf.executor import run_cells
+
+    outcomes = run_cells(requests, jobs=jobs)
+    rows: List[SensitivityRow] = []
+    for machine, constant, (kernel, cell_machine), indices in row_specs:
+        rows.append(
+            SensitivityRow(
+                machine=machine,
+                constant=constant,
+                kernel=kernel,
+                cell_machine=cell_machine,
+                baseline_cycles=outcomes[indices["baseline"]].cycles,
+                up_cycles=outcomes[indices["up"]].cycles,
+                down_cycles=outcomes[indices["down"]].cycles,
+                delta=delta,
             )
+        )
     return tuple(rows)
 
 

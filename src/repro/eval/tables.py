@@ -51,20 +51,37 @@ MACHINE_TITLES = {
 def run_table3(
     workloads: Optional[Mapping[str, object]] = None,
     runner: Callable[..., KernelRun] = run,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, str], KernelRun]:
     """Run all fifteen Table 3 cells; returns (kernel, machine) -> run.
 
     ``workloads`` optionally overrides the canonical workload per kernel
     (used by the tests to exercise the full pipeline at small sizes).
+    ``jobs > 1`` evaluates the cells on a process pool (results are
+    identical to serial execution; the cells are independent).  A custom
+    ``runner`` forces serial execution — only the registry runner is
+    safe to dispatch to workers.
     """
-    results: Dict[Tuple[str, str], KernelRun] = {}
+    cells = []
     for kernel in KERNELS:
         kwargs = {}
         if workloads and kernel in workloads:
             kwargs["workload"] = workloads[kernel]
         for machine in MACHINES:
-            results[(kernel, machine)] = runner(kernel, machine, **kwargs)
-    return results
+            cells.append((kernel, machine, kwargs))
+    if runner is run:
+        from repro.perf.executor import run_cells
+
+        outcomes = run_cells(cells, jobs=jobs)
+    else:
+        outcomes = [
+            runner(kernel, machine, **kwargs)
+            for kernel, machine, kwargs in cells
+        ]
+    return {
+        (kernel, machine): outcome
+        for (kernel, machine, _), outcome in zip(cells, outcomes)
+    }
 
 
 def render_table1() -> str:

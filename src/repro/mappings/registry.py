@@ -4,6 +4,13 @@
 five machine names match the paper's Table 3 rows (``ppc``, ``altivec``,
 ``viram``, ``imagine``, ``raw``) and the three kernel names its columns
 (``corner_turn``, ``cslc``, ``beam_steering``).
+
+Runs are memoized through :data:`repro.perf.cache.RUN_CACHE`: mappings
+are pure functions of their arguments, so a repeated ``(kernel,
+machine, kwargs)`` request is served from a defensive copy of the first
+result instead of re-simulated.  Pass ``cache=False`` to force a fresh
+simulation (the opt-out for stateful experiments), or disable the cache
+globally with ``REPRO_RUN_CACHE=0``.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from typing import Callable, Dict, Tuple
 
 from repro.arch.base import KernelRun
 from repro.errors import MappingError
+from repro.perf import timers
+from repro.perf.cache import RUN_CACHE, cache_key
 from repro.mappings import (
     imagine_beam_steering,
     imagine_corner_turn,
@@ -56,11 +65,15 @@ def available() -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def run(kernel: str, machine: str, **kwargs) -> KernelRun:
+def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun:
     """Run ``kernel`` on ``machine``; keyword arguments are forwarded to
     the mapping (``workload=``, ``calibration=``, ``seed=``, and any
     mapping-specific options such as ``balanced=`` or
-    ``tables_in_srf=``)."""
+    ``tables_in_srf=``).
+
+    Results are memoized (see the module docstring); ``cache=False``
+    bypasses the cache for this call.
+    """
     try:
         fn = _REGISTRY[(kernel, machine)]
     except KeyError:
@@ -68,4 +81,20 @@ def run(kernel: str, machine: str, **kwargs) -> KernelRun:
             f"no mapping for kernel {kernel!r} on machine {machine!r}; "
             f"kernels: {KERNELS}, machines: {MACHINES}"
         ) from None
-    return fn(**kwargs)
+    if not (cache and RUN_CACHE.enabled):
+        RUN_CACHE.note_bypass()
+        with timers.timer(f"run:{kernel}/{machine}"):
+            return fn(**kwargs)
+    key = cache_key(kernel, machine, kwargs)
+    if key is None:
+        # An argument has no canonical content encoding; run uncached.
+        RUN_CACHE.note_bypass()
+        with timers.timer(f"run:{kernel}/{machine}"):
+            return fn(**kwargs)
+    hit = RUN_CACHE.lookup(key)
+    if hit is not None:
+        return hit
+    with timers.timer(f"run:{kernel}/{machine}"):
+        result = fn(**kwargs)
+    RUN_CACHE.insert(key, result)
+    return result

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.arch.base import KernelRun
 from repro.arch.viram.machine import ViramMachine, padded_pitch
 from repro.calibration import Calibration
@@ -45,7 +47,6 @@ from repro.kernels.corner_turn import (
 )
 from repro.kernels.workloads import canonical_corner_turn
 from repro.mappings.base import functional_match, require, resolve_calibration
-from repro.memory.streams import Tiled2D
 from repro.sim.accounting import CycleBreakdown
 from repro.units import WORD_BYTES
 
@@ -75,45 +76,41 @@ def run(
         src_bytes + dst_bytes <= machine.config.onchip_dram_bytes
     )
 
-    breakdown_items = {
-        "strided loads": 0.0,
-        "sequential stores": 0.0,
-        "dram row activations": 0.0,
-        "startup latency": 0.0,
-    }
-    activations = 0
-
     # Block-column-outer order: the destination block-row's DRAM rows and
-    # page stay live across the whole sweep of source block-rows.
+    # page stay live across the whole sweep of source block-rows.  Each
+    # block is one strided column-major load (Tiled2D order="col") then
+    # one sequential row-major store (order="row"); the whole interleaved
+    # load/store stream is built with broadcasting and costed in a single
+    # batched pass rather than one pattern object per block.
     dest_base = workload.rows * src_pitch  # destination follows the source
     n_block_rows = workload.rows // BLOCK
     n_block_cols = workload.cols // BLOCK
-    for bj in range(n_block_cols):
-        for bi in range(n_block_rows):
-            load = Tiled2D(
-                base=bi * BLOCK * src_pitch + bj * BLOCK,
-                rows=BLOCK,
-                cols=BLOCK,
-                pitch=src_pitch,
-                order="col",
-            )
-            load_cost = machine.load(load, strided=True)
-            breakdown_items["strided loads"] += load_cost.issue_cycles
-            breakdown_items["dram row activations"] += load_cost.activation_cycles
-            breakdown_items["startup latency"] += machine.cal.exposed_load_latency
-            activations += load_cost.activations
+    n_blocks = n_block_rows * n_block_cols
+    block_words = BLOCK * BLOCK
 
-            store = Tiled2D(
-                base=dest_base + bj * BLOCK * dst_pitch + bi * BLOCK,
-                rows=BLOCK,
-                cols=BLOCK,
-                pitch=dst_pitch,
-                order="row",
-            )
-            store_cost = machine.store(store, strided=False)
-            breakdown_items["sequential stores"] += store_cost.issue_cycles
-            breakdown_items["dram row activations"] += store_cost.activation_cycles
-            activations += store_cost.activations
+    bj = np.repeat(np.arange(n_block_cols, dtype=np.int64), n_block_rows)
+    bi = np.tile(np.arange(n_block_rows, dtype=np.int64), n_block_cols)
+    load_bases = bi * BLOCK * src_pitch + bj * BLOCK
+    store_bases = dest_base + bj * BLOCK * dst_pitch + bi * BLOCK
+    offs = np.arange(BLOCK, dtype=np.int64)
+    load_offsets = (offs[:, None] + src_pitch * offs[None, :]).reshape(-1)
+    store_offsets = (dst_pitch * offs[:, None] + offs[None, :]).reshape(-1)
+
+    addresses = np.empty((n_blocks, 2 * block_words), dtype=np.int64)
+    addresses[:, :block_words] = load_bases[:, None] + load_offsets[None, :]
+    addresses[:, block_words:] = store_bases[:, None] + store_offsets[None, :]
+    seg_lengths = np.full(2 * n_blocks, block_words, dtype=np.int64)
+    strided = np.zeros(2 * n_blocks, dtype=bool)
+    strided[0::2] = True  # loads are strided, stores sequential
+    cost = machine.stream_batch(addresses.reshape(-1), seg_lengths, strided)
+
+    breakdown_items = {
+        "strided loads": float(cost.issue_cycles[0::2].sum()),
+        "sequential stores": float(cost.issue_cycles[1::2].sum()),
+        "dram row activations": float(cost.activation_cycles.sum()),
+        "startup latency": n_blocks * machine.cal.exposed_load_latency,
+    }
+    activations = int(cost.activations.sum())
 
     breakdown = CycleBreakdown(breakdown_items)
     breakdown.charge("tlb misses", machine.tlb.stall_cycles)

@@ -43,7 +43,7 @@ Two implementations are provided and cross-validated by tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,11 +127,55 @@ class DRAMCost:
         return self.stream_cycles / self.words
 
 
+@dataclass(frozen=True)
+class DRAMBatchCost:
+    """Per-segment costs of one batched access run (see
+    :meth:`DRAM.access_run`).
+
+    Each field is an array with one entry per segment; entry ``i`` is
+    exactly what a standalone :meth:`DRAM.access` call for segment ``i``
+    would have returned, given the open-row state left by segments
+    ``0..i-1``.
+    """
+
+    words: np.ndarray
+    issue_cycles: np.ndarray
+    activation_cycles: np.ndarray
+    activations: np.ndarray
+    access_latency: float
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.words.size)
+
+    def segment(self, i: int) -> DRAMCost:
+        """Segment ``i``'s cost as a standalone :class:`DRAMCost`."""
+        return DRAMCost(
+            words=int(self.words[i]),
+            issue_cycles=float(self.issue_cycles[i]),
+            activation_cycles=float(self.activation_cycles[i]),
+            activations=int(self.activations[i]),
+            access_latency=self.access_latency,
+        )
+
+
 def _bank_and_row(addresses: np.ndarray, config: DRAMConfig) -> Tuple[np.ndarray, np.ndarray]:
-    """Map word addresses to (bank, row-within-bank) arrays."""
-    dram_row = addresses // config.row_words
-    bank = dram_row % config.banks
-    row = dram_row // config.banks
+    """Map word addresses to (bank, row-within-bank) arrays.
+
+    Addresses are non-negative, so when the geometry is a power of two
+    (every modelled machine's is) the divisions reduce to shifts and
+    masks — int64 division has no SIMD path and dominates large runs.
+    """
+    row_words = config.row_words
+    banks = config.banks
+    if row_words & (row_words - 1) == 0 and banks & (banks - 1) == 0:
+        dram_row = addresses >> (row_words.bit_length() - 1)
+        bank = dram_row & (banks - 1)
+        row = dram_row >> (banks.bit_length() - 1)
+        return bank, row
+    dram_row = addresses // row_words
+    bank = dram_row % banks
+    row = dram_row // banks
     return bank, row
 
 
@@ -191,74 +235,103 @@ class DRAM:
         n = int(addresses.size)
         if n == 0:
             return DRAMCost(0, 0.0, 0.0, 0, self.config.access_latency)
+        batch = self.access_run(
+            addresses,
+            np.asarray([n], dtype=np.int64),
+            np.asarray([rate_words_per_cycle], dtype=np.float64),
+        )
+        return batch.segment(0)
 
-        bank, row = _bank_and_row(addresses, self.config)
-        activations, per_bank = self._count_activations(bank, row)
+    def access_run(
+        self,
+        addresses: Sequence[int],
+        seg_lengths: Sequence[int],
+        rates_words_per_cycle: Sequence[float],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> DRAMBatchCost:
+        """Cost of streaming many back-to-back patterns in one call.
 
-        issue_cycles = n / rate_words_per_cycle
+        ``addresses`` is the program-ordered concatenation of the
+        segments' word addresses; segment ``i`` spans the next
+        ``seg_lengths[i]`` entries and issues at
+        ``rates_words_per_cycle[i]``.  Semantically identical to calling
+        :meth:`access` once per segment (open-row state threads through
+        the whole run and persists afterwards), but activation counting
+        is vectorised over the entire address stream — one numpy pass
+        instead of per-segment Python calls — which is what makes
+        megaword blocked mappings (the VIRAM corner turn's thousands of
+        16x16 tiles) fast.
+        """
+        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        seg_lengths = np.ascontiguousarray(seg_lengths, dtype=np.int64)
+        rates = np.ascontiguousarray(rates_words_per_cycle, dtype=np.float64)
+        n_seg = int(seg_lengths.size)
+        if rates.size != n_seg:
+            raise ConfigError(
+                f"{rates.size} rates for {n_seg} segments"
+            )
+        if n_seg and seg_lengths.min() < 0:
+            raise ConfigError("negative segment length")
+        if n_seg and rates.min() <= 0:
+            raise ConfigError("rate_words_per_cycle must be positive")
+        if kinds is not None:
+            for kind in kinds:
+                if kind not in ("read", "write"):
+                    raise ConfigError(
+                        f"kind must be 'read' or 'write', got {kind!r}"
+                    )
+        if int(seg_lengths.sum()) != int(addresses.size):
+            raise ConfigError(
+                f"segment lengths sum to {int(seg_lengths.sum())} but "
+                f"{int(addresses.size)} addresses were given"
+            )
+
+        issue_cycles = np.zeros(n_seg, dtype=np.float64)
+        nonempty = seg_lengths > 0
+        issue_cycles[nonempty] = seg_lengths[nonempty] / rates[nonempty]
+
+        worst = np.zeros(n_seg, dtype=np.int64)
+        activations = np.zeros(n_seg, dtype=np.int64)
+        if addresses.size:
+            seg_ids = np.repeat(np.arange(n_seg, dtype=np.int64), seg_lengths)
+            bank, row = _bank_and_row(addresses, self.config)
+            # Per bank, in program order: an access activates when its row
+            # differs from the bank's previous access (or its open row, for
+            # the bank's first access of the run).  Banks are independent,
+            # so each is one vectorised pass.
+            for b in range(self.config.banks):
+                idx = np.flatnonzero(bank == b)
+                if idx.size == 0:
+                    continue
+                rows_b = row[idx]
+                changed = np.empty(idx.size, dtype=bool)
+                changed[0] = self._open_rows.get(b) != int(rows_b[0])
+                changed[1:] = rows_b[1:] != rows_b[:-1]
+                per_seg = np.bincount(
+                    seg_ids[idx[changed]], minlength=n_seg
+                )
+                np.maximum(worst, per_seg, out=worst)
+                activations += per_seg
+                self._open_rows[b] = int(rows_b[-1])
+
         if self.config.activation_policy == "serialized":
             activation_cycles = activations * self.config.row_cycle
         else:
-            # Bank-parallel: the most-loaded bank's activation work is
-            # exposed only where it exceeds the pattern's transfer time.
-            worst = max(per_bank.values()) if per_bank else 0
-            activation_cycles = max(
+            # Bank-parallel: per segment, the most-loaded bank's activation
+            # work is exposed only where it exceeds the transfer time.
+            activation_cycles = np.maximum(
                 0.0, worst * self.config.row_cycle - issue_cycles
             )
 
-        self._total_activations += activations
-        self._total_words += n
-        return DRAMCost(
-            words=n,
+        self._total_activations += int(activations.sum())
+        self._total_words += int(addresses.size)
+        return DRAMBatchCost(
+            words=seg_lengths,
             issue_cycles=issue_cycles,
             activation_cycles=activation_cycles,
             activations=activations,
             access_latency=self.config.access_latency,
         )
-
-    def _count_activations(
-        self, bank: np.ndarray, row: np.ndarray
-    ) -> Tuple[int, Dict[int, int]]:
-        """Count row switches in program order and update open rows.
-
-        Within each bank the access order is preserved (stable sort by
-        bank), so a switch is counted whenever the row differs from the
-        bank's previous access — exactly what the per-access reference
-        implementation does.
-        """
-        order = np.argsort(bank, kind="stable")
-        b_sorted = bank[order]
-        r_sorted = row[order]
-
-        # Boundaries between bank groups in the sorted arrays.
-        group_start = np.ones(b_sorted.size, dtype=bool)
-        group_start[1:] = b_sorted[1:] != b_sorted[:-1]
-
-        # Row change relative to the previous access in the same bank.
-        changed = np.ones(r_sorted.size, dtype=bool)
-        changed[1:] = r_sorted[1:] != r_sorted[:-1]
-
-        # First access of each bank group: compare against the open row.
-        start_idx = np.nonzero(group_start)[0]
-        for idx in start_idx:
-            b = int(b_sorted[idx])
-            open_row = self._open_rows.get(b)
-            changed[idx] = open_row != int(r_sorted[idx])
-
-        misses = changed  # group-start entries were fixed up above
-        # Count per bank and total.
-        miss_banks = b_sorted[misses]
-        per_bank: Dict[int, int] = {}
-        for b, count in zip(*np.unique(miss_banks, return_counts=True)):
-            per_bank[int(b)] = int(count)
-        activations = int(misses.sum())
-
-        # Update open rows: last row accessed in each bank.
-        end_idx = np.concatenate([start_idx[1:] - 1, [b_sorted.size - 1]])
-        for idx in end_idx:
-            self._open_rows[int(b_sorted[idx])] = int(r_sorted[idx])
-
-        return activations, per_bank
 
 
 class DRAMReference:

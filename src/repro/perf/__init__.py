@@ -1,0 +1,31 @@
+"""Performance layer: run-result memoization, parallel sweeps, timers.
+
+Three orthogonal tools, all invisible to the modelled results:
+
+* :mod:`repro.perf.cache` — a content-addressed memoization cache for
+  :func:`repro.mappings.registry.run`; identical requests are served
+  from defensive copies instead of re-simulated.
+* :mod:`repro.perf.executor` — a process-pool sweep executor (with a
+  transparent serial fallback) for lists of independent run requests;
+  the CLI's ``report --jobs N`` and the sensitivity/scaling sweeps'
+  ``jobs=`` plumb into it.
+* :mod:`repro.perf.timers` — nested wall-time timers and counters for
+  profiling the simulator itself (``report --perf``).
+
+Determinism contract: everything in this package must leave modelled
+numbers bit-identical — the cache and executor only change *when and
+where* a mapping executes, never what it returns, and the regression
+pins plus the cache-correctness tests enforce that.
+"""
+
+from repro.perf.cache import RUN_CACHE, RunCache, cache_key
+from repro.perf.executor import RunRequest, resolve_jobs, run_cells
+
+__all__ = [
+    "RUN_CACHE",
+    "RunCache",
+    "RunRequest",
+    "cache_key",
+    "resolve_jobs",
+    "run_cells",
+]

@@ -1,0 +1,192 @@
+"""Content-addressed memoization cache for kernel runs.
+
+Every mapping in this library is a *pure function* of its arguments: the
+machine models are constructed fresh inside each ``run``, the functional
+matrices come from seeded generators, and no global state leaks in.
+That determinism is what makes memoization safe — two calls with equal
+``(kernel, machine, kwargs)`` return value-identical :class:`KernelRun`
+records, so the second can be served from a cache.
+
+The key is a content hash (:func:`cache_key`) over a canonical encoding
+of the arguments: frozen dataclasses (workloads, calibrations) hash by
+type and field values, numpy arrays by dtype/shape/bytes, containers
+element-wise.  Arguments the encoder does not recognise make the call
+*uncacheable* — it runs normally and is counted as a bypass, never an
+error.
+
+Returned runs are defensively independent: the cache stores and serves
+deep copies, so mutating a result (its ``metrics`` dict, its ``output``
+array) can never corrupt later hits.
+
+``repro.mappings.registry.run`` consults the process-wide
+:data:`RUN_CACHE`; disable it globally with ``RUN_CACHE.disable()`` or
+the ``REPRO_RUN_CACHE=0`` environment variable, or per call with
+``run(..., cache=False)`` (the opt-out for deliberately stateful or
+experimental mappings).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+
+class _Uncacheable(Exception):
+    """Internal: an argument has no canonical encoding."""
+
+
+def _encode(obj: Any, parts: List[bytes]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``parts``.
+
+    The encoding is injective across the supported types (every value is
+    tagged with its type) and stable across processes and sessions — no
+    ``id()``, no ``hash()``, no dict iteration order.
+    """
+    if obj is None or isinstance(obj, (bool, int)):
+        parts.append(f"{type(obj).__name__}:{obj!r};".encode())
+    elif isinstance(obj, float):
+        # repr round-trips doubles exactly.
+        parts.append(f"float:{obj!r};".encode())
+    elif isinstance(obj, str):
+        parts.append(f"str:{len(obj)}:".encode() + obj.encode() + b";")
+    elif isinstance(obj, bytes):
+        parts.append(f"bytes:{len(obj)}:".encode() + obj + b";")
+    elif isinstance(obj, np.generic):
+        _encode(obj.item(), parts)
+    elif isinstance(obj, np.ndarray):
+        parts.append(
+            f"ndarray:{obj.dtype.str}:{obj.shape}:".encode()
+            + hashlib.sha256(np.ascontiguousarray(obj).tobytes()).digest()
+        )
+    elif isinstance(obj, (tuple, list)):
+        parts.append(f"{type(obj).__name__}[{len(obj)}](".encode())
+        for item in obj:
+            _encode(item, parts)
+        parts.append(b")")
+    elif isinstance(obj, Mapping):
+        try:
+            items = sorted(obj.items())
+        except TypeError as exc:
+            raise _Uncacheable(f"unsortable mapping keys in {obj!r}") from exc
+        parts.append(f"map[{len(items)}](".encode())
+        for key, value in items:
+            _encode(key, parts)
+            _encode(value, parts)
+        parts.append(b")")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        parts.append(f"dc:{cls.__module__}.{cls.__qualname__}(".encode())
+        for field in dataclasses.fields(obj):
+            parts.append(field.name.encode() + b"=")
+            _encode(getattr(obj, field.name), parts)
+        parts.append(b")")
+    else:
+        raise _Uncacheable(f"no canonical encoding for {type(obj)!r}")
+
+
+def cache_key(
+    kernel: str, machine: str, kwargs: Mapping[str, Any]
+) -> Optional[str]:
+    """Stable content hash of one run request, or ``None`` if any
+    argument is uncacheable (caller should bypass the cache)."""
+    parts: List[bytes] = [f"{kernel}|{machine}|".encode()]
+    try:
+        _encode(dict(kwargs), parts)
+    except _Uncacheable:
+        return None
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
+class RunCache:
+    """Keyed store of completed runs with hit/miss/bypass counters.
+
+    Entries are kept in LRU order and bounded by ``max_entries`` so a
+    long sweep session cannot grow memory without bound.  All operations
+    are lock-protected (the sweep executor's serial fallback may be
+    driven from threads).
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 256) -> None:
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._enabled = bool(enabled)
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def note_bypass(self) -> None:
+        """Record one deliberately uncached run."""
+        with self._lock:
+            self.bypasses += 1
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """An independent copy of the cached run, or ``None`` (counted
+        as a hit or miss respectively)."""
+        with self._lock:
+            try:
+                value = self._store[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+        return copy.deepcopy(value)
+
+    def insert(self, key: str, value: Any) -> None:
+        """Store an independent copy of ``value`` under ``key``."""
+        value = copy.deepcopy(value)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.bypasses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+        }
+
+    def format_stats(self) -> str:
+        s = self.stats()
+        return (
+            f"run cache: {s['hits']} hits, {s['misses']} misses, "
+            f"{s['bypasses']} bypasses, {s['entries']} entries"
+        )
+
+
+#: Process-wide cache consulted by :func:`repro.mappings.registry.run`.
+RUN_CACHE = RunCache(
+    enabled=os.environ.get("REPRO_RUN_CACHE", "1") != "0"
+)

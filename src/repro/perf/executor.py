@@ -1,0 +1,139 @@
+"""Parallel sweep executor for independent kernel runs.
+
+A sweep — Table 3's fifteen cells, a sensitivity perturbation study, a
+scaling curve — is a list of *run requests* ``(kernel, machine,
+kwargs)`` whose executions are independent and deterministic.  This
+module evaluates such a list either serially or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`, returning results in
+request order; because the mappings are pure functions, the parallel
+results are identical to serial execution.
+
+The executor cooperates with the run cache (:mod:`repro.perf.cache`):
+requests already cached are answered without dispatch, and results
+computed by workers are inserted into the parent process's cache so
+later experiments in the same session hit.
+
+Process pools are not available everywhere (restricted sandboxes,
+interpreters without ``fork``/``spawn``); any pool *infrastructure*
+failure falls back to serial execution transparently.  Failures raised
+by the mappings themselves (``ReproError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.perf import timers
+from repro.perf.cache import RUN_CACHE, cache_key
+
+#: One sweep cell: (kernel, machine, mapping kwargs).
+RunRequest = Tuple[str, str, Dict[str, Any]]
+
+
+def _execute(request: RunRequest):
+    """Worker entry point: run one request (top-level for pickling)."""
+    kernel, machine, kwargs = request
+    from repro.mappings import registry
+
+    return registry.run(kernel, machine, **kwargs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/0/1 mean serial."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ReproError(f"jobs must be >= 0, got {jobs}")
+    return max(1, jobs)
+
+
+def run_cells(
+    requests: Sequence[RunRequest], jobs: Optional[int] = None
+) -> List[Any]:
+    """Evaluate run requests, in order; ``jobs > 1`` uses a process pool.
+
+    Returns one :class:`~repro.arch.base.KernelRun` per request.  Cached
+    requests are answered from the run cache without dispatch; fresh
+    results are inserted into it.  Duplicate requests in one sweep are
+    evaluated once.
+    """
+    requests = [
+        (kernel, machine, dict(kwargs)) for kernel, machine, kwargs in requests
+    ]
+    n_jobs = resolve_jobs(jobs)
+    results: List[Any] = [None] * len(requests)
+
+    # Answer what the cache already holds; collect the rest, folding
+    # duplicate keys into one evaluation.
+    pending: List[Tuple[int, RunRequest, Optional[str]]] = []
+    seen_keys: Dict[str, int] = {}
+    duplicates: List[Tuple[int, int]] = []  # (index, index of first copy)
+    with timers.timer("sweep.cache-probe"):
+        for i, (kernel, machine, kwargs) in enumerate(requests):
+            key = (
+                cache_key(kernel, machine, kwargs)
+                if RUN_CACHE.enabled
+                else None
+            )
+            if key is not None:
+                hit = RUN_CACHE.lookup(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+                if key in seen_keys:
+                    duplicates.append((i, seen_keys[key]))
+                    continue
+                seen_keys[key] = i
+            pending.append((i, requests[i], key))
+
+    if pending:
+        if n_jobs > 1 and len(pending) > 1:
+            outcomes = _run_pool(
+                [request for _, request, _ in pending], n_jobs
+            )
+        else:
+            outcomes = None
+        if outcomes is None:
+            with timers.timer("sweep.serial"):
+                outcomes = [_execute(request) for _, request, _ in pending]
+        else:
+            # Parallel workers computed in their own processes; seed the
+            # parent cache so later calls in this session hit.
+            for (_, _, key), outcome in zip(pending, outcomes):
+                if key is not None and RUN_CACHE.enabled:
+                    RUN_CACHE.insert(key, outcome)
+        for (i, _, _), outcome in zip(pending, outcomes):
+            results[i] = outcome
+
+    for i, first in duplicates:
+        import copy
+
+        results[i] = copy.deepcopy(results[first])
+    return results
+
+
+def _run_pool(
+    requests: Sequence[RunRequest], n_jobs: int
+) -> Optional[List[Any]]:
+    """Evaluate on a process pool; ``None`` if the pool cannot be used
+    (caller falls back to serial).  Mapping errors propagate."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return None
+    try:
+        with timers.timer("sweep.parallel"):
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                return list(pool.map(_execute, requests))
+    except ReproError:
+        raise
+    except (BrokenProcessPool, OSError, pickle.PicklingError, ValueError,
+            RuntimeError):
+        # Pool infrastructure unavailable (sandbox, no fork, unpicklable
+        # payload): run the sweep serially instead.
+        timers.count("sweep.pool_fallback")
+        return None

@@ -1,0 +1,127 @@
+"""Nested wall-time timers and counters for the simulator itself.
+
+The cycle models measure the *modelled* machines; this module measures
+the *simulator* — where its own wall-clock time goes — so perf work on
+the reproduction has data to stand on.  Usage::
+
+    from repro.perf import timers
+
+    with timers.timer("report"):
+        with timers.timer("table3"):
+            ...
+    timers.count("cache.hit")
+    print(timers.render())
+
+Timers nest: a ``timer`` opened inside another accumulates under the
+outer one's path ("report/table3" above), so :func:`render` prints an
+indented tree with totals, call counts, and self-time.  Accumulation is
+keyed per thread-local path but stored globally, so parallel stages
+aggregate into one report.
+
+Everything is wall-clock observation only — nothing here may influence
+modelled results, and the report CLI prints it to stderr so cached and
+uncached runs stay byte-identical on stdout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+Path = Tuple[str, ...]
+
+_lock = threading.Lock()
+_local = threading.local()
+
+#: path -> [total_seconds, calls]
+_timings: Dict[Path, list] = {}
+#: name -> count
+_counters: Dict[str, int] = {}
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the enclosed block under ``name``,
+    nested inside any currently open timers of this thread."""
+    stack = _stack()
+    path: Path = tuple(stack) + (name,)
+    stack.append(name)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        stack.pop()
+        with _lock:
+            entry = _timings.setdefault(path, [0.0, 0])
+            entry[0] += elapsed
+            entry[1] += 1
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a named counter by ``n``."""
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + n
+
+
+def reset() -> None:
+    """Clear all timings and counters (the per-thread nesting stacks of
+    other threads are untouched; they rebuild on next use)."""
+    with _lock:
+        _timings.clear()
+        _counters.clear()
+
+
+def snapshot() -> Dict[str, object]:
+    """Timings and counters as plain data (for tests and JSON export)."""
+    with _lock:
+        return {
+            "timings": {
+                "/".join(path): {"seconds": entry[0], "calls": entry[1]}
+                for path, entry in _timings.items()
+            },
+            "counters": dict(_counters),
+        }
+
+
+def render() -> str:
+    """Indented tree of timers (children under parents, sorted by total
+    time) followed by the counters."""
+    with _lock:
+        timings = {path: tuple(entry) for path, entry in _timings.items()}
+        counters = dict(_counters)
+    lines = ["perf timers (wall time):"]
+    if not timings:
+        lines.append("  (none recorded)")
+
+    def children_of(parent: Path):
+        kids = [p for p in timings if len(p) == len(parent) + 1 and p[: len(parent)] == parent]
+        return sorted(kids, key=lambda p: -timings[p][0])
+
+    def walk(parent: Path, depth: int) -> None:
+        for path in children_of(parent):
+            total, calls = timings[path]
+            child_total = sum(timings[c][0] for c in children_of(path))
+            self_time = total - child_total
+            lines.append(
+                f"  {'  ' * depth}{path[-1]:<32s} "
+                f"{total:8.3f}s  x{calls:<6d} self {self_time:7.3f}s"
+            )
+            walk(path, depth + 1)
+
+    walk((), 0)
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<34s} {counters[name]}")
+    return "\n".join(lines)

@@ -28,10 +28,21 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: Optional["Engine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Idempotent; cancelling an event that already ran (or was already
+        discarded) is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancel()
 
 
 class Engine:
@@ -49,11 +60,16 @@ class Engine:
     ['a', 'b']
     """
 
+    #: Lazy-compaction thresholds: rebuild the heap once cancelled
+    #: events both exceed this count and outnumber live ones.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -66,8 +82,21 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping callback from :meth:`Event.cancel`."""
+        self._cancelled_in_heap += 1
+        # Lazy compaction: when cancelled tombstones dominate the heap
+        # they cost O(log n) per pop for no work — rebuild without them.
+        if (
+            self._cancelled_in_heap > self._COMPACT_MIN_CANCELLED
+            and 2 * self._cancelled_in_heap > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     def schedule(self, time: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` at absolute ``time`` (>= now)."""
@@ -75,7 +104,9 @@ class Engine:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), action=action)
+        event = Event(
+            time=time, seq=next(self._seq), action=action, _engine=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -89,7 +120,11 @@ class Engine:
         """Process the next event.  Returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            # Detach: a later cancel() on a popped event must not touch
+            # the heap bookkeeping.
+            event._engine = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             event.action()
@@ -107,6 +142,8 @@ class Engine:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                head._engine = None
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and head.time > until:
                 self._now = max(self._now, until)

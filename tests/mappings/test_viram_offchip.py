@@ -1,29 +1,37 @@
-"""Direct tests for the VIRAM corner-turn off-chip regime (§4.6)."""
+"""Direct tests for the VIRAM corner-turn off-chip regime (§4.6).
+
+Runs go through the registry so the repeated 2048x2048 simulation is
+memoized across tests (the results are value-identical either way).
+"""
 
 import pytest
 
 from repro.kernels.corner_turn import CornerTurnWorkload
-from repro.mappings import viram_corner_turn
+from repro.mappings.registry import run as registry_run
 
 ONCHIP = CornerTurnWorkload(rows=1024, cols=1024)  # 2 x 4 MB < 13 MB
 OFFCHIP = CornerTurnWorkload(rows=2048, cols=2048)  # 2 x 16 MB > 13 MB
 
 
+def run_viram(workload):
+    return registry_run("corner_turn", "viram", workload=workload)
+
+
 class TestRegimeSelection:
     def test_canonical_stays_onchip(self):
-        run = viram_corner_turn.run(ONCHIP)
+        run = run_viram(ONCHIP)
         assert run.metrics["fits_onchip"]
         assert "off-chip dma" not in run.breakdown
 
     def test_oversized_goes_offchip(self):
-        run = viram_corner_turn.run(OFFCHIP)
+        run = run_viram(OFFCHIP)
         assert not run.metrics["fits_onchip"]
         assert "off-chip dma" in run.breakdown
 
 
 class TestOffchipAccounting:
     def test_dma_charged_at_two_words_per_cycle(self):
-        run = viram_corner_turn.run(OFFCHIP)
+        run = run_viram(OFFCHIP)
         assert run.breakdown.get("off-chip dma") == pytest.approx(
             2.0 * OFFCHIP.words / 2.0
         )
@@ -31,23 +39,23 @@ class TestOffchipAccounting:
     def test_onchip_work_hidden_under_dma(self):
         """The on-chip pipeline is faster than the DMA interface, so its
         exposed share is zero — the DMA wholly bounds the kernel."""
-        run = viram_corner_turn.run(OFFCHIP)
+        run = run_viram(OFFCHIP)
         assert run.breakdown.get("on-chip (exposed)") == 0.0
 
     def test_breakdown_still_additive(self):
-        run = viram_corner_turn.run(OFFCHIP)
+        run = run_viram(OFFCHIP)
         assert run.cycles == pytest.approx(
             sum(v for _, v in run.breakdown.items())
         )
 
     def test_functional_still_verified(self):
-        run = viram_corner_turn.run(OFFCHIP)
+        run = run_viram(OFFCHIP)
         assert run.functional_ok
 
     def test_per_word_cost_roughly_doubles(self):
         """§4.6: 'VIRAM would lose much of its advantage.'"""
-        onchip = viram_corner_turn.run(ONCHIP)
-        offchip = viram_corner_turn.run(OFFCHIP)
+        onchip = run_viram(ONCHIP)
+        offchip = run_viram(OFFCHIP)
         cpw_on = onchip.cycles / ONCHIP.words
         cpw_off = offchip.cycles / OFFCHIP.words
         assert 1.5 < cpw_off / cpw_on < 2.5

@@ -217,3 +217,42 @@ def test_vectorized_matches_reference(patterns, banks, row_words, policy):
         assert fast_cost.activation_cycles == pytest.approx(
             slow_cost.activation_cycles
         )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pattern_sequences(),
+    st.integers(1, 8),
+    st.integers(8, 128),
+    st.sampled_from(["bank-parallel", "serialized"]),
+)
+def test_access_run_matches_sequential_access(
+    patterns, banks, row_words, policy
+):
+    """One batched access_run == N sequential access calls, segment by
+    segment, including the open-row state left behind."""
+    config = make_config(
+        banks=banks, row_words=row_words, activation_policy=policy
+    )
+    sequential = DRAM(config)
+    batched = DRAM(config)
+    expected = [
+        sequential.access(p, rate_words_per_cycle=4) for p in patterns
+    ]
+    address_arrays = [p.addresses() for p in patterns]
+    batch = batched.access_run(
+        np.concatenate(address_arrays) if address_arrays
+        else np.empty(0, dtype=np.int64),
+        np.asarray([a.size for a in address_arrays], dtype=np.int64),
+        np.full(len(patterns), 4.0),
+    )
+    assert batch.n_segments == len(expected)
+    for i, cost in enumerate(expected):
+        seg = batch.segment(i)
+        assert seg.words == cost.words
+        assert seg.activations == cost.activations
+        assert seg.issue_cycles == pytest.approx(cost.issue_cycles)
+        assert seg.activation_cycles == pytest.approx(cost.activation_cycles)
+    assert batched.open_rows == sequential.open_rows
+    assert batched.total_activations == sequential.total_activations
+    assert batched.total_words == sequential.total_words

@@ -1,0 +1,79 @@
+"""Tests for the wall-time instrumentation (:mod:`repro.perf.timers`)."""
+
+import pytest
+
+from repro.perf import timers
+
+
+@pytest.fixture(autouse=True)
+def fresh_timers():
+    timers.reset()
+    yield
+    timers.reset()
+
+
+def test_timer_records_total_and_calls():
+    for _ in range(3):
+        with timers.timer("work"):
+            pass
+    snap = timers.snapshot()
+    assert snap["timings"]["work"]["calls"] == 3
+    assert snap["timings"]["work"]["seconds"] >= 0.0
+
+
+def test_timers_nest_by_path():
+    with timers.timer("outer"):
+        with timers.timer("inner"):
+            pass
+        with timers.timer("inner"):
+            pass
+    snap = timers.snapshot()
+    assert snap["timings"]["outer"]["calls"] == 1
+    assert snap["timings"]["outer/inner"]["calls"] == 2
+    assert "inner" not in snap["timings"]
+
+
+def test_nesting_recovers_after_exception():
+    with pytest.raises(RuntimeError):
+        with timers.timer("outer"):
+            raise RuntimeError("boom")
+    with timers.timer("after"):
+        pass
+    snap = timers.snapshot()
+    # "after" is top-level again: the exception popped "outer" cleanly.
+    assert "after" in snap["timings"]
+    assert "outer/after" not in snap["timings"]
+
+
+def test_counters_accumulate():
+    timers.count("cache.hit")
+    timers.count("cache.hit", 4)
+    assert timers.snapshot()["counters"]["cache.hit"] == 5
+
+
+def test_render_shows_tree_and_counters():
+    with timers.timer("report"):
+        with timers.timer("table3"):
+            pass
+    timers.count("runs", 2)
+    text = timers.render()
+    assert "report" in text
+    assert "table3" in text
+    assert "runs" in text
+    # The child is indented under the parent.
+    report_line = next(l for l in text.splitlines() if "report" in l)
+    table_line = next(l for l in text.splitlines() if "table3" in l)
+    assert len(table_line) - len(table_line.lstrip()) > len(
+        report_line
+    ) - len(report_line.lstrip())
+
+
+def test_reset_clears_everything():
+    with timers.timer("work"):
+        pass
+    timers.count("n")
+    timers.reset()
+    snap = timers.snapshot()
+    assert snap["timings"] == {}
+    assert snap["counters"] == {}
+    assert "(none recorded)" in timers.render()

@@ -74,6 +74,57 @@ class TestControl:
         eng.run()
         assert seen == [1, 10]
 
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        events = [eng.schedule(float(i), lambda: None) for i in range(4)]
+        assert eng.pending == 4
+        events[1].cancel()
+        events[2].cancel()
+        assert eng.pending == 2
+        eng.run()
+        assert eng.pending == 0
+        assert eng.events_processed == 2
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        event = eng.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert eng.pending == 0
+        eng.run()
+        assert eng.events_processed == 0
+
+    def test_cancel_after_execution_is_harmless(self):
+        eng = Engine()
+        event = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        eng.step()
+        event.cancel()
+        assert eng.pending == 1
+        eng.run()
+        assert eng.events_processed == 2
+
+    def test_mass_cancellation_compacts_heap(self):
+        eng = Engine()
+        events = [eng.schedule(float(i), lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        assert eng.pending == 100
+        # The tombstones were dropped eagerly, not left for run() to
+        # pop one at a time.
+        assert len(eng._heap) < 500
+        eng.run()
+        assert eng.events_processed == 100
+
+    def test_cancel_from_within_an_event(self):
+        eng = Engine()
+        seen = []
+        later = eng.schedule(5.0, lambda: seen.append("late"))
+        eng.schedule(1.0, later.cancel)
+        eng.run()
+        assert seen == []
+        assert eng.events_processed == 1
+
     def test_cascading_events(self):
         """A process expressed as chained callbacks."""
         eng = Engine()
