@@ -1,8 +1,10 @@
 # Convenience targets for the reproduction workflow.
 
 PYTHON ?= python3
+GOLDEN_DIR ?= tests/data/golden
 
-.PHONY: install test bench report figures export clean
+.PHONY: install test bench report check check-inject refresh-golden \
+	figures export clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +20,18 @@ bench-verbose:
 
 report:
 	$(PYTHON) -m repro report
+
+check:
+	$(PYTHON) -m repro check --full
+
+check-inject:
+	$(PYTHON) -m repro check --inject; test $$? -eq 1
+
+# Regenerate the golden snapshot fixtures.  Deliberate act: review the
+# fixture diff before committing (see docs/modeling.md, "Validation").
+refresh-golden:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  $(PYTHON) -m repro.check.golden $(GOLDEN_DIR)
 
 figures:
 	$(PYTHON) -c "from repro.eval.svg import write_figures; \

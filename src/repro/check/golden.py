@@ -1,0 +1,97 @@
+"""Golden-fixture generation for the snapshot tests.
+
+The snapshot tests (``tests/eval/test_golden_snapshots.py``) pin the
+``repro report`` stdout and the ``eval/export`` CSV byte-for-byte
+against fixtures under ``tests/data/golden/``.  This module is the one
+sanctioned way to regenerate them::
+
+    make refresh-golden
+    # equivalently:
+    PYTHONPATH=src python -m repro.check.golden tests/data/golden
+
+Regeneration is a deliberate act: do it only when an output change is
+intentional, and review the fixture diff like any other code change
+(the regression-pin test's policy, extended to whole documents).
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: Fixture file names under the golden directory.
+REPORT_FIXTURE = "report.txt"
+TABLE3_CSV_FIXTURE = "table3.csv"
+
+
+def golden_documents() -> Dict[str, str]:
+    """Every golden document, keyed by fixture file name.
+
+    Uses the canonical workloads — exactly what ``python -m repro
+    report`` prints and ``eval/export.write_csv`` writes.
+    """
+    from repro.eval.export import table3_csv
+    from repro.eval.report import full_report
+    from repro.eval.tables import run_table3
+
+    results = run_table3()
+    return {
+        REPORT_FIXTURE: full_report() + "\n",
+        TABLE3_CSV_FIXTURE: table3_csv(results),
+    }
+
+
+def write_golden(directory: Path) -> List[Path]:
+    """Write every golden document under ``directory``; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in golden_documents().items():
+        path = directory / name
+        path.write_text(text)
+        written.append(path)
+    return written
+
+
+def diff_against_golden(name: str, actual: str, directory: Path) -> str:
+    """Unified diff of ``actual`` vs the checked-in fixture ``name``.
+
+    Empty string means they match.  A non-empty diff is the snapshot
+    test's failure message, with the refresh instruction attached.
+    """
+    path = Path(directory) / name
+    if not path.exists():
+        return (
+            f"golden fixture {path} is missing — "
+            "run `make refresh-golden` and commit the result"
+        )
+    expected = path.read_text()
+    if actual == expected:
+        return ""
+    diff = "".join(
+        difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{name} (checked in)",
+            tofile=f"{name} (current output)",
+        )
+    )
+    return (
+        f"{name} drifted from its golden fixture.\n{diff}\n"
+        "If this change is intentional, run `make refresh-golden` and "
+        "commit the updated fixture."
+    )
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    directory = Path(argv[0]) if argv else Path("tests/data/golden")
+    for path in write_golden(directory):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via Makefile
+    raise SystemExit(main())

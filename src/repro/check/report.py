@@ -1,0 +1,104 @@
+"""Check-result records and report rendering for :mod:`repro.check`.
+
+A check produces :class:`CheckResult` rows — pass, fail, or skip, each
+with a machine-readable name and a human-readable detail — and a
+:class:`CheckReport` aggregates them into the summary the ``repro
+check`` CLI prints and ``full_report`` appends.  Failures carry enough
+detail to reproduce the violation (the offending numbers, never just
+"mismatch").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.errors import CheckError
+
+PASS = "pass"
+FAIL = "fail"
+SKIP = "skip"
+
+_STATUSES = (PASS, FAIL, SKIP)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant or oracle check.
+
+    ``name`` is dotted and stable (``invariant.bound.corner_turn.viram``,
+    ``oracle.dram.batch-vs-reference``); ``status`` is ``pass``/``fail``/
+    ``skip``; ``detail`` explains a failure or why a check was skipped.
+    """
+
+    name: str
+    status: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(
+                f"status must be one of {_STATUSES}, got {self.status!r}"
+            )
+
+    def format(self) -> str:
+        line = f"{self.status.upper():4s} {self.name}"
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+@dataclass
+class CheckReport:
+    """An ordered collection of check results with a verdict."""
+
+    tier: str = "fast"
+    results: List[CheckResult] = field(default_factory=list)
+
+    def add(self, name: str, status: str, detail: str = "") -> CheckResult:
+        result = CheckResult(name=name, status=status, detail=detail)
+        self.results.append(result)
+        return result
+
+    def extend(self, results: Iterable[CheckResult]) -> None:
+        self.results.extend(results)
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in _STATUSES}
+        for result in self.results:
+            out[result.status] += 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """No failures (skips are allowed)."""
+        return all(r.status != FAIL for r in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if r.status == FAIL]
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self, verbose: bool = False) -> str:
+        """The report text: failures and skips always, passes one-line
+        summarised unless ``verbose``."""
+        counts = self.counts()
+        lines = [
+            f"repro check [{self.tier}]: "
+            f"{counts[PASS]} passed, {counts[FAIL]} failed, "
+            f"{counts[SKIP]} skipped"
+        ]
+        for result in self.results:
+            if verbose or result.status != PASS:
+                lines.append("  " + result.format())
+        lines.append("verdict: " + ("OK" if self.ok else "CORRUPT"))
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.CheckError` carrying the report
+        text when any check failed."""
+        if not self.ok:
+            raise CheckError(self.render())

@@ -11,6 +11,14 @@ Commands
     Run every registered experiment (the EXPERIMENTS.md content).
     ``--jobs N`` spreads the kernel runs over N worker processes;
     ``--perf`` prints timer and run-cache statistics to stderr.
+``check``
+    Validate the model against its machine-checkable invariants and
+    differential oracles.  ``--fast`` (default) checks every registered
+    (kernel, machine) pair; ``--full`` adds the cache and executor
+    oracles; ``--inject`` corrupts each redundant path on purpose and
+    proves the matching oracle notices (always exits non-zero: 1 when
+    every injected corruption was detected, 3 when an oracle missed
+    its fault).
 ``experiments``
     List the experiment registry.
 ``list``
@@ -26,6 +34,9 @@ Examples
     python -m repro figure 8
     python -m repro report
     python -m repro report --jobs 4 --perf
+    python -m repro check --fast
+    python -m repro check --full --jobs 4
+    python -m repro check --inject
 """
 
 from __future__ import annotations
@@ -107,6 +118,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print timer and run-cache statistics to stderr afterwards",
     )
+    check_p = sub.add_parser(
+        "check",
+        help="validate invariants and differential oracles",
+        description=(
+            "Machine-check the model: §2.5 lower bounds, traffic "
+            "footprints, cycle accounting, and the redundant-path "
+            "differential oracles (cache, executor, DRAM batch)."
+        ),
+    )
+    tier_group = check_p.add_mutually_exclusive_group()
+    tier_group.add_argument(
+        "--fast",
+        dest="tier",
+        action="store_const",
+        const="fast",
+        help="invariants on every pair + synthetic oracles (default)",
+    )
+    tier_group.add_argument(
+        "--full",
+        dest="tier",
+        action="store_const",
+        const="full",
+        help="fast tier plus the cache and serial-vs-parallel oracles",
+    )
+    tier_group.add_argument(
+        "--inject",
+        dest="tier",
+        action="store_const",
+        const="inject",
+        help=(
+            "fault injection: corrupt each redundant path and prove its "
+            "oracle detects it (exits 1 = all detected, 3 = oracle blind)"
+        ),
+    )
+    check_p.set_defaults(tier="fast")
+    check_p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the executor oracle (default 2)",
+    )
+    check_p.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print every passing check, not just failures and skips",
+    )
     sub.add_parser("experiments", help="list the experiment registry")
     sub.add_parser("list", help="list kernels and machines")
     return parser
@@ -151,6 +211,28 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    if args.tier == "inject":
+        from repro.check.faults import render_injection, run_injection
+
+        outcomes = run_injection()
+        print(render_injection(outcomes))
+        if all(o.detected for o in outcomes):
+            print(
+                "corruption was injected and detected on every oracle; "
+                "exiting non-zero to demonstrate failure propagation"
+            )
+            return 1
+        print("error: at least one oracle missed its injected fault",
+              file=sys.stderr)
+        return 3
+    from repro.check import run_checks
+
+    report = run_checks(args.tier, jobs=args.jobs)
+    print(report.render(verbose=args.verbose))
+    return report.exit_code
+
+
 def _cmd_experiments(_args) -> int:
     from repro.eval.experiments import EXPERIMENTS
 
@@ -178,6 +260,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "report": _cmd_report,
+    "check": _cmd_check,
     "experiments": _cmd_experiments,
     "list": _cmd_list,
 }

@@ -43,3 +43,13 @@ class MappingError(ReproError):
 
 class ExperimentError(ReproError):
     """An evaluation-harness experiment is unknown or failed to run."""
+
+
+class CheckError(ReproError):
+    """A machine-checked invariant or differential oracle was violated.
+
+    Raised by :mod:`repro.check` when a run's numbers break one of the
+    paper-derived invariants (cycles below the §2.5 bound, traffic below
+    the kernel footprint, ...) or when two redundant evaluation paths
+    disagree.  Carries the rendered check report in its message.
+    """

@@ -8,6 +8,8 @@ the library's types.
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
@@ -114,4 +116,59 @@ def write_json(
     if document is None:
         document = full_document()
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+#: Column order of :func:`table3_csv`; floats are written with ``repr``
+#: so the file round-trips exactly (golden snapshots diff it verbatim).
+CSV_COLUMNS = (
+    "kernel",
+    "machine",
+    "cycles",
+    "kilocycles",
+    "seconds",
+    "paper_kilocycles",
+    "flops_per_cycle",
+    "percent_of_peak",
+    "functional_ok",
+)
+
+
+def table3_csv(
+    results: Optional[Mapping[Tuple[str, str], KernelRun]] = None,
+) -> str:
+    """The Table 3 sweep as CSV text, one row per (kernel, machine).
+
+    Rows are sorted, floats are ``repr``-exact, and the column set is
+    :data:`CSV_COLUMNS` — deterministic by construction, which is what
+    lets the golden-snapshot test pin the output byte for byte.
+    """
+    results = results if results is not None else run_table3()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for (kernel, machine), run in sorted(results.items()):
+        writer.writerow(
+            [
+                kernel,
+                machine,
+                repr(float(run.cycles)),
+                repr(float(run.kilocycles)),
+                repr(float(run.seconds)),
+                repr(float(PAPER_TABLE3[(kernel, machine)])),
+                repr(float(run.flops_per_cycle)),
+                repr(float(run.percent_of_peak)),
+                str(bool(run.functional_ok)),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: Union[str, Path],
+    results: Optional[Mapping[Tuple[str, str], KernelRun]] = None,
+) -> Path:
+    """Write :func:`table3_csv` to ``path``."""
+    path = Path(path)
+    path.write_text(table3_csv(results))
     return path

@@ -16,12 +16,18 @@ from repro.eval.tables import run_table3
 def full_report(
     workloads: Optional[Dict[str, object]] = None,
     jobs: Optional[int] = None,
+    validate: bool = True,
 ) -> str:
     """Run all experiments (sharing one Table 3 sweep) and render them.
 
     ``jobs > 1`` prewarms the run cache on a process pool first; the
     experiments then render from cache hits, so the report text is
     byte-identical to a serial run.
+
+    Unless ``validate=False``, the report ends with the fast tier of
+    ``repro check`` run over the very results just rendered — every
+    published table ships pre-validated against the §2.5 bounds,
+    footprints, and differential oracles.
     """
     from repro.perf.executor import resolve_jobs
 
@@ -43,4 +49,11 @@ def full_report(
                     f"ratio={ratio}"
                 )
         sections.append("\n".join(lines))
+    if validate:
+        from repro.check import validation_section
+
+        sections.append(
+            "== Validation (repro check --fast) ==\n"
+            + validation_section(workloads)
+        )
     return "\n\n".join(sections)

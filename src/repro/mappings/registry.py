@@ -15,7 +15,7 @@ globally with ``REPRO_RUN_CACHE=0``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.arch.base import KernelRun
 from repro.errors import MappingError
@@ -65,6 +65,31 @@ def available() -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: Optional continuous-validation hook (see :func:`set_post_run_validator`).
+_POST_RUN_VALIDATOR: Optional[
+    Callable[[KernelRun, Mapping[str, Any]], None]
+] = None
+
+
+def set_post_run_validator(
+    validator: Optional[Callable[[KernelRun, Mapping[str, Any]], None]],
+) -> Optional[Callable[[KernelRun, Mapping[str, Any]], None]]:
+    """Install (or, with ``None``, remove) a post-run validation hook.
+
+    The hook is called as ``validator(result, kwargs)`` after every
+    *freshly simulated* run — cache hits are skipped, since the entry
+    was validated when it was produced.  ``repro.check`` uses this for
+    continuous-validation mode (every run checked against the §2.5
+    bounds as it is produced); the hook may raise
+    :class:`~repro.errors.CheckError` to fail the run.  Returns the
+    previously installed hook so callers can restore it.
+    """
+    global _POST_RUN_VALIDATOR
+    previous = _POST_RUN_VALIDATOR
+    _POST_RUN_VALIDATOR = validator
+    return previous
+
+
 def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun:
     """Run ``kernel`` on ``machine``; keyword arguments are forwarded to
     the mapping (``workload=``, ``calibration=``, ``seed=``, and any
@@ -84,17 +109,27 @@ def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun
     if not (cache and RUN_CACHE.enabled):
         RUN_CACHE.note_bypass()
         with timers.timer(f"run:{kernel}/{machine}"):
-            return fn(**kwargs)
+            result = fn(**kwargs)
+        _post_run(result, kwargs)
+        return result
     key = cache_key(kernel, machine, kwargs)
     if key is None:
         # An argument has no canonical content encoding; run uncached.
         RUN_CACHE.note_bypass()
         with timers.timer(f"run:{kernel}/{machine}"):
-            return fn(**kwargs)
+            result = fn(**kwargs)
+        _post_run(result, kwargs)
+        return result
     hit = RUN_CACHE.lookup(key)
     if hit is not None:
         return hit
     with timers.timer(f"run:{kernel}/{machine}"):
         result = fn(**kwargs)
+    _post_run(result, kwargs)
     RUN_CACHE.insert(key, result)
     return result
+
+
+def _post_run(result: KernelRun, kwargs: Mapping[str, Any]) -> None:
+    if _POST_RUN_VALIDATOR is not None:
+        _POST_RUN_VALIDATOR(result, kwargs)

@@ -162,3 +162,33 @@ def kernel_bound(kernel: str, machine: str, workload=None) -> KernelBound:
     if kernel == "beam_steering":
         return beam_steering_bound(machine, workload)
     raise ConfigError(f"unknown kernel {kernel!r}")
+
+
+def kernel_footprint_words(kernel: str, workload=None) -> float:
+    """Minimum words any correct implementation must move (the traffic
+    floor behind Tables 3-5's memory columns).
+
+    * corner turn: every word in and out once — ``2 * words`` (§3.1);
+    * CSLC: the interval data of all channels streamed once (§3.2);
+    * beam steering: two table reads and one output write per output
+      (§3.3, the same ``3 * outputs`` the §2.5 bound uses).
+
+    ``repro.check`` asserts each run's reported memory traffic covers
+    this floor; a mapping that moves less has dropped part of the
+    working set.
+    """
+    if kernel == "corner_turn":
+        workload = workload or canonical_corner_turn()
+        return 2.0 * workload.words
+    if kernel == "cslc":
+        workload = workload or canonical_cslc()
+        return float(
+            (workload.n_channels + workload.n_mains)
+            * workload.n_subbands
+            * 2
+            * workload.subband_len
+        )
+    if kernel == "beam_steering":
+        workload = workload or canonical_beam_steering()
+        return 3.0 * workload.outputs
+    raise ConfigError(f"unknown kernel {kernel!r}")

@@ -162,6 +162,26 @@ class RunCache:
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
 
+    def keys(self) -> List[str]:
+        """The stored keys, oldest first (LRU order)."""
+        with self._lock:
+            return list(self._store)
+
+    def tamper(self, key: str, mutate) -> bool:
+        """Apply ``mutate`` to the stored value under ``key``, in place.
+
+        Returns whether the key was present.  This deliberately bypasses
+        the defensive-copy discipline of :meth:`insert`/:meth:`lookup`:
+        it exists so ``repro.check.faults`` can corrupt an entry and
+        prove the cache-vs-cold differential oracle notices.  Production
+        code has no business calling it.
+        """
+        with self._lock:
+            if key not in self._store:
+                return False
+            mutate(self._store[key])
+            return True
+
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         with self._lock:

@@ -15,13 +15,15 @@ later experiments in the same session hit.
 
 Process pools are not available everywhere (restricted sandboxes,
 interpreters without ``fork``/``spawn``); any pool *infrastructure*
-failure falls back to serial execution transparently.  Failures raised
-by the mappings themselves (``ReproError`` and friends) propagate.
+failure falls back to serial execution, emitting a ``RuntimeWarning``
+that carries the original exception.  Failures raised by the mappings
+themselves (``ReproError`` and friends) propagate.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -132,8 +134,16 @@ def _run_pool(
     except ReproError:
         raise
     except (BrokenProcessPool, OSError, pickle.PicklingError, ValueError,
-            RuntimeError):
+            RuntimeError) as exc:
         # Pool infrastructure unavailable (sandbox, no fork, unpicklable
-        # payload): run the sweep serially instead.
+        # payload): run the sweep serially instead.  The fallback keeps
+        # results identical, but silently losing the requested
+        # parallelism hides real environment problems — surface it.
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         timers.count("sweep.pool_fallback")
         return None

@@ -70,6 +70,8 @@ class Engine:
         self._now = 0.0
         self._processed = 0
         self._cancelled_in_heap = 0
+        self._scheduled = 0
+        self._cancelled_total = 0
 
     @property
     def now(self) -> float:
@@ -81,13 +83,35 @@ class Engine:
         return self._processed
 
     @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled on this engine."""
+        return self._scheduled
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total events ever cancelled (whether or not still queued)."""
+        return self._cancelled_total
+
+    @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._heap) - self._cancelled_in_heap
 
+    @property
+    def conservation_ok(self) -> bool:
+        """Event conservation: every scheduled event is exactly one of
+        processed, cancelled, or still pending.  Holds at every point in
+        the engine's lifetime; ``repro.check`` asserts it as an invariant
+        of any event-driven simulation.
+        """
+        return self._scheduled == (
+            self._processed + self._cancelled_total + self.pending
+        )
+
     def _note_cancel(self) -> None:
         """Bookkeeping callback from :meth:`Event.cancel`."""
         self._cancelled_in_heap += 1
+        self._cancelled_total += 1
         # Lazy compaction: when cancelled tombstones dominate the heap
         # they cost O(log n) per pop for no work — rebuild without them.
         if (
@@ -108,6 +132,7 @@ class Engine:
             time=time, seq=next(self._seq), action=action, _engine=self
         )
         heapq.heappush(self._heap, event)
+        self._scheduled += 1
         return event
 
     def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:

@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.check.oracles`.
+
+The oracles compare redundant evaluation paths; on a healthy tree every
+comparison must agree, and ``diff_runs`` — the comparison engine they
+share — must see every field of a :class:`KernelRun`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check.oracles import (
+    cache_oracle,
+    diff_runs,
+    dram_oracle,
+    executor_oracle,
+)
+from repro.check.report import FAIL, SKIP
+from repro.mappings import registry
+from repro.perf.cache import RUN_CACHE
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    RUN_CACHE.clear()
+    RUN_CACHE.enable()
+    yield
+    RUN_CACHE.clear()
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_no_diff(self, small_ct):
+        a = registry.run("corner_turn", "viram", workload=small_ct)
+        b = registry.run("corner_turn", "viram", workload=small_ct)
+        assert diff_runs(a, b) == []
+
+    def test_cycles_perturbation_detected(self, small_ct):
+        a = registry.run("corner_turn", "viram", workload=small_ct)
+        b = dataclasses.replace(a, breakdown=a.breakdown.scaled(1.001))
+        diffs = diff_runs(a, b)
+        assert any("cycles" in d for d in diffs)
+
+    def test_metric_perturbation_detected(self, small_bs):
+        a = registry.run("beam_steering", "viram", workload=small_bs)
+        b = registry.run("beam_steering", "viram", workload=small_bs)
+        b.metrics["extra"] = 1
+        diffs = diff_runs(a, b)
+        assert any("metrics" in d and "extra" in d for d in diffs)
+
+    def test_ops_perturbation_detected(self, small_bs):
+        a = registry.run("beam_steering", "raw", workload=small_bs)
+        b = dataclasses.replace(
+            a, ops=dataclasses.replace(a.ops, adds=a.ops.adds + 1)
+        )
+        diffs = diff_runs(a, b)
+        assert any("ops" in d for d in diffs)
+
+    def test_functional_flag_detected(self, small_bs):
+        a = registry.run("beam_steering", "raw", workload=small_bs)
+        b = dataclasses.replace(a, functional_ok=False)
+        assert any("functional_ok" in d for d in diff_runs(a, b))
+
+    def test_rtol_absorbs_float_noise(self, small_ct):
+        a = registry.run("corner_turn", "viram", workload=small_ct)
+        b = dataclasses.replace(
+            a, breakdown=a.breakdown.scaled(1.0 + 1e-12)
+        )
+        assert diff_runs(a, b, rtol=1e-9) == []
+        assert diff_runs(a, b, rtol=0.0) != []
+
+
+class TestCacheOracle:
+    def test_healthy_cache_agrees_with_cold(self, small_workloads):
+        results = cache_oracle(
+            pairs=[("corner_turn", "viram"), ("beam_steering", "raw")],
+            workloads=small_workloads,
+        )
+        assert len(results) == 2
+        assert all(r.status != FAIL for r in results), [
+            r.format() for r in results
+        ]
+
+    def test_disabled_cache_reported_as_skip(self, small_workloads):
+        RUN_CACHE.disable()
+        try:
+            results = cache_oracle(
+                pairs=[("corner_turn", "viram")], workloads=small_workloads
+            )
+        finally:
+            RUN_CACHE.enable()
+        assert [r.status for r in results] == [SKIP]
+
+
+class TestExecutorOracle:
+    def test_serial_and_parallel_agree(self):
+        results = executor_oracle(jobs=2)
+        assert results
+        # Either genuine agreement or an explicit environment skip —
+        # never a silent pass, never a failure on a healthy tree.
+        assert all(r.status != FAIL for r in results), [
+            r.format() for r in results
+        ]
+
+    def test_cache_state_restored(self):
+        assert RUN_CACHE.enabled
+        executor_oracle(jobs=1)
+        assert RUN_CACHE.enabled
+
+
+class TestDramOracle:
+    def test_all_cases_agree(self):
+        results = dram_oracle()
+        # Power-of-two and non-power-of-two geometries, both policies.
+        assert len(results) >= 4
+        labels = {r.name for r in results}
+        assert any("nonpow2" in label for label in labels)
+        assert any("serialized" in label for label in labels)
+        assert all(r.status != FAIL for r in results), [
+            r.format() for r in results if r.status == FAIL
+        ]

@@ -1,15 +1,20 @@
 """Tests for :mod:`repro.eval.export`."""
 
+import csv
+import io
 import json
 
 import pytest
 
 from repro.eval.export import (
+    CSV_COLUMNS,
     SCHEMA_VERSION,
     experiment_record,
     full_document,
     kernel_run_record,
+    table3_csv,
     table3_document,
+    write_csv,
     write_json,
 )
 from repro.eval.tables import run_table3
@@ -77,6 +82,28 @@ class TestExperimentRecord:
         assert record["id"] == "sec4.5"
         assert "cslc_gain" in record["checks"]
         assert set(record["checks"]["cslc_gain"]) == {"model", "paper"}
+
+
+class TestCsv:
+    def test_header_rows_and_sort_order(self, small_results):
+        rows = list(csv.reader(io.StringIO(table3_csv(small_results))))
+        assert rows[0] == list(CSV_COLUMNS)
+        pairs = [(r[0], r[1]) for r in rows[1:]]
+        assert pairs == sorted(small_results)
+
+    def test_floats_round_trip_exactly(self, small_results):
+        rows = list(csv.DictReader(io.StringIO(table3_csv(small_results))))
+        by_pair = {(r["kernel"], r["machine"]): r for r in rows}
+        for (kernel, machine), run in small_results.items():
+            row = by_pair[(kernel, machine)]
+            # repr-encoded doubles reparse bit-identically.
+            assert float(row["cycles"]) == run.cycles
+            assert float(row["percent_of_peak"]) == run.percent_of_peak
+            assert row["functional_ok"] == str(bool(run.functional_ok))
+
+    def test_write_csv(self, tmp_path, small_results):
+        path = write_csv(tmp_path / "table3.csv", small_results)
+        assert path.read_text() == table3_csv(small_results)
 
 
 class TestWriteJson:

@@ -1,0 +1,104 @@
+"""Golden snapshot tests: the published outputs are pinned byte-for-byte.
+
+``repro report`` stdout and the Table 3 CSV export are compared against
+checked-in fixtures under ``tests/data/golden/``.  Any drift — a changed
+constant, a reordered section, a float formatting change — fails with a
+unified diff.  Intentional changes are re-pinned with
+``make refresh-golden`` and the fixture diff is reviewed like code.
+"""
+
+import csv
+import io
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.check.golden import (
+    REPORT_FIXTURE,
+    TABLE3_CSV_FIXTURE,
+    diff_against_golden,
+    golden_documents,
+    write_golden,
+)
+from repro.eval.export import CSV_COLUMNS
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "golden"
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return golden_documents()
+
+
+class TestSnapshots:
+    def test_report_matches_golden(self, documents):
+        diff = diff_against_golden(
+            REPORT_FIXTURE, documents[REPORT_FIXTURE], GOLDEN_DIR
+        )
+        assert not diff, diff
+
+    def test_table3_csv_matches_golden(self, documents):
+        diff = diff_against_golden(
+            TABLE3_CSV_FIXTURE, documents[TABLE3_CSV_FIXTURE], GOLDEN_DIR
+        )
+        assert not diff, diff
+
+    def test_report_command_prints_the_fixture(self, documents):
+        # The fixture pins what the user-facing command actually emits.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "report"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(GOLDEN_DIR.parents[2]),
+            check=True,
+        )
+        assert proc.stdout == documents[REPORT_FIXTURE]
+
+
+class TestCsvShape:
+    def test_header_and_row_count(self):
+        reader = csv.reader(
+            io.StringIO((GOLDEN_DIR / TABLE3_CSV_FIXTURE).read_text())
+        )
+        rows = list(reader)
+        assert rows[0] == list(CSV_COLUMNS)
+        # 3 kernels x 5 machines
+        assert len(rows) == 1 + 15
+
+    def test_floats_reparse_exactly(self):
+        from repro.eval.tables import run_table3
+
+        results = run_table3()
+        text = (GOLDEN_DIR / TABLE3_CSV_FIXTURE).read_text()
+        by_pair = {}
+        for row in csv.DictReader(io.StringIO(text)):
+            by_pair[(row["kernel"], row["machine"])] = row
+        for (kernel, machine), run in results.items():
+            assert float(by_pair[(kernel, machine)]["cycles"]) == run.cycles
+
+
+class TestDiffMachinery:
+    def test_drift_produces_unified_diff(self, documents, tmp_path):
+        write_golden(tmp_path)
+        tampered = documents[REPORT_FIXTURE].replace(
+            "corner_turn", "corner_twist", 1
+        )
+        diff = diff_against_golden(REPORT_FIXTURE, tampered, tmp_path)
+        assert "drifted from its golden fixture" in diff
+        assert "--- golden/report.txt" in diff
+        assert "corner_twist" in diff
+        assert "make refresh-golden" in diff
+
+    def test_missing_fixture_is_reported(self, tmp_path):
+        diff = diff_against_golden(REPORT_FIXTURE, "anything", tmp_path)
+        assert "missing" in diff
+        assert "make refresh-golden" in diff
+
+    def test_write_golden_round_trips(self, documents, tmp_path):
+        paths = write_golden(tmp_path)
+        assert {p.name for p in paths} == {REPORT_FIXTURE, TABLE3_CSV_FIXTURE}
+        for name in (REPORT_FIXTURE, TABLE3_CSV_FIXTURE):
+            assert diff_against_golden(name, documents[name], tmp_path) == ""

@@ -31,7 +31,18 @@ class TestFullReport:
         for fn in EXPERIMENTS.values():
             # Titles are unique; each must appear as a section header.
             assert "== " in report_text
-        assert report_text.count("== ") == len(EXPERIMENTS)
+        # One section per experiment, plus the trailing validation block.
+        assert report_text.count("== ") == len(EXPERIMENTS) + 1
+
+    def test_validation_section_last(self, report_text):
+        final_section = report_text.rsplit("== ", 1)[1]
+        assert final_section.startswith("Validation (repro check --fast)")
+        assert "verdict: OK" in final_section
+
+    def test_validation_opt_out(self, small_workloads_module):
+        text = full_report(small_workloads_module, validate=False)
+        assert text.count("== ") == len(EXPERIMENTS)
+        assert "Validation" not in text
 
     def test_checks_rendered_with_ratios(self, report_text):
         assert "checks (model vs paper):" in report_text

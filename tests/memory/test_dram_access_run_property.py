@@ -1,0 +1,164 @@
+"""Property tests for ``DRAM.access_run`` on awkward geometries.
+
+The base equivalence suite (``test_dram.py``) samples geometries
+uniformly, so power-of-two bank/row counts — where the address→(bank,
+row) mapping degenerates to masks and shifts — dominate the draws.
+This module pins the hard cases: *every* example here uses a
+non-power-of-two bank count or row size (true modulo arithmetic), and
+zero-length segments are injected deliberately, including runs that are
+empty end to end.
+
+Three paths must agree exactly: one batched :meth:`DRAM.access_run`
+call, per-segment :meth:`DRAM.access` calls on a second instance, and
+the pure-Python :class:`DRAMReference` on a third.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.dram import DRAM, DRAMConfig, DRAMReference
+from repro.memory.streams import Custom, Sequential, Strided
+
+
+def make_config(banks, row_words, policy):
+    return DRAMConfig(
+        name="nonpow2-test",
+        banks=banks,
+        row_words=row_words,
+        row_cycle=3.0,
+        access_latency=10.0,
+        activation_policy=policy,
+    )
+
+
+def _is_pow2(n):
+    return n & (n - 1) == 0
+
+
+# At least one of (banks, row_words) is never a power of two.
+_geometries = st.tuples(
+    st.integers(1, 13), st.integers(5, 130)
+).filter(lambda g: not (_is_pow2(g[0]) and _is_pow2(g[1])))
+
+
+@st.composite
+def patterns_with_empties(draw):
+    """Pattern sequences where zero-length segments are first-class:
+    every sequence embeds at least one, and some are empty throughout."""
+    n = draw(st.integers(1, 6))
+    patterns = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(["empty", "seq", "zero-seq", "strided", "custom"])
+        )
+        if kind == "empty":
+            patterns.append(Custom([]))
+        elif kind == "zero-seq":
+            patterns.append(Sequential(draw(st.integers(0, 500)), 0))
+        elif kind == "seq":
+            patterns.append(
+                Sequential(draw(st.integers(0, 500)), draw(st.integers(0, 80)))
+            )
+        elif kind == "strided":
+            patterns.append(
+                Strided(
+                    draw(st.integers(0, 500)),
+                    draw(st.integers(0, 40)),
+                    draw(st.integers(1, 200)),
+                )
+            )
+        else:
+            patterns.append(
+                Custom(draw(st.lists(st.integers(0, 2000), max_size=60)))
+            )
+    # Guarantee the batch contains a zero-length segment somewhere.
+    patterns.insert(draw(st.integers(0, len(patterns))), Custom([]))
+    return patterns
+
+
+def _run_batch(dram, patterns, rate=4.0):
+    arrays = [p.addresses() for p in patterns]
+    return dram.access_run(
+        np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64),
+        np.asarray([a.size for a in arrays], dtype=np.int64),
+        np.full(len(patterns), rate),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    patterns_with_empties(),
+    _geometries,
+    st.sampled_from(["bank-parallel", "serialized"]),
+)
+def test_batch_equals_scalar_equals_reference(patterns, geometry, policy):
+    banks, row_words = geometry
+    config = make_config(banks, row_words, policy)
+    batched = DRAM(config)
+    scalar = DRAM(config)
+    reference = DRAMReference(config)
+
+    batch = _run_batch(batched, patterns)
+    assert batch.n_segments == len(patterns)
+    for i, pattern in enumerate(patterns):
+        seg = batch.segment(i)
+        scalar_cost = scalar.access(pattern, rate_words_per_cycle=4)
+        ref_cost = reference.access(pattern, rate_words_per_cycle=4)
+        assert seg.words == scalar_cost.words == ref_cost.words
+        assert (
+            seg.activations
+            == scalar_cost.activations
+            == ref_cost.activations
+        )
+        assert seg.issue_cycles == pytest.approx(ref_cost.issue_cycles)
+        assert seg.activation_cycles == pytest.approx(
+            ref_cost.activation_cycles
+        )
+
+    # Open-row state after the run is identical on every path, so a
+    # subsequent access would also agree.
+    assert batched.open_rows == scalar.open_rows
+    assert batched.total_activations == scalar.total_activations
+    assert batched.total_words == scalar.total_words
+
+
+@settings(max_examples=40, deadline=None)
+@given(_geometries, st.sampled_from(["bank-parallel", "serialized"]))
+def test_all_empty_run_costs_nothing(geometry, policy):
+    banks, row_words = geometry
+    dram = DRAM(make_config(banks, row_words, policy))
+    batch = _run_batch(dram, [Custom([]), Sequential(7, 0), Custom([])])
+    for i in range(batch.n_segments):
+        seg = batch.segment(i)
+        assert seg.words == 0
+        assert seg.activations == 0
+        assert seg.issue_cycles == 0.0
+        assert seg.activation_cycles == 0.0
+    assert dram.total_activations == 0
+    assert dram.total_words == 0
+    assert dram.open_rows == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    _geometries,
+    st.sampled_from(["bank-parallel", "serialized"]),
+    st.lists(st.integers(0, 2000), min_size=1, max_size=60),
+)
+def test_empty_segments_leave_state_untouched(geometry, policy, addresses):
+    """A zero-length segment between two real ones must not disturb the
+    open-row threading: removing it changes nothing."""
+    banks, row_words = geometry
+    config = make_config(banks, row_words, policy)
+    with_gap = DRAM(config)
+    without_gap = DRAM(config)
+    half = len(addresses) // 2
+    first, second = Custom(addresses[:half]), Custom(addresses[half:])
+    gap_batch = _run_batch(with_gap, [first, Custom([]), second])
+    flat_batch = _run_batch(without_gap, [first, second])
+    assert gap_batch.segment(0).activations == flat_batch.segment(0).activations
+    assert gap_batch.segment(2).activations == flat_batch.segment(1).activations
+    assert with_gap.open_rows == without_gap.open_rows
+    assert with_gap.total_activations == without_gap.total_activations

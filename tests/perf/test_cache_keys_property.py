@@ -1,0 +1,158 @@
+"""Property tests for the cache's canonical key encoding.
+
+The memoization cache is only sound if :func:`cache_key` is a *function*
+of the request content — equal requests must collide, and any
+single-field perturbation must produce a different key.  Hypothesis
+drives both directions over the full space of cacheable argument
+structures (scalars, floats, strings, nested containers).
+"""
+
+import copy
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cache import cache_key
+
+# Only cacheable value types: the encoder rejects anything else, which
+# cache_key reports as None (a bypass, not a key).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=16),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+_kwargs = st.dictionaries(
+    st.text(min_size=1, max_size=12), _values, max_size=4
+)
+_names = st.text(min_size=1, max_size=16)
+
+COMMON = dict(max_examples=150, deadline=None)
+
+
+class TestEqualInputsCollide:
+    @settings(**COMMON)
+    @given(kernel=_names, machine=_names, kwargs=_kwargs)
+    def test_deep_copies_share_a_key(self, kernel, machine, kwargs):
+        key = cache_key(kernel, machine, kwargs)
+        assert key is not None
+        assert key == cache_key(kernel, machine, copy.deepcopy(kwargs))
+
+    @settings(**COMMON)
+    @given(kernel=_names, machine=_names, kwargs=_kwargs)
+    def test_insertion_order_is_irrelevant(self, kernel, machine, kwargs):
+        reordered = dict(reversed(list(kwargs.items())))
+        assert cache_key(kernel, machine, kwargs) == cache_key(
+            kernel, machine, reordered
+        )
+
+    @settings(**COMMON)
+    @given(kernel=_names, machine=_names, kwargs=_kwargs)
+    def test_key_is_a_sha256_hexdigest(self, kernel, machine, kwargs):
+        key = cache_key(kernel, machine, kwargs)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestPerturbationsChangeTheKey:
+    @settings(**COMMON)
+    @given(
+        kernel=_names, other=_names, machine=_names, kwargs=_kwargs
+    )
+    def test_kernel_field(self, kernel, other, machine, kwargs):
+        assume(kernel != other)
+        assert cache_key(kernel, machine, kwargs) != cache_key(
+            other, machine, kwargs
+        )
+
+    @settings(**COMMON)
+    @given(
+        kernel=_names, machine=_names, other=_names, kwargs=_kwargs
+    )
+    def test_machine_field(self, kernel, machine, other, kwargs):
+        assume(machine != other)
+        assert cache_key(kernel, machine, kwargs) != cache_key(
+            kernel, other, kwargs
+        )
+
+    @settings(**COMMON)
+    @given(kernel=_names, machine=_names, kwargs=_kwargs, data=st.data())
+    def test_one_kwarg_value(self, kernel, machine, kwargs, data):
+        assume(kwargs)
+        name = data.draw(st.sampled_from(sorted(kwargs)))
+        replacement = data.draw(_values)
+        # != is exactly "encodes differently" here: the encoding is
+        # injective over the generated types (NaN excluded), except that
+        # it also separates equal-comparing values of different type
+        # (1 vs True vs 1.0) — which only strengthens the property.
+        assume(
+            type(replacement) is not type(kwargs[name])
+            or replacement != kwargs[name]
+        )
+        perturbed = {**kwargs, name: replacement}
+        assert cache_key(kernel, machine, kwargs) != cache_key(
+            kernel, machine, perturbed
+        )
+
+    @settings(**COMMON)
+    @given(
+        kernel=_names,
+        machine=_names,
+        kwargs=_kwargs,
+        extra_name=st.text(min_size=1, max_size=12),
+        extra_value=_values,
+    )
+    def test_added_kwarg(self, kernel, machine, kwargs, extra_name, extra_value):
+        assume(extra_name not in kwargs)
+        grown = {**kwargs, extra_name: extra_value}
+        assert cache_key(kernel, machine, kwargs) != cache_key(
+            kernel, machine, grown
+        )
+
+    @settings(**COMMON)
+    @given(kernel=_names, machine=_names, kwargs=_kwargs, data=st.data())
+    def test_removed_kwarg(self, kernel, machine, kwargs, data):
+        assume(kwargs)
+        name = data.draw(st.sampled_from(sorted(kwargs)))
+        shrunk = {k: v for k, v in kwargs.items() if k != name}
+        assert cache_key(kernel, machine, kwargs) != cache_key(
+            kernel, machine, shrunk
+        )
+
+
+class TestTypeTagging:
+    """Equal-comparing values of different type must not collide —
+    the encoder tags every value with its type."""
+
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            ({"x": 1}, {"x": True}),
+            ({"x": 1}, {"x": 1.0}),
+            ({"x": 0.0}, {"x": False}),
+            ({"x": "1"}, {"x": 1}),
+            ({"x": (1,)}, {"x": [1]}),
+            ({"x": None}, {"x": "None"}),
+            ({"x": {}}, {"x": ()}),
+        ],
+    )
+    def test_distinct_types_distinct_keys(self, a, b):
+        assert cache_key("k", "m", a) != cache_key("k", "m", b)
+
+    def test_string_boundary_is_unambiguous(self):
+        # Length-prefixed strings: {"ab": "c"} must not collide with
+        # {"a": "bc"} even though the raw characters concatenate alike.
+        assert cache_key("k", "m", {"ab": "c"}) != cache_key(
+            "k", "m", {"a": "bc"}
+        )

@@ -85,6 +85,52 @@ class TestRunCells:
         assert run_cells([]) == []
 
 
+class TestPoolFallbackWarning:
+    """A broken pool must fall back to serial — loudly, with the
+    original exception attached, and with results unchanged."""
+
+    def _break_pool(self, monkeypatch, exc):
+        import concurrent.futures
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise exc
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", ExplodingPool
+        )
+
+    def test_broken_pool_warns_and_stays_correct(self, small_bs, monkeypatch):
+        requests = [
+            ("beam_steering", "raw", {"workload": small_bs}),
+            ("beam_steering", "viram", {"workload": small_bs}),
+        ]
+        serial = run_cells(requests)
+        RUN_CACHE.clear()
+        self._break_pool(
+            monkeypatch, OSError("no process spawning in this sandbox")
+        )
+        with pytest.warns(RuntimeWarning) as caught:
+            results = run_cells(requests, jobs=2)
+        messages = [str(w.message) for w in caught]
+        assert any("process pool unavailable" in m for m in messages)
+        # The original exception's type and text must be surfaced.
+        assert any(
+            "OSError" in m and "no process spawning" in m for m in messages
+        )
+        assert [repr(r) for r in results] == [repr(r) for r in serial]
+
+    def test_serial_path_does_not_warn(self, small_bs, monkeypatch):
+        self._break_pool(monkeypatch, OSError("unused"))
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_cells(
+                [("beam_steering", "raw", {"workload": small_bs})], jobs=1
+            )
+
+
 class TestSweepEquivalence:
     """jobs= must not change any eval-layer result."""
 
