@@ -4,7 +4,7 @@ PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
 .PHONY: install test bench report check check-inject refresh-golden \
-	figures export clean
+	figures export metrics trace clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -41,6 +41,19 @@ export:
 	$(PYTHON) -c "from repro.eval.export import write_json; \
 	  print(write_json('results.json'))"
 
+# Per-run metrics manifest of the Table 3 sweep (JSON lines, one record
+# per kernel/machine with config hash) — the cross-PR bench trajectory.
+metrics:
+	$(PYTHON) -c "from repro.eval.tables import run_table3; \
+	  from repro.trace.export import write_metrics_manifest; \
+	  print(write_metrics_manifest('BENCH_PR3.json', run_table3()))"
+
+# Chrome trace + utilization timeline of the canonical VIRAM corner turn.
+trace:
+	$(PYTHON) -m repro trace corner_turn viram --format chrome -o trace.json
+	$(PYTHON) -m repro trace corner_turn viram --format svg -o timeline.svg
+
 clean:
-	rm -rf figures results.json .pytest_cache .benchmarks
+	rm -rf figures results.json trace.json timeline.svg \
+	  .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

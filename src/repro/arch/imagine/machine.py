@@ -31,6 +31,7 @@ from repro.errors import ConfigError
 from repro.memory.dram import DRAM, DRAMConfig, DRAMCost
 from repro.memory.sram import Scratchpad
 from repro.memory.streams import AccessPattern
+from repro.trace.tracer import active_tracer
 
 #: Table 2 row: 300 MHz, 48 ALUs, 14.4 peak GFLOPS.
 IMAGINE_SPEC = MachineSpec(
@@ -101,6 +102,14 @@ class ImagineMachine:
                 * self.cal.gather_derate
                 / self.config.controller_words_per_cycle
             )
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    "gather",
+                    "imagine/memctl",
+                    args={"words": pattern.n_words, "cycles": cycles},
+                )
+                tracer.count("imagine.gathers")
         return cycles
 
     def memory_time(self, controller_cycles: float) -> float:
@@ -113,7 +122,16 @@ class ImagineMachine:
         """
         if controller_cycles < 0:
             raise ConfigError("negative controller cycles")
-        return controller_cycles / self.config.memory_controllers
+        cycles = controller_cycles / self.config.memory_controllers
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "stream transfers",
+                "imagine/memctl",
+                cycles,
+                args={"controller_cycles": controller_cycles},
+            )
+        return cycles
 
     def network_port_time(self, words: float) -> float:
         """Wall-clock cycles to move ``words`` through the network port
@@ -146,14 +164,35 @@ class ImagineMachine:
             self.config,
             inefficiency=self.cal.cluster_schedule_inefficiency,
         )
-        return cycles + mix_per_cluster.comms * self.cal.comm_exposure
+        total = cycles + mix_per_cluster.comms * self.cal.comm_exposure
+        tracer = active_tracer()
+        if tracer is not None and total > 0:
+            tracer.span(
+                "kernel body",
+                "imagine/clusters",
+                total,
+                args={
+                    "arithmetic": cycles,
+                    "comms": mix_per_cluster.comms,
+                },
+            )
+        return total
 
     def kernel_startups(self, invocations: int) -> float:
         """Software-pipeline prologue cost for ``invocations`` kernel
         launches."""
         if invocations < 0:
             raise ConfigError("negative invocation count")
-        return invocations * self.cal.kernel_startup
+        cycles = invocations * self.cal.kernel_startup
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "kernel startups",
+                "imagine/microcontroller",
+                cycles,
+                args={"invocations": invocations},
+            )
+        return cycles
 
     def spread_over_clusters(self, element_ops: float) -> float:
         """Element ops per cluster under round-robin SIMD distribution."""

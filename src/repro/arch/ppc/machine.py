@@ -24,6 +24,7 @@ from repro.arch.ppc.config import PpcConfig
 from repro.calibration import DEFAULT_CALIBRATION, PpcCalibration
 from repro.errors import ConfigError
 from repro.memory.cache import CacheConfig, CacheHierarchy
+from repro.trace.tracer import active_tracer
 
 #: Table 2 column: 1000 MHz, 4 ALUs, 5 peak GFLOPS.  ``flops_per_cycle``
 #: differs between the scalar pipeline (one fused op: 2 flops/cycle) and
@@ -87,7 +88,16 @@ class PpcMachine:
         """Front-end cycles for ``instructions`` scalar instructions."""
         if instructions < 0:
             raise ConfigError("negative instruction count")
-        return instructions / self.config.issue_width
+        cycles = instructions / self.config.issue_width
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "scalar issue",
+                "ppc/issue",
+                cycles,
+                args={"instructions": instructions},
+            )
+        return cycles
 
     def vector_issue_cycles(self, vector_ops: float) -> float:
         """Cycles to issue ``vector_ops`` AltiVec operations (one per
@@ -95,6 +105,14 @@ class PpcMachine:
         separately through :meth:`issue_cycles`)."""
         if vector_ops < 0:
             raise ConfigError("negative vector op count")
+        tracer = active_tracer()
+        if tracer is not None and vector_ops > 0:
+            tracer.span(
+                "altivec issue",
+                "ppc/issue",
+                vector_ops,
+                args={"vector_ops": vector_ops},
+            )
         return vector_ops
 
     # ------------------------------------------------------------------
@@ -106,21 +124,47 @@ class PpcMachine:
         floating-point operations."""
         if dependent_ops < 0:
             raise ConfigError("negative op count")
-        return dependent_ops * self.cal.fp_dependency_stall
+        stall = dependent_ops * self.cal.fp_dependency_stall
+        tracer = active_tracer()
+        if tracer is not None and stall > 0:
+            tracer.span(
+                "fp dependency stall",
+                "ppc/stall",
+                stall,
+                args={"dependent_ops": dependent_ops},
+            )
+        return stall
 
     def trig_cycles(self, calls: float) -> float:
         """Cycles spent in libm sin/cos pairs (scalar FFT twiddle
         recomputation)."""
         if calls < 0:
             raise ConfigError("negative call count")
-        return calls * self.cal.trig_call_cycles
+        cycles = calls * self.cal.trig_call_cycles
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "libm trig", "ppc/issue", cycles, args={"calls": calls}
+            )
+        return cycles
 
     def vector_stall_cycles(self, butterfly_groups: float) -> float:
         """Exposed AltiVec pipeline-latency cycles across ``butterfly_
         groups`` dependent vector op groups."""
         if butterfly_groups < 0:
             raise ConfigError("negative group count")
-        return butterfly_groups * self.cal.vector_dependency_stall_per_butterfly
+        stall = (
+            butterfly_groups * self.cal.vector_dependency_stall_per_butterfly
+        )
+        tracer = active_tracer()
+        if tracer is not None and stall > 0:
+            tracer.span(
+                "vector dependency stall",
+                "ppc/stall",
+                stall,
+                args={"butterfly_groups": butterfly_groups},
+            )
+        return stall
 
     # ------------------------------------------------------------------
     # Derived cache cost helpers (closed forms used at full size)

@@ -30,6 +30,7 @@ from repro.arch.raw.network import StaticNetwork
 from repro.calibration import DEFAULT_CALIBRATION, RawCalibration
 from repro.errors import ConfigError
 from repro.memory.sram import Scratchpad
+from repro.trace.tracer import active_tracer
 
 #: Table 2 row: 300 MHz, 16 ALUs, 4.64 peak GFLOPS (the paper's published
 #: figure; slightly below 16 tiles x 300 MHz because of implementation
@@ -75,6 +76,14 @@ class RawMachine:
         """Issue cycles for ``instructions`` on one single-issue tile."""
         if instructions < 0:
             raise ConfigError("negative instruction count")
+        tracer = active_tracer()
+        if tracer is not None and instructions > 0:
+            tracer.span(
+                "tile execute",
+                "raw/tiles",
+                instructions,
+                args={"instructions": instructions},
+            )
         return instructions
 
     def cache_stall_cycles(self, busy_cycles: float) -> float:
@@ -84,7 +93,16 @@ class RawMachine:
         if busy_cycles < 0:
             raise ConfigError("negative busy cycles")
         f = self.cal.cache_stall_fraction
-        return busy_cycles * f / (1.0 - f)
+        stall = busy_cycles * f / (1.0 - f)
+        tracer = active_tracer()
+        if tracer is not None and stall > 0:
+            tracer.span(
+                "cache stall",
+                "raw/tiles",
+                stall,
+                args={"busy_cycles": busy_cycles},
+            )
+        return stall
 
     # ------------------------------------------------------------------
     # Work distribution
@@ -106,7 +124,20 @@ class RawMachine:
 
     def imbalance_makespan(self, per_item_cycles: float, n_items: int) -> float:
         """Makespan with the real distribution: the most-loaded tile."""
-        return max(self.distribute(n_items)) * per_item_cycles
+        loads = self.distribute(n_items)
+        tracer = active_tracer()
+        if tracer is not None and per_item_cycles > 0:
+            # One span per tile shows the §4.3 load imbalance directly:
+            # the short tiles' idle tails are the ~8% wasted cycles.
+            for t, items in enumerate(loads):
+                if items:
+                    tracer.span(
+                        "items",
+                        f"raw/tile{t:02d}",
+                        items * per_item_cycles,
+                        args={"items": items},
+                    )
+        return max(loads) * per_item_cycles
 
     def balanced_makespan(self, per_item_cycles: float, n_items: int) -> float:
         """The §4.3 perfect-load-balance extrapolation (continuous
@@ -124,7 +155,16 @@ class RawMachine:
         the aggregate Table 1 rate."""
         if words < 0:
             raise ConfigError("negative word count")
-        return words / self.config.offchip_words_per_cycle
+        cycles = words / self.config.offchip_words_per_cycle
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "offchip transfer",
+                "raw/ports",
+                cycles,
+                args={"words": words},
+            )
+        return cycles
 
     def onchip_issue_time(self, load_store_words: float) -> float:
         """Cycles to issue ``load_store_words`` local accesses across all
@@ -132,7 +172,16 @@ class RawMachine:
         limit)."""
         if load_store_words < 0:
             raise ConfigError("negative word count")
-        return load_store_words / self.config.onchip_words_per_cycle
+        cycles = load_store_words / self.config.onchip_words_per_cycle
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "onchip issue",
+                "raw/ports",
+                cycles,
+                args={"words": load_store_words},
+            )
+        return cycles
 
     def tile_block_capacity_words(self) -> int:
         """Words of one tile's data SRAM (the 64x64 corner-turn block must

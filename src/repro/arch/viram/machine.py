@@ -32,6 +32,7 @@ from repro.memory.dram import DRAM, DRAMBatchCost, DRAMConfig, DRAMCost
 from repro.memory.streams import AccessPattern
 from repro.memory.tlb import TLB
 from repro.arch.viram.config import ViramConfig
+from repro.trace.tracer import active_tracer
 from repro.units import WORD_BYTES
 
 #: Table 2 row: 200 MHz, 16 ALUs, 3.2 peak GFLOPS.  The per-cycle flop
@@ -150,7 +151,16 @@ class ViramMachine:
         cycle at 32-bit precision)."""
         if element_ops < 0:
             raise ConfigError(f"negative element op count {element_ops}")
-        return element_ops / self.config.lane_ops_per_cycle
+        cycles = element_ops / self.config.lane_ops_per_cycle
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "vfu issue",
+                "viram/vfu",
+                cycles,
+                args={"element_ops": element_ops},
+            )
+        return cycles
 
     def fp_issue_cycles(self, flops: float) -> float:
         """Issue cycles for floating-point element operations.
@@ -159,9 +169,22 @@ class ViramMachine:
         documented limitation), halving FP issue bandwidth relative to the
         16-op/cycle Table 2 peak — the mechanism behind §4.3's x1.52.
         """
+        if flops < 0:
+            raise ConfigError(f"negative element op count {flops}")
+        # The vfu_cycles formula is inlined so one costing call emits
+        # exactly one span on the vfu track.
         if self.config.fp_on_vfu0_only:
-            return self.vfu_cycles(flops)
-        return flops / (self.config.n_vfus * self.config.lane_ops_per_cycle)
+            cycles = flops / self.config.lane_ops_per_cycle
+        else:
+            cycles = flops / (
+                self.config.n_vfus * self.config.lane_ops_per_cycle
+            )
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "fp issue", "viram/vfu", cycles, args={"flops": flops}
+            )
+        return cycles
 
     def instruction_count(
         self, element_ops: float, vl: Optional[int] = None
@@ -184,7 +207,16 @@ class ViramMachine:
         cycles)."""
         if n_instructions < 0:
             raise ConfigError(f"negative instruction count {n_instructions}")
-        return n_instructions * self.cal.vector_dead_time
+        cycles = n_instructions * self.cal.vector_dead_time
+        tracer = active_tracer()
+        if tracer is not None and cycles > 0:
+            tracer.span(
+                "dead time",
+                "viram/vfu",
+                cycles,
+                args={"instructions": n_instructions},
+            )
+        return cycles
 
     def register_file_words(self) -> int:
         """32-bit words the vector register file can hold (8 KB)."""

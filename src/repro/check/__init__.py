@@ -16,10 +16,11 @@ counterparts.  This package makes every one of those checks executable:
 
 Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
 
-* **fast** — invariants on every registered (kernel, machine) pair plus
-  the synthetic DRAM and engine oracles.  Cheap enough that
-  ``full_report`` runs it automatically, so every published table ships
-  pre-validated.
+* **fast** — invariants on every registered (kernel, machine) pair, the
+  trace-vs-ledger cross-check (a traced run's event stream must sum
+  back to its cycle ledger and must not perturb the model), plus the
+  synthetic DRAM and engine oracles.  Cheap enough that ``full_report``
+  runs it automatically, so every published table ships pre-validated.
 * **full** — fast, plus the cache oracle on every pair and the
   serial-vs-parallel executor oracle.
 * **inject** — the fault-injection matrix (see :mod:`.faults`).
@@ -32,6 +33,7 @@ from typing import Any, Dict, Iterator, Mapping, Optional
 
 from repro.check.invariants import (
     check_engine_conservation,
+    check_trace_accounting,
     validate_results,
     validate_run,
 )
@@ -73,6 +75,7 @@ def run_checks(
     }
     report.extend(validate_results(results, workloads))
     report.extend(check_engine_conservation())
+    report.extend(check_trace_accounting(workloads=workloads))
     report.extend(dram_oracle())
     if tier == "full":
         report.extend(cache_oracle(workloads=workloads))
@@ -134,6 +137,7 @@ __all__ = [
     "TIERS",
     "cache_oracle",
     "check_engine_conservation",
+    "check_trace_accounting",
     "continuous_validation",
     "dram_oracle",
     "executor_oracle",

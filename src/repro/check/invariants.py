@@ -18,6 +18,12 @@ Each invariant encodes a cross-check the paper's authors did by hand:
   implementation (§3's setup: every kernel is verified functionally).
 * **conservation** — the discrete-event engine neither loses nor
   invents events (scheduled = processed + cancelled + pending).
+* **trace** — tracing only observes: a traced run's numbers equal an
+  untraced run's, and the event stream it produces agrees with the
+  cycle ledger two independent ways (the chrome-exported accounting
+  tracks sum back to the ledger; the fine-grained DRAM/TLB tracks,
+  built event-by-event inside the memory models, sum to the ledger's
+  memory categories computed by vectorised aggregation).
 
 ``validate_run`` applies the per-run invariants; the engine invariant
 is exercised on a deterministic scenario because a finished
@@ -26,7 +32,7 @@ is exercised on a deterministic scenario because a finished
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.arch.base import KernelRun
 from repro.check.report import FAIL, PASS, SKIP, CheckResult
@@ -180,6 +186,116 @@ def validate_results(
         workload = workloads.get(kernel) if workloads else None
         out.extend(validate_run(run, workload))
     return out
+
+
+def check_trace_accounting(
+    workloads: Optional[Mapping[str, Any]] = None,
+) -> List[CheckResult]:
+    """Trace a VIRAM corner turn and cross-check events against ledgers.
+
+    Four layers of agreement, each a genuine differential (the two sides
+    are computed by different code paths):
+
+    1. *noninterference* — the traced run's cycles and breakdown equal a
+       fresh untraced run's (the tracer only observes);
+    2. *export round-trip* — summing span durations out of the exported
+       chrome document reproduces every ledger category and the total;
+    3. *dram track vs ledger* — the per-segment spans emitted inside
+       :meth:`~repro.memory.dram.DRAM.access_run` (one Python-level
+       event per segment) sum to the mapping's memory categories, which
+       it computed by numpy aggregation over the same batch;
+    4. *tlb track vs ledger* — the refill spans emitted per TLB batch
+       sum to the ledger's "tlb misses" charge.
+
+    Layers 3-4 are skipped for workloads the mapping runs in its
+    off-chip DMA regime (the ledger then has different categories).
+    """
+    from repro.mappings import registry
+    from repro.trace.export import chrome_busy_by_track, to_chrome
+    from repro.trace.run import trace_run
+
+    kwargs: Dict[str, Any] = {}
+    if workloads and "corner_turn" in workloads:
+        kwargs["workload"] = workloads["corner_turn"]
+
+    results: List[CheckResult] = []
+    baseline = registry.run("corner_turn", "viram", **kwargs)
+    run, tracer = trace_run("corner_turn", "viram", **kwargs)
+
+    def close(a: float, b: float) -> bool:
+        return abs(a - b) <= RTOL * max(1.0, abs(a), abs(b))
+
+    results.append(
+        _result(
+            "invariant.trace.noninterference",
+            run.cycles == baseline.cycles and run.breakdown == baseline.breakdown,
+            f"traced run reports {run.cycles:,.2f} cycles vs untraced "
+            f"{baseline.cycles:,.2f} — the observer changed the model",
+        )
+    )
+
+    busy = chrome_busy_by_track(to_chrome(tracer))
+    ledger = run.breakdown.as_dict()
+    mismatched = [
+        category
+        for category, cycles in ledger.items()
+        if not close(busy.get(f"accounting/{category}", 0.0), cycles)
+    ]
+    results.append(
+        _result(
+            "invariant.trace.accounting.categories",
+            not mismatched,
+            "chrome-exported accounting tracks disagree with the cycle "
+            f"ledger for {mismatched} — the export path dropped or "
+            "distorted spans",
+        )
+    )
+    exported_total = sum(
+        v for k, v in busy.items() if k.startswith("accounting/")
+    )
+    results.append(
+        _result(
+            "invariant.trace.accounting.total",
+            close(exported_total, run.cycles),
+            f"accounting tracks sum to {exported_total:,.2f} but the run "
+            f"reports {run.cycles:,.2f} cycles",
+        )
+    )
+
+    memory_categories = (
+        "strided loads",
+        "sequential stores",
+        "dram row activations",
+    )
+    if "off-chip dma" in ledger:
+        results.append(
+            CheckResult(
+                name="invariant.trace.dram-vs-ledger",
+                status=SKIP,
+                detail="workload runs in the off-chip DMA regime",
+            )
+        )
+    else:
+        dram_busy = busy.get("dram/viram-onchip", 0.0)
+        ledger_memory = sum(ledger.get(c, 0.0) for c in memory_categories)
+        results.append(
+            _result(
+                "invariant.trace.dram-vs-ledger",
+                close(dram_busy, ledger_memory),
+                f"dram track spans sum to {dram_busy:,.2f} but the ledger "
+                f"charges {ledger_memory:,.2f} memory cycles — the "
+                "per-segment events and the vectorised costing disagree",
+            )
+        )
+        results.append(
+            _result(
+                "invariant.trace.tlb-vs-ledger",
+                close(busy.get("tlb", 0.0), ledger.get("tlb misses", 0.0)),
+                f"tlb refill spans sum to {busy.get('tlb', 0.0):,.2f} but "
+                f"the ledger charges {ledger.get('tlb misses', 0.0):,.2f}",
+            )
+        )
+    return results
 
 
 def check_engine_conservation() -> List[CheckResult]:

@@ -4,13 +4,22 @@ Commands
 --------
 ``run KERNEL MACHINE``
     Run one mapping and print its summary and cycle breakdown.
+    ``--json`` prints a machine-readable record (cycles, breakdown,
+    config hash) instead; ``--trace PATH`` additionally writes a Chrome
+    ``trace_event`` JSON of the run.
+``trace KERNEL MACHINE``
+    Run one mapping with tracing on and emit the event stream:
+    ``--format chrome`` (default, Perfetto-loadable JSON), ``svg``
+    (per-resource utilization timeline), or ``jsonl`` (one metrics-
+    manifest record).  ``-o PATH`` writes to a file instead of stdout.
 ``table N`` / ``figure N``
     Regenerate one table (1-4) or figure (8-9) with model-vs-paper
     columns.
 ``report``
     Run every registered experiment (the EXPERIMENTS.md content).
     ``--jobs N`` spreads the kernel runs over N worker processes;
-    ``--perf`` prints timer and run-cache statistics to stderr.
+    ``--perf`` prints timer and run-cache statistics to stderr;
+    ``--metrics PATH`` writes the JSON-lines metrics manifest.
 ``check``
     Validate the model against its machine-checkable invariants and
     differential oracles.  ``--fast`` (default) checks every registered
@@ -30,6 +39,9 @@ Examples
 
     python -m repro run corner_turn viram
     python -m repro run cslc raw --option balanced=false
+    python -m repro run corner_turn viram --json
+    python -m repro trace corner_turn viram --format chrome -o trace.json
+    python -m repro trace corner_turn viram --format svg -o timeline.svg
     python -m repro table 3
     python -m repro figure 8
     python -m repro report
@@ -92,6 +104,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="mapping option, e.g. -o balanced=false -o tables_in_srf=true",
     )
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable run record instead of the summary",
+    )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="run under tracing and write a Chrome trace_event JSON here",
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one mapping with tracing on and export the events",
+        description=(
+            "Run KERNEL on MACHINE under the simulation tracer and emit "
+            "the structured event stream: spans and instants on named "
+            "per-resource tracks, timestamped in simulated cycles."
+        ),
+    )
+    trace_p.add_argument("kernel")
+    trace_p.add_argument("machine")
+    trace_p.add_argument(
+        "--format",
+        choices=("chrome", "svg", "jsonl"),
+        default="chrome",
+        help=(
+            "chrome: trace_event JSON (load at ui.perfetto.dev); "
+            "svg: utilization timeline; jsonl: metrics-manifest record"
+        ),
+    )
+    trace_p.add_argument(
+        "--output",
+        "-o",
+        metavar="PATH",
+        default=None,
+        help="write here instead of stdout",
+    )
+    trace_p.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        type=_parse_option,
+        help="mapping option, e.g. --option balanced=false",
+    )
+    trace_p.add_argument("--seed", type=int, default=0)
 
     table_p = sub.add_parser("table", help="regenerate a paper table")
     table_p.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -117,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf",
         action="store_true",
         help="print timer and run-cache statistics to stderr afterwards",
+    )
+    report_p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the JSON-lines metrics manifest of the sweep here",
     )
     check_p = sub.add_parser(
         "check",
@@ -176,8 +241,66 @@ def _cmd_run(args) -> int:
     from repro.mappings.registry import run
 
     options = dict(args.option)
-    result = run(args.kernel, args.machine, seed=args.seed, **options)
-    print(result.summary())
+    kwargs = dict(options, seed=args.seed)
+    if args.trace:
+        from repro.trace import trace_run, write_chrome
+
+        result, tracer = trace_run(args.kernel, args.machine, **kwargs)
+        write_chrome(args.trace, tracer)
+        print(
+            f"trace: {tracer.n_events} events -> {args.trace}",
+            file=sys.stderr,
+        )
+    else:
+        result = run(args.kernel, args.machine, **kwargs)
+    if args.json:
+        import json
+
+        from repro.eval.export import kernel_run_record
+        from repro.perf.cache import cache_key
+
+        record = {
+            "config_hash": cache_key(args.kernel, args.machine, kwargs),
+            **kernel_run_record(result),
+        }
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.trace import timeline_svg, to_chrome, trace_run
+    from repro.trace.export import manifest_record
+
+    options = dict(args.option)
+    kwargs = dict(options, seed=args.seed)
+    result, tracer = trace_run(args.kernel, args.machine, **kwargs)
+    if args.format == "chrome":
+        text = json.dumps(to_chrome(tracer), indent=1) + "\n"
+    elif args.format == "svg":
+        text = timeline_svg(tracer) + "\n"
+    else:
+        from repro.perf.cache import cache_key
+
+        record = manifest_record(
+            result,
+            config_hash=cache_key(args.kernel, args.machine, kwargs),
+            counters=tracer.counters,
+        )
+        text = json.dumps(record, sort_keys=True) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(
+            f"trace: {tracer.n_events} events "
+            f"({args.format}) -> {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -202,7 +325,7 @@ def _cmd_report(args) -> int:
 
     # Perf output goes to stderr so the report on stdout stays
     # byte-identical whether or not instrumentation is requested.
-    print(full_report(jobs=args.jobs))
+    print(full_report(jobs=args.jobs, metrics_path=args.metrics))
     if args.perf:
         from repro.perf import RUN_CACHE, timers
 
@@ -257,6 +380,7 @@ def _cmd_list(_args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "report": _cmd_report,

@@ -17,6 +17,7 @@ def full_report(
     workloads: Optional[Dict[str, object]] = None,
     jobs: Optional[int] = None,
     validate: bool = True,
+    metrics_path: Optional[str] = None,
 ) -> str:
     """Run all experiments (sharing one Table 3 sweep) and render them.
 
@@ -28,12 +29,20 @@ def full_report(
     ``repro check`` run over the very results just rendered — every
     published table ships pre-validated against the §2.5 bounds,
     footprints, and differential oracles.
+
+    ``metrics_path`` additionally writes the JSON-lines metrics manifest
+    (one record per Table 3 run, with config hashes) as a side effect;
+    the report text is unaffected.
     """
     from repro.perf.executor import resolve_jobs
 
     if resolve_jobs(jobs) > 1:
         prewarm(workloads, jobs=jobs)
     results = run_table3(workloads)
+    if metrics_path is not None:
+        from repro.trace.export import write_metrics_manifest
+
+        write_metrics_manifest(metrics_path, results, workloads)
     sections = []
     for experiment_id, fn in EXPERIMENTS.items():
         outcome: ExperimentResult = fn(results=results, workloads=workloads)

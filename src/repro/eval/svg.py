@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
 
@@ -126,6 +126,106 @@ def speedup_figure_svg(
         + "".join(grid)
         + f'<line x1="{MARGIN_LEFT - 8}" y1="{baseline}" x2="{width - 8}" '
         f'y2="{baseline}" stroke="#202124" stroke-width="1"/>'
+        + "".join(parts)
+        + "</svg>"
+    )
+
+
+#: Row fill per resource class (first track-path component) for the
+#: utilization timeline; classes without an entry fall back.
+CLASS_COLORS = {
+    "accounting": "#1a73e8",
+    "dram": "#e8710a",
+    "tlb": "#d93025",
+    "cache": "#9334e6",
+    "resource": "#188038",
+    "engine": "#5f6368",
+    "viram": "#129eaf",
+    "imagine": "#b06000",
+    "raw": "#0d652d",
+    "ppc": "#3c4043",
+}
+
+TL_ROW_HEIGHT = 20
+TL_ROW_GAP = 6
+TL_LABEL_WIDTH = 230
+TL_CHART_WIDTH = 640
+TL_MARGIN_TOP = 52
+TL_MARGIN_BOTTOM = 40
+
+
+def utilization_timeline_svg(
+    title: str,
+    tracks: Mapping[str, Sequence[Tuple[float, float]]],
+    total: float,
+) -> str:
+    """Render per-track busy/idle segments as a Gantt-style SVG.
+
+    ``tracks`` maps track name -> merged ``(start, end)`` busy intervals
+    (cycles); ``total`` is the horizon the horizontal axis spans.  Each
+    busy interval becomes a ``rect`` carrying ``data-track``/
+    ``data-start``/``data-end``, and each row a ``data-busy`` total, so
+    the tests can parse the geometry back out, mirroring
+    :func:`speedup_figure_svg`.
+    """
+    if not tracks:
+        raise ExperimentError("no tracks to render")
+    if total <= 0:
+        raise ExperimentError(f"non-positive horizon {total}")
+
+    def x_of(cycles: float) -> float:
+        return TL_LABEL_WIDTH + TL_CHART_WIDTH * cycles / total
+
+    parts = []
+    y = TL_MARGIN_TOP
+    for track, segments in tracks.items():
+        cls = track.split("/", 1)[0]
+        color = CLASS_COLORS.get(cls, DEFAULT_COLOR)
+        busy = sum(end - start for start, end in segments)
+        parts.append(
+            f'<text x="{TL_LABEL_WIDTH - 8}" y="{y + TL_ROW_HEIGHT - 6}" '
+            f'font-size="10" text-anchor="end">{track}</text>'
+        )
+        parts.append(
+            f'<rect class="row" data-track="{track}" '
+            f'data-busy="{busy:.4f}" x="{TL_LABEL_WIDTH}" y="{y}" '
+            f'width="{TL_CHART_WIDTH}" height="{TL_ROW_HEIGHT}" '
+            'fill="#f1f3f4"/>'
+        )
+        for start, end in segments:
+            width = max(0.5, x_of(end) - x_of(start))
+            parts.append(
+                f'<rect class="busy" data-track="{track}" '
+                f'data-start="{start:.4f}" data-end="{end:.4f}" '
+                f'x="{x_of(start):.2f}" y="{y + 2}" width="{width:.2f}" '
+                f'height="{TL_ROW_HEIGHT - 4}" fill="{color}"/>'
+            )
+        y += TL_ROW_HEIGHT + TL_ROW_GAP
+
+    # Cycle axis: five evenly spaced ticks including 0 and the horizon.
+    axis = []
+    for i in range(5):
+        cycles = total * i / 4
+        x = x_of(cycles)
+        axis.append(
+            f'<line x1="{x:.2f}" y1="{TL_MARGIN_TOP - 6}" x2="{x:.2f}" '
+            f'y2="{y}" stroke="#dadce0" stroke-width="1"/>'
+            f'<text x="{x:.2f}" y="{y + 16}" font-size="9" '
+            f'text-anchor="middle">{cycles:,.0f}</text>'
+        )
+
+    width = TL_LABEL_WIDTH + TL_CHART_WIDTH + 24
+    height = y + TL_MARGIN_BOTTOM
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif">'
+        f'<title>{title}</title>'
+        f'<text x="16" y="22" font-size="13" font-weight="bold">'
+        f'{title}</text>'
+        f'<text x="16" y="38" font-size="10" fill="#5f6368">'
+        'per-track busy intervals, simulated cycles</text>'
+        + "".join(axis)
         + "".join(parts)
         + "</svg>"
     )

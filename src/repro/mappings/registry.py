@@ -21,6 +21,7 @@ from repro.arch.base import KernelRun
 from repro.errors import MappingError
 from repro.perf import timers
 from repro.perf.cache import RUN_CACHE, cache_key
+from repro.trace.tracer import active_tracer
 from repro.mappings import (
     imagine_beam_steering,
     imagine_corner_turn,
@@ -106,6 +107,19 @@ def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun
             f"no mapping for kernel {kernel!r} on machine {machine!r}; "
             f"kernels: {KERNELS}, machines: {MACHINES}"
         ) from None
+    tracer = active_tracer()
+    if tracer is not None:
+        # A traced run must actually execute — a memoized hit would
+        # replay no events — and the memo cache must not absorb runs
+        # whose only difference is the observer.  Counts as a bypass;
+        # the result is still identical to an untraced run (tracing
+        # only observes), which invariant.trace.noninterference proves.
+        RUN_CACHE.note_bypass()
+        with timers.timer(f"run:{kernel}/{machine}"):
+            result = fn(**kwargs)
+        _post_run(result, kwargs)
+        tracer.attach_run(result, run_id=cache_key(kernel, machine, kwargs))
+        return result
     if not (cache and RUN_CACHE.enabled):
         RUN_CACHE.note_bypass()
         with timers.timer(f"run:{kernel}/{machine}"):

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.trace.tracer import TRACK_SEP, active_tracer
 from repro.units import WORD_BYTES
 
 
@@ -158,6 +159,21 @@ class CacheLevel:
             accesses=int(np.asarray(line_addresses).size),
             hits=hits,
         )
+        tracer = active_tracer()
+        if tracer is not None and result.accesses:
+            tracer.instant(
+                "lookup",
+                f"cache{TRACK_SEP}{self.config.name}",
+                args={
+                    "accesses": result.accesses,
+                    "hits": result.hits,
+                    "misses": result.misses,
+                },
+            )
+            tracer.count(f"cache.{self.config.name}.hits", float(result.hits))
+            tracer.count(
+                f"cache.{self.config.name}.misses", float(result.misses)
+            )
         if not collect_misses:
             return result, np.empty(0, dtype=np.int64)
         return result, np.asarray(misses, dtype=np.int64)

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.memory.streams import AccessPattern
+from repro.trace.tracer import TRACK_SEP, active_tracer
 
 _POLICIES = ("bank-parallel", "serialized")
 
@@ -286,6 +287,7 @@ class DRAM:
                 f"{int(addresses.size)} addresses were given"
             )
 
+        tracer = active_tracer()
         issue_cycles = np.zeros(n_seg, dtype=np.float64)
         nonempty = seg_lengths > 0
         issue_cycles[nonempty] = seg_lengths[nonempty] / rates[nonempty]
@@ -313,6 +315,11 @@ class DRAM:
                 np.maximum(worst, per_seg, out=worst)
                 activations += per_seg
                 self._open_rows[b] = int(rows_b[-1])
+                if tracer is not None:
+                    tracer.count(
+                        f"dram.{self.config.name}.bank{b:02d}.activations",
+                        float(per_seg.sum()),
+                    )
 
         if self.config.activation_policy == "serialized":
             activation_cycles = activations * self.config.row_cycle
@@ -325,6 +332,31 @@ class DRAM:
 
         self._total_activations += int(activations.sum())
         self._total_words += int(addresses.size)
+        if tracer is not None:
+            # One span per segment on the device's track, back-to-back at
+            # the track cursor: cost models compute durations, not start
+            # times, so the timeline shows relative occupancy, and the
+            # track's busy sum equals the run's exposed DRAM cycles.
+            track = f"dram{TRACK_SEP}{self.config.name}"
+            stream = issue_cycles + activation_cycles
+            kinds_seq = tuple(kinds) if kinds is not None else None
+            for i in range(n_seg):
+                tracer.span(
+                    kinds_seq[i] if kinds_seq else "segment",
+                    track,
+                    float(stream[i]),
+                    args={
+                        "words": int(seg_lengths[i]),
+                        "activations": int(activations[i]),
+                    },
+                )
+            tracer.count(
+                f"dram.{self.config.name}.words", float(addresses.size)
+            )
+            tracer.count(
+                f"dram.{self.config.name}.activations",
+                float(activations.sum()),
+            )
         return DRAMBatchCost(
             words=seg_lengths,
             issue_cycles=issue_cycles,

@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.trace.tracer import active_tracer
 
 
 class TLB:
@@ -87,6 +88,20 @@ class TLB:
                 popitem(last=False)
         self._accesses += len(pages)
         self._misses += misses
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("tlb.accesses", float(len(pages)))
+            tracer.count("tlb.misses", float(misses))
+            if misses:
+                # The exposed refill time for this batch, at the track
+                # cursor; the tlb track's busy sum therefore equals
+                # misses * miss_cycles — the ledger's "tlb misses".
+                tracer.span(
+                    "refill",
+                    "tlb",
+                    misses * self.miss_cycles,
+                    args={"misses": misses, "pages": len(pages)},
+                )
         return misses
 
     def access_addresses(self, word_addresses: Sequence[int]) -> int:

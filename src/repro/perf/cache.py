@@ -37,6 +37,8 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.trace.tracer import active_tracer
+
 
 class _Uncacheable(Exception):
     """Internal: an argument has no canonical encoding."""
@@ -139,6 +141,9 @@ class RunCache:
         """Record one deliberately uncached run."""
         with self._lock:
             self.bypasses += 1
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("perf.cache.bypass")
 
     def lookup(self, key: str) -> Optional[Any]:
         """An independent copy of the cached run, or ``None`` (counted
@@ -148,9 +153,16 @@ class RunCache:
                 value = self._store[key]
             except KeyError:
                 self.misses += 1
-                return None
-            self._store.move_to_end(key)
-            self.hits += 1
+                hit = False
+            else:
+                self._store.move_to_end(key)
+                self.hits += 1
+                hit = True
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("perf.cache.hit" if hit else "perf.cache.miss")
+        if not hit:
+            return None
         return copy.deepcopy(value)
 
     def insert(self, key: str, value: Any) -> None:

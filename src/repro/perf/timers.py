@@ -16,7 +16,11 @@ Timers nest: a ``timer`` opened inside another accumulates under the
 outer one's path ("report/table3" above), so :func:`render` prints an
 indented tree with totals, call counts, and self-time.  Accumulation is
 keyed per thread-local path but stored globally, so parallel stages
-aggregate into one report.
+aggregate into one report.  Timers opened on a worker thread (a pool's
+thread, not the main thread) attach under a ``worker/<n>`` prefix — one
+``n`` per thread, assigned on first use — so a parallel stage's spans
+are attributed to their worker instead of silently colliding with the
+main thread's open path.
 
 Everything is wall-clock observation only — nothing here may influence
 modelled results, and the report CLI prints it to stderr so cached and
@@ -25,6 +29,7 @@ uncached runs stay byte-identical on stdout.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from contextlib import contextmanager
@@ -40,11 +45,20 @@ _timings: Dict[Path, list] = {}
 #: name -> count
 _counters: Dict[str, int] = {}
 
+#: Monotonic worker-thread numbering; never reset, so a long session's
+#: prefixes stay unique even across :func:`reset` calls.
+_worker_seq = itertools.count()
+
 
 def _stack() -> list:
     stack = getattr(_local, "stack", None)
     if stack is None:
         stack = []
+        if threading.current_thread() is not threading.main_thread():
+            # Seed the thread's root with a stable worker prefix so its
+            # timings land under "worker/<n>/..." rather than appearing
+            # to be top-level (or colliding with main-thread paths).
+            stack.append(f"worker/{next(_worker_seq)}")
         _local.stack = stack
     return stack
 
@@ -104,19 +118,52 @@ def render() -> str:
     if not timings:
         lines.append("  (none recorded)")
 
+    # Include synthesized ancestors of every recorded path, so paths
+    # whose prefix was never itself timed (a worker thread's
+    # "worker/<n>" root, for instance) still render under their parent
+    # instead of being silently dropped by the tree walk.
+    nodes = set(timings)
+    for path in timings:
+        for i in range(1, len(path)):
+            nodes.add(path[:i])
+
+    totals: Dict[Path, float] = {}
+
     def children_of(parent: Path):
-        kids = [p for p in timings if len(p) == len(parent) + 1 and p[: len(parent)] == parent]
-        return sorted(kids, key=lambda p: -timings[p][0])
+        kids = [
+            p
+            for p in nodes
+            if len(p) == len(parent) + 1 and p[: len(parent)] == parent
+        ]
+        return sorted(kids, key=lambda p: -subtree_total(p))
+
+    def subtree_total(path: Path) -> float:
+        if path not in totals:
+            if path in timings:
+                totals[path] = timings[path][0]
+            else:
+                totals[path] = sum(
+                    subtree_total(c) for c in children_of(path)
+                )
+        return totals[path]
 
     def walk(parent: Path, depth: int) -> None:
         for path in children_of(parent):
-            total, calls = timings[path]
-            child_total = sum(timings[c][0] for c in children_of(path))
-            self_time = total - child_total
-            lines.append(
-                f"  {'  ' * depth}{path[-1]:<32s} "
-                f"{total:8.3f}s  x{calls:<6d} self {self_time:7.3f}s"
-            )
+            if path in timings:
+                total, calls = timings[path]
+                child_total = sum(
+                    subtree_total(c) for c in children_of(path)
+                )
+                self_time = total - child_total
+                lines.append(
+                    f"  {'  ' * depth}{path[-1]:<32s} "
+                    f"{total:8.3f}s  x{calls:<6d} self {self_time:7.3f}s"
+                )
+            else:
+                lines.append(
+                    f"  {'  ' * depth}{path[-1]:<32s} "
+                    f"{subtree_total(path):8.3f}s  (aggregated)"
+                )
             walk(path, depth + 1)
 
     walk((), 0)

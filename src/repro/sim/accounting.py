@@ -107,6 +107,24 @@ class CycleBreakdown:
             out.charge(name, value * factor)
         return out
 
+    def timeline(
+        self, start: float = 0.0
+    ) -> Tuple[Tuple[str, float, float], ...]:
+        """The ledger as ``(category, start, end)`` spans laid end-to-end
+        from ``start``, in insertion order.
+
+        This is the breakdown's *timeline view*: the categories tile the
+        window ``[start, start + total]`` with no gaps or overlaps, which
+        is exactly how the tracer renders a run's accounting tracks and
+        what the ``invariant.trace.accounting`` check sums back up.
+        """
+        spans = []
+        cursor = float(start)
+        for name, value in self.items():
+            spans.append((name, cursor, cursor + value))
+            cursor += value
+        return tuple(spans)
+
     def __iter__(self) -> Iterator[str]:
         return iter(self._cycles)
 

@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.trace.tracer import Tracer, active_tracer
+
 
 @dataclass(order=True)
 class Event:
@@ -64,7 +66,7 @@ class Engine:
     #: events both exceed this count and outnumber live ones.
     _COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -72,6 +74,13 @@ class Engine:
         self._cancelled_in_heap = 0
         self._scheduled = 0
         self._cancelled_total = 0
+        #: Explicitly attached tracer; when ``None`` the engine falls
+        #: back to the process-wide :func:`active_tracer` per dispatch,
+        #: so ``with tracing():`` observes engines it did not construct.
+        self.tracer = tracer
+
+    def _trace(self) -> Optional[Tracer]:
+        return self.tracer if self.tracer is not None else active_tracer()
 
     @property
     def now(self) -> float:
@@ -133,6 +142,9 @@ class Engine:
         )
         heapq.heappush(self._heap, event)
         self._scheduled += 1
+        tracer = self._trace()
+        if tracer is not None:
+            tracer.count("engine.scheduled")
         return event
 
     def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
@@ -154,6 +166,15 @@ class Engine:
             self._now = event.time
             event.action()
             self._processed += 1
+            tracer = self._trace()
+            if tracer is not None:
+                tracer.instant(
+                    "dispatch",
+                    "engine",
+                    ts=event.time,
+                    args={"seq": event.seq},
+                )
+                tracer.count("engine.dispatched")
             return True
         return False
 

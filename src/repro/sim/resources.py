@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.trace.tracer import TRACK_SEP, active_tracer
+
 
 @dataclass(frozen=True)
 class Grant:
@@ -69,6 +71,18 @@ class TimelineResource:
         self._next_free = end
         self._busy += duration
         self._transactions += 1
+        tracer = active_tracer()
+        if tracer is not None:
+            # Real interval, not cursor-placed: the grant knows exactly
+            # when the resource served this transaction.
+            tracer.span(
+                self.name,
+                f"resource{TRACK_SEP}{self.name}",
+                duration,
+                start=start,
+                args={"wait": start - earliest},
+            )
+            tracer.count(f"resource.{self.name}.transactions")
         return Grant(start=start, end=end)
 
     def utilization(self, horizon: float) -> float:
@@ -164,6 +178,9 @@ class IssueSlots:
             raise ValueError(f"negative instruction count {instructions}")
         if record:
             self._instructions += instructions
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.count(f"issue.{self.name}.instructions", instructions)
         return instructions / self.width
 
     def issue_cycles_exact(self, instructions: int) -> int:

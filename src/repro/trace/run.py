@@ -1,0 +1,38 @@
+"""Convenience driver: run one mapping under tracing.
+
+``trace_run`` is what the ``repro trace`` CLI and the
+``invariant.trace.accounting`` check call: it opens a :func:`tracing`
+context, dispatches through the registry (which bypasses the
+memoization cache while tracing is active — a cache hit would replay no
+events — and attaches the finished run to the tracer), and returns both
+the :class:`~repro.arch.base.KernelRun` and the populated
+:class:`~repro.trace.tracer.Tracer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.trace.tracer import Tracer, tracing
+
+
+def trace_run(
+    kernel: str,
+    machine: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    **kwargs: Any,
+) -> Tuple[Any, Tracer]:
+    """Run ``kernel`` on ``machine`` with tracing on.
+
+    Returns ``(run, tracer)``.  The run is bit-identical to an untraced
+    run of the same arguments (tracing only observes); the tracer holds
+    the event stream, counters, and the run's accounting timeline.
+    """
+    from repro.mappings import registry
+
+    if tracer is None:
+        tracer = Tracer()
+    with tracing(tracer):
+        result = registry.run(kernel, machine, **kwargs)
+    return result, tracer

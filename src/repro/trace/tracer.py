@@ -1,0 +1,314 @@
+"""Structured simulation tracing: spans and instants on simulated time.
+
+A :class:`Tracer` collects *events* emitted by the simulation engine,
+the timeline resources, the memory models, and the machine models while
+a run executes: complete spans (a DRAM segment streaming, a VFU issue
+burst, a Raw tile's compute block) and instants (an engine dispatch, a
+cache lookup), every timestamp in **simulated cycles**.  Events live on
+named *tracks* — ``dram/viram-onchip``, ``raw/tile03``, ``accounting/
+strided loads`` — whose first path component is the resource class the
+exporters and invariants group by.
+
+Emission is opt-in and zero-overhead when off: every instrumentation
+site guards on :func:`active_tracer`, which is ``None`` unless a
+:func:`tracing` context is open, so a disabled run performs one global
+read per *block-level* costing call and allocates nothing.  Tracing may
+never change modelled numbers — the tracer only observes; the
+``invariant.trace.noninterference`` check and the golden snapshots
+enforce this.
+
+Usage::
+
+    from repro.trace import Tracer, tracing
+    from repro.mappings import registry
+
+    with tracing() as tracer:
+        run = registry.run("corner_turn", "viram")
+    tracer.busy_by_track()["dram/viram-onchip"]
+
+Cursor placement: most cost models compute *durations*, not start
+times.  A span emitted without an explicit ``start`` is placed at its
+track's cursor (the end of the last span on that track), producing a
+back-to-back timeline per resource; resources that do know real
+intervals (:class:`~repro.sim.resources.TimelineResource` grants) pass
+``start`` explicitly.
+
+This module is dependency-free within the package so the low-level
+simulation modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Chrome trace_event phase codes (the subset we emit).
+SPAN = "X"
+INSTANT = "i"
+
+#: Track-path separator; the first component is the resource class.
+TRACK_SEP = "/"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace event: a complete span (``phase="X"``) or an instant
+    (``phase="i"``) on a named track, timestamped in simulated cycles."""
+
+    name: str
+    track: str
+    phase: str
+    ts: float
+    dur: float = 0.0
+    category: str = ""
+    args: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.phase not in (SPAN, INSTANT):
+            raise ValueError(f"phase must be {SPAN!r} or {INSTANT!r}")
+        if self.dur < 0:
+            raise ValueError(f"negative duration {self.dur} on {self.name!r}")
+        if self.ts < 0:
+            raise ValueError(f"negative timestamp {self.ts} on {self.name!r}")
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    @property
+    def resource_class(self) -> str:
+        """First component of the track path (``dram``, ``accounting``...)."""
+        return self.track.split(TRACK_SEP, 1)[0]
+
+
+class Tracer:
+    """Collects trace events, per-track cursors, and named counters.
+
+    One tracer can observe several runs; :meth:`attach_run` records each
+    completed :class:`~repro.arch.base.KernelRun` and lays its cycle
+    ledger out as the authoritative ``accounting/*`` timeline.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._counters: Dict[str, float] = {}
+        self._cursors: Dict[str, float] = {}
+        self._runs: List[Dict[str, Any]] = []
+        self._accounting_base = 0.0
+
+    # -- recording ------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        track: str,
+        duration: float,
+        *,
+        start: Optional[float] = None,
+        category: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> TraceEvent:
+        """Record a complete span on ``track``.
+
+        Without ``start`` the span is placed at the track cursor; either
+        way the cursor advances to the span's end if that is later.
+        """
+        if start is None:
+            start = self._cursors.get(track, 0.0)
+        event = TraceEvent(
+            name=name,
+            track=track,
+            phase=SPAN,
+            ts=float(start),
+            dur=float(duration),
+            category=category,
+            args=args,
+        )
+        self._events.append(event)
+        if event.end > self._cursors.get(track, 0.0):
+            self._cursors[track] = event.end
+        return event
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        *,
+        ts: Optional[float] = None,
+        category: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> TraceEvent:
+        """Record an instantaneous event (default: at the track cursor)."""
+        if ts is None:
+            ts = self._cursors.get(track, 0.0)
+        event = TraceEvent(
+            name=name,
+            track=track,
+            phase=INSTANT,
+            ts=float(ts),
+            category=category,
+            args=args,
+        )
+        self._events.append(event)
+        return event
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Accumulate ``n`` under the named counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + n
+
+    def attach_run(self, result: Any, *, run_id: Optional[str] = None) -> None:
+        """Record a completed kernel run and emit its accounting timeline.
+
+        The run's :class:`~repro.sim.accounting.CycleBreakdown` — the
+        authoritative per-category cycle ledger — is laid out end-to-end
+        on ``accounting/<category>`` tracks, so every trace carries the
+        ledger view alongside the fine-grained resource tracks and the
+        two can be cross-checked (``invariant.trace.accounting``).
+        Successive runs on one tracer tile successive windows.
+        """
+        base = self._accounting_base
+        for category, start, end in result.breakdown.timeline(start=base):
+            self.span(
+                category,
+                f"accounting{TRACK_SEP}{category}",
+                end - start,
+                start=start,
+                category="accounting",
+            )
+        self._accounting_base = base + result.breakdown.total
+        self._runs.append(
+            {
+                "kernel": result.kernel,
+                "machine": result.machine,
+                "run_id": run_id,
+                "cycles": result.cycles,
+                "window": (base, self._accounting_base),
+                "functional_ok": bool(result.functional_ok),
+            }
+        )
+        self.count("trace.runs")
+
+    def clear(self) -> None:
+        """Drop all events, counters, cursors, and recorded runs."""
+        self._events.clear()
+        self._counters.clear()
+        self._cursors.clear()
+        self._runs.clear()
+        self._accounting_base = 0.0
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def runs(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(dict(r) for r in self._runs)
+
+    def cursor(self, track: str) -> float:
+        """The track's current cursor (0.0 if nothing recorded)."""
+        return self._cursors.get(track, 0.0)
+
+    def tracks(self) -> Tuple[str, ...]:
+        """Track names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.track, None)
+        return tuple(seen)
+
+    def busy_by_track(self) -> Dict[str, float]:
+        """Sum of span durations per track (instants contribute 0)."""
+        out: Dict[str, float] = {}
+        for event in self._events:
+            if event.phase == SPAN:
+                out[event.track] = out.get(event.track, 0.0) + event.dur
+        return out
+
+    def busy_by_class(self) -> Dict[str, float]:
+        """Sum of span durations per resource class (first track path
+        component)."""
+        out: Dict[str, float] = {}
+        for event in self._events:
+            if event.phase == SPAN:
+                cls = event.resource_class
+                out[cls] = out.get(cls, 0.0) + event.dur
+        return out
+
+    def segments(self, track: str) -> List[Tuple[float, float]]:
+        """Merged, sorted busy intervals of ``track``'s spans.
+
+        Overlapping and back-to-back spans coalesce, so the result is
+        the track's busy/idle structure — what the utilization timeline
+        renders and what ``utilization`` integrates.
+        """
+        spans = sorted(
+            (e.ts, e.end)
+            for e in self._events
+            if e.phase == SPAN and e.track == track and e.dur > 0
+        )
+        merged: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                if end > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], end)
+            else:
+                merged.append((start, end))
+        return merged
+
+    def utilization(self, track: str, horizon: Optional[float] = None) -> float:
+        """Busy fraction of ``track`` over ``[0, horizon]`` (default: the
+        latest event end over all tracks)."""
+        if horizon is None:
+            horizon = max((e.end for e in self._events), default=0.0)
+        if horizon <= 0:
+            return 0.0
+        busy = sum(end - start for start, end in self.segments(track))
+        return min(1.0, busy / horizon)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({self.n_events} events, {len(self._counters)} counters,"
+            f" {len(self._runs)} runs)"
+        )
+
+
+#: The process-wide active tracer (``None`` = tracing off).  Installed
+#: and removed by :func:`tracing`; instrumentation sites read it through
+#: :func:`active_tracer`.  Deliberately not thread-local: the simulations
+#: are single-threaded, and worker *processes* of the sweep executor
+#: start with tracing off (traced runs bypass the parallel path).
+_ACTIVE: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The currently installed tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (or a fresh one) as the active tracer.
+
+    Re-entrant: a nested context shadows the outer tracer and restores
+    it on exit, and the previous tracer is always restored even when the
+    body raises — no tracer state leaks between runs.
+    """
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer()
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

@@ -15,6 +15,7 @@ from repro.check.invariants import (
     check_engine_conservation,
     check_functional,
     check_throughput,
+    check_trace_accounting,
     check_traffic,
     validate_run,
     validate_results,
@@ -154,6 +155,37 @@ class TestFootprint:
 
         with pytest.raises(ConfigError):
             kernel_footprint_words("no_such_kernel")
+
+
+class TestTraceAccounting:
+    def test_full_size_all_pass(self):
+        results = check_trace_accounting()
+        names = {r.name for r in results}
+        assert names == {
+            "invariant.trace.noninterference",
+            "invariant.trace.accounting.categories",
+            "invariant.trace.accounting.total",
+            "invariant.trace.dram-vs-ledger",
+            "invariant.trace.tlb-vs-ledger",
+        }
+        bad = [r for r in results if r.status == FAIL]
+        assert not bad, "\n".join(r.format() for r in bad)
+        # The full-size corner turn runs on-chip: the dram and tlb
+        # differentials genuinely execute rather than skipping.
+        by_name = {r.name: r for r in results}
+        assert by_name["invariant.trace.dram-vs-ledger"].status == PASS
+        assert by_name["invariant.trace.tlb-vs-ledger"].status == PASS
+
+    def test_small_workload_no_failures(self, small_workloads_module):
+        results = check_trace_accounting(small_workloads_module)
+        bad = [r for r in results if r.status == FAIL]
+        assert not bad, "\n".join(r.format() for r in bad)
+
+    def test_tracing_off_after_check(self):
+        from repro.trace.tracer import active_tracer
+
+        check_trace_accounting()
+        assert active_tracer() is None
 
 
 class TestEngineConservation:

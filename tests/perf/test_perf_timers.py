@@ -1,5 +1,8 @@
 """Tests for the wall-time instrumentation (:mod:`repro.perf.timers`)."""
 
+import re
+import threading
+
 import pytest
 
 from repro.perf import timers
@@ -66,6 +69,55 @@ def test_render_shows_tree_and_counters():
     assert len(table_line) - len(table_line.lstrip()) > len(
         report_line
     ) - len(report_line.lstrip())
+
+
+def _time_on_thread(name):
+    def body():
+        with timers.timer(name):
+            pass
+
+    t = threading.Thread(target=body)
+    t.start()
+    t.join()
+
+
+def test_worker_thread_spans_attach_under_worker_prefix():
+    _time_on_thread("task")
+    paths = list(timers.snapshot()["timings"])
+    assert len(paths) == 1
+    assert re.fullmatch(r"worker/\d+/task", paths[0]), paths
+
+
+def test_distinct_threads_get_distinct_worker_numbers():
+    _time_on_thread("task")
+    _time_on_thread("task")
+    paths = sorted(timers.snapshot()["timings"])
+    assert len(paths) == 2  # no collision into one path
+    prefixes = {p.rsplit("/", 1)[0] for p in paths}
+    assert len(prefixes) == 2
+
+
+def test_worker_and_main_thread_paths_do_not_collide():
+    with timers.timer("task"):
+        pass
+    _time_on_thread("task")
+    snap = timers.snapshot()["timings"]
+    assert snap["task"]["calls"] == 1
+    worker_paths = [p for p in snap if p.startswith("worker/")]
+    assert len(worker_paths) == 1
+
+
+def test_render_synthesizes_worker_root_as_aggregated():
+    _time_on_thread("task")
+    text = timers.render()
+    # The "worker/<n>" prefix was never itself timed, so the tree walk
+    # synthesizes it as an aggregated parent row above its child.
+    agg_line = next(l for l in text.splitlines() if "(aggregated)" in l)
+    assert "worker/" in agg_line
+    task_line = next(l for l in text.splitlines() if "task" in l)
+    assert len(task_line) - len(task_line.lstrip()) > len(agg_line) - len(
+        agg_line.lstrip()
+    )
 
 
 def test_reset_clears_everything():

@@ -1,5 +1,7 @@
 """Tests for :mod:`repro.cli`."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_option, main
@@ -65,6 +67,90 @@ class TestCommands:
     def test_figure(self, capsys):
         assert main(["figure", "8"]) == 0
         assert "log scale" in capsys.readouterr().out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "corner_turn", "viram", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kernel"] == "corner_turn"
+        assert record["machine"] == "viram"
+        assert record["cycles"] > 0
+        assert record["config_hash"]
+        assert record["functional_ok"] is True
+
+    def test_run_trace_writes_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert (
+            main(["run", "corner_turn", "viram", "--trace", str(path)]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "corner_turn on VIRAM" in captured.out
+        assert str(path) in captured.err
+        doc = json.loads(path.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_trace_chrome_format(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        assert main(["trace", "corner_turn", "viram", "-o", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        assert doc["otherData"]["runs"][0]["kernel"] == "corner_turn"
+
+    def test_trace_chrome_to_stdout(self, capsys):
+        assert main(["trace", "beam_steering", "ppc"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+
+    def test_trace_svg_format(self, capsys, tmp_path):
+        path = tmp_path / "timeline.svg"
+        assert (
+            main(
+                [
+                    "trace",
+                    "corner_turn",
+                    "viram",
+                    "--format",
+                    "svg",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert 'data-track="accounting/' in text
+
+    def test_trace_jsonl_format(self, capsys):
+        assert (
+            main(["trace", "corner_turn", "viram", "--format", "jsonl"]) == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == "repro-metrics/1"
+        assert record["kernel"] == "corner_turn"
+        assert record["trace_counters"]["trace.runs"] == 1.0
+
+    def test_trace_with_option(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "cslc",
+                    "raw",
+                    "--format",
+                    "jsonl",
+                    "--option",
+                    "balanced=false",
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["machine"] == "raw"
+
+    def test_trace_unknown_kernel_exits_nonzero(self, capsys):
+        assert main(["trace", "matmul3d", "raw"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_module_entry_point(self):
         import subprocess

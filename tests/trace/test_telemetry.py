@@ -1,0 +1,148 @@
+"""Tests for the unified metrics registry (:mod:`repro.trace.telemetry`)."""
+
+import json
+
+import pytest
+
+from repro.sim.accounting import CycleBreakdown
+from repro.sim.stats import Counter
+from repro.trace.telemetry import (
+    TELEMETRY,
+    TelemetryRegistry,
+    breakdown_source,
+    counter_source,
+)
+from repro.trace.tracer import tracing
+
+
+class TestRegistration:
+    def test_register_and_snapshot(self):
+        reg = TelemetryRegistry()
+        reg.register("demo", lambda: {"a": 1, "b": 2.5})
+        assert reg.snapshot() == {"demo.a": 1, "demo.b": 2.5}
+        assert reg.namespaces() == ("demo",)
+
+    def test_duplicate_namespace_raises(self):
+        reg = TelemetryRegistry()
+        reg.register("demo", lambda: {})
+        with pytest.raises(ValueError):
+            reg.register("demo", lambda: {})
+
+    def test_replace_allows_reregistration(self):
+        reg = TelemetryRegistry()
+        reg.register("demo", lambda: {"a": 1})
+        reg.register("demo", lambda: {"a": 2}, replace=True)
+        assert reg.read("demo.a") == 2
+
+    def test_invalid_namespace_rejected(self):
+        reg = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            reg.register("", lambda: {})
+        with pytest.raises(ValueError):
+            reg.register(".leading", lambda: {})
+
+    def test_unregister_is_idempotent(self):
+        reg = TelemetryRegistry()
+        reg.register("demo", lambda: {"a": 1})
+        reg.unregister("demo")
+        reg.unregister("demo")
+        assert reg.snapshot() == {}
+
+    def test_scoped_registers_for_context_only(self):
+        reg = TelemetryRegistry()
+        with reg.scoped("tmp", lambda: {"x": 9}):
+            assert reg.read("tmp.x") == 9
+        assert "tmp" not in reg.namespaces()
+
+    def test_scoped_unregisters_on_exception(self):
+        reg = TelemetryRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.scoped("tmp", lambda: {}):
+                raise RuntimeError("boom")
+        assert "tmp" not in reg.namespaces()
+
+
+class TestSnapshotErrors:
+    def test_failing_source_is_isolated(self):
+        reg = TelemetryRegistry()
+
+        def broken():
+            raise RuntimeError("no data")
+
+        reg.register("bad", broken)
+        reg.register("good", lambda: {"a": 1})
+        snap = reg.snapshot()
+        assert snap["good.a"] == 1
+        assert snap["bad.error"] == "RuntimeError: no data"
+
+    def test_read_missing_raises_keyerror(self):
+        reg = TelemetryRegistry()
+        with pytest.raises(KeyError):
+            reg.read("nope.metric")
+
+
+class TestAdapters:
+    def test_counter_source(self):
+        c = Counter("dram")
+        c.add("activations", 3)
+        c.add("refreshes", 1)
+        values = counter_source(c)()
+        assert values["activations"] == 3
+        assert values["refreshes"] == 1
+        assert values["total"] == 4
+
+    def test_breakdown_source(self):
+        b = CycleBreakdown({"compute": 100.0, "memory": 50.0})
+        values = breakdown_source(b)()
+        assert values["compute"] == 100.0
+        assert values["memory"] == 50.0
+        assert values["total"] == 150.0
+
+
+class TestRendering:
+    def test_render_empty(self):
+        reg = TelemetryRegistry()
+        assert "no sources" in reg.render()
+
+    def test_render_aligned_lines(self):
+        reg = TelemetryRegistry()
+        reg.register("demo", lambda: {"hits": 3, "misses": 1})
+        text = reg.render()
+        assert text.startswith("telemetry:")
+        assert "demo.hits" in text
+        assert "demo.misses" in text
+
+    def test_export_json_is_sorted_and_parseable(self):
+        reg = TelemetryRegistry()
+        reg.register("b", lambda: {"z": 1})
+        reg.register("a", lambda: {"y": 2})
+        data = json.loads(reg.export_json())
+        assert data == {"b.z": 1, "a.y": 2}
+        assert reg.export_json() == json.dumps(data, indent=2, sort_keys=True)
+
+
+class TestDefaultRegistry:
+    def test_default_namespaces_present(self):
+        namespaces = TELEMETRY.namespaces()
+        assert "perf.timers" in namespaces
+        assert "perf.cache" in namespaces
+        assert "trace" in namespaces
+
+    def test_trace_source_empty_when_tracing_off(self):
+        snap = TELEMETRY.snapshot()
+        assert not any(k.startswith("trace.") for k in snap)
+
+    def test_trace_source_reports_active_tracer(self):
+        with tracing() as tracer:
+            tracer.count("demo.counter", 2.0)
+            tracer.span("a", "t", 1.0)
+            snap = TELEMETRY.snapshot()
+        assert snap["trace.demo.counter"] == 2.0
+        assert snap["trace.events"] == 1
+        # And nothing leaks after the context closes.
+        assert "trace.events" not in TELEMETRY.snapshot()
+
+    def test_cache_source_reports_run_cache_stats(self):
+        snap = TELEMETRY.snapshot()
+        cache_keys = {k for k in snap if k.startswith("perf.cache.")}
+        assert cache_keys  # hits/misses/bypasses/entries, shape-agnostic

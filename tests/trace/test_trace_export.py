@@ -1,0 +1,175 @@
+"""Tests for the trace exporters (:mod:`repro.trace.export`)."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.mappings import registry
+from repro.perf.cache import cache_key
+from repro.trace.export import (
+    MANIFEST_SCHEMA,
+    chrome_busy_by_track,
+    chrome_track_names,
+    manifest_record,
+    metrics_manifest_lines,
+    timeline_svg,
+    to_chrome,
+    utilization_timelines,
+    write_chrome,
+    write_metrics_manifest,
+)
+from repro.trace.run import trace_run
+from repro.trace.tracer import Tracer
+
+
+def small_tracer():
+    tr = Tracer()
+    tr.span("seg", "dram/x", 10.0, args={"words": 4})
+    tr.span("seg", "dram/x", 5.0)
+    tr.instant("lookup", "cache/l1", args={"hits": 3})
+    tr.span("cat", "accounting/compute", 7.0)
+    tr.count("dram.x.words", 4.0)
+    return tr
+
+
+class TestToChrome:
+    def test_metadata_names_every_track(self):
+        doc = to_chrome(small_tracer())
+        names = chrome_track_names(doc)
+        assert sorted(names.values()) == [
+            "accounting/compute",
+            "cache/l1",
+            "dram/x",
+        ]
+        # tids follow first-appearance order.
+        assert names[0] == "dram/x"
+        assert names[1] == "cache/l1"
+
+    def test_span_and_instant_records(self):
+        doc = to_chrome(small_tracer())
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert len(spans) == 3
+        assert len(instants) == 1
+        first = spans[0]
+        assert first["ts"] == 0.0 and first["dur"] == 10.0
+        assert first["args"] == {"words": 4}
+        assert instants[0]["s"] == "t"
+        assert all(e["pid"] == 0 for e in spans + instants)
+
+    def test_other_data_carries_counters_and_clock(self):
+        doc = to_chrome(small_tracer())
+        other = doc["otherData"]
+        assert other["counters"] == {"dram.x.words": 4.0}
+        assert "cycle" in other["clock"]
+
+    def test_json_serializable(self):
+        doc = to_chrome(small_tracer())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_busy_round_trip_matches_tracer(self):
+        tr = small_tracer()
+        assert chrome_busy_by_track(to_chrome(tr)) == tr.busy_by_track()
+
+    def test_real_run_round_trip(self):
+        run, tracer = trace_run("corner_turn", "viram")
+        doc = to_chrome(tracer)
+        busy = chrome_busy_by_track(doc)
+        accounting = sum(
+            v for k, v in busy.items() if k.startswith("accounting/")
+        )
+        assert accounting == pytest.approx(run.cycles)
+        assert doc["otherData"]["runs"][0]["kernel"] == "corner_turn"
+
+    def test_write_chrome(self, tmp_path):
+        path = write_chrome(tmp_path / "t.json", small_tracer())
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > 0
+
+
+class TestUtilizationTimelines:
+    def test_accounting_tracks_first(self):
+        timelines = utilization_timelines(small_tracer())
+        assert list(timelines)[0] == "accounting/compute"
+        assert "dram/x" in timelines
+
+    def test_empty_tracks_omitted(self):
+        tr = small_tracer()
+        tr.instant("only-instants", "engine")
+        timelines = utilization_timelines(tr)
+        assert "engine" not in timelines
+
+
+class TestTimelineSvg:
+    def test_empty_tracer_raises(self):
+        with pytest.raises(ExperimentError):
+            timeline_svg(Tracer())
+
+    def test_svg_parses_with_rows_and_busy_rects(self):
+        svg = timeline_svg(small_tracer(), title="unit test")
+        root = ET.fromstring(svg)
+        rows = [
+            r
+            for r in root.iter("{http://www.w3.org/2000/svg}rect")
+            if r.get("class") == "row"
+        ]
+        busy = [
+            r
+            for r in root.iter("{http://www.w3.org/2000/svg}rect")
+            if r.get("class") == "busy"
+        ]
+        assert len(rows) == 2  # accounting/compute and dram/x
+        assert busy, "no busy rectangles rendered"
+        tracks = {r.get("data-track") for r in busy}
+        assert tracks == {"accounting/compute", "dram/x"}
+        texts = [t.text for t in root.iter("{http://www.w3.org/2000/svg}text")]
+        assert "unit test" in texts
+
+    def test_default_title_names_runs(self):
+        _, tracer = trace_run("corner_turn", "viram")
+        svg = timeline_svg(tracer)
+        assert "corner_turn/viram" in svg
+
+
+class TestManifest:
+    def test_manifest_record_fields(self):
+        run = registry.run("corner_turn", "viram")
+        key = cache_key("corner_turn", "viram", {})
+        record = manifest_record(run, config_hash=key)
+        assert record["schema"] == MANIFEST_SCHEMA
+        assert record["config_hash"] == key
+        assert record["run_id"] == key[:12]
+        assert record["kernel"] == "corner_turn"
+        assert record["machine"] == "viram"
+        assert record["cycles"] == run.cycles
+
+    def test_manifest_record_with_counters(self):
+        run, tracer = trace_run("corner_turn", "viram")
+        record = manifest_record(
+            run,
+            config_hash=cache_key("corner_turn", "viram", {}),
+            counters=tracer.counters,
+        )
+        assert record["trace_counters"]["trace.runs"] == 1.0
+
+    def test_lines_sorted_and_deterministic(self):
+        results = {
+            ("corner_turn", "viram"): registry.run("corner_turn", "viram"),
+            ("beam_steering", "ppc"): registry.run("beam_steering", "ppc"),
+        }
+        lines = metrics_manifest_lines(results)
+        records = [json.loads(line) for line in lines]
+        pairs = [(r["kernel"], r["machine"]) for r in records]
+        assert pairs == [("beam_steering", "ppc"), ("corner_turn", "viram")]
+        assert lines == metrics_manifest_lines(results)
+
+    def test_write_metrics_manifest(self, tmp_path):
+        results = {
+            ("corner_turn", "viram"): registry.run("corner_turn", "viram")
+        }
+        path = write_metrics_manifest(tmp_path / "m.jsonl", results)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["schema"] == MANIFEST_SCHEMA

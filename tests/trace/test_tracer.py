@@ -1,0 +1,192 @@
+"""Tests for the core tracer (:mod:`repro.trace.tracer`)."""
+
+import pytest
+
+from repro.trace.tracer import (
+    INSTANT,
+    SPAN,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    tracing,
+)
+
+
+class TestTraceEvent:
+    def test_span_end_and_class(self):
+        e = TraceEvent("seg", "dram/viram-onchip", SPAN, ts=10.0, dur=5.0)
+        assert e.end == 15.0
+        assert e.resource_class == "dram"
+
+    def test_classless_track(self):
+        e = TraceEvent("refill", "tlb", SPAN, ts=0.0, dur=1.0)
+        assert e.resource_class == "tlb"
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "t", "B", ts=0.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "t", SPAN, ts=0.0, dur=-1.0)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "t", SPAN, ts=-1.0)
+
+
+class TestSpanPlacement:
+    def test_cursor_places_spans_back_to_back(self):
+        tr = Tracer()
+        a = tr.span("a", "t", 10.0)
+        b = tr.span("b", "t", 5.0)
+        assert (a.ts, a.end) == (0.0, 10.0)
+        assert (b.ts, b.end) == (10.0, 15.0)
+        assert tr.cursor("t") == 15.0
+
+    def test_cursors_are_per_track(self):
+        tr = Tracer()
+        tr.span("a", "t1", 10.0)
+        b = tr.span("b", "t2", 5.0)
+        assert b.ts == 0.0
+
+    def test_explicit_start_advances_cursor_only_forward(self):
+        tr = Tracer()
+        tr.span("late", "t", 5.0, start=100.0)
+        assert tr.cursor("t") == 105.0
+        tr.span("early", "t", 1.0, start=2.0)
+        # An earlier real interval must not rewind the cursor.
+        assert tr.cursor("t") == 105.0
+
+    def test_instant_defaults_to_cursor(self):
+        tr = Tracer()
+        tr.span("a", "t", 7.0)
+        i = tr.instant("tick", "t")
+        assert i.phase == INSTANT
+        assert i.ts == 7.0
+        assert i.dur == 0.0
+
+
+class TestCountersAndReset:
+    def test_count_accumulates(self):
+        tr = Tracer()
+        tr.count("hits")
+        tr.count("hits", 4.0)
+        assert tr.counters == {"hits": 5.0}
+
+    def test_clear_drops_everything(self):
+        tr = Tracer()
+        tr.span("a", "t", 1.0)
+        tr.count("c")
+        tr.clear()
+        assert tr.n_events == 0
+        assert tr.counters == {}
+        assert tr.cursor("t") == 0.0
+        assert tr.runs == ()
+
+
+class TestReading:
+    def test_tracks_in_first_appearance_order(self):
+        tr = Tracer()
+        tr.span("a", "z", 1.0)
+        tr.span("b", "a", 1.0)
+        tr.span("c", "z", 1.0)
+        assert tr.tracks() == ("z", "a")
+
+    def test_busy_by_track_ignores_instants(self):
+        tr = Tracer()
+        tr.span("a", "t", 3.0)
+        tr.instant("i", "t")
+        tr.span("b", "t", 4.0)
+        assert tr.busy_by_track() == {"t": 7.0}
+
+    def test_busy_by_class_groups_first_component(self):
+        tr = Tracer()
+        tr.span("a", "dram/x", 3.0)
+        tr.span("b", "dram/y", 4.0)
+        tr.span("c", "tlb", 1.0)
+        assert tr.busy_by_class() == {"dram": 7.0, "tlb": 1.0}
+
+    def test_segments_merge_adjacent_and_overlapping(self):
+        tr = Tracer()
+        tr.span("a", "t", 5.0, start=0.0)
+        tr.span("b", "t", 5.0, start=5.0)  # back-to-back: merges
+        tr.span("c", "t", 2.0, start=20.0)
+        tr.span("d", "t", 5.0, start=21.0)  # overlaps c
+        assert tr.segments("t") == [(0.0, 10.0), (20.0, 26.0)]
+
+    def test_segments_drop_zero_duration(self):
+        tr = Tracer()
+        tr.span("z", "t", 0.0)
+        assert tr.segments("t") == []
+
+    def test_utilization(self):
+        tr = Tracer()
+        tr.span("a", "t", 5.0, start=0.0)
+        assert tr.utilization("t", horizon=10.0) == pytest.approx(0.5)
+        # Default horizon: the latest event end across all tracks.
+        tr.span("b", "other", 15.0, start=5.0)
+        assert tr.utilization("t") == pytest.approx(5.0 / 20.0)
+
+
+class TestAttachRun:
+    def test_accounting_timeline_and_run_record(self):
+        from repro.mappings import registry
+
+        run = registry.run("corner_turn", "viram")
+        tr = Tracer()
+        tr.attach_run(run, run_id="abc123")
+        busy = tr.busy_by_track()
+        for category, cycles in run.breakdown.items():
+            assert busy[f"accounting/{category}"] == pytest.approx(cycles)
+        assert sum(
+            v for k, v in busy.items() if k.startswith("accounting/")
+        ) == pytest.approx(run.cycles)
+        (rec,) = tr.runs
+        assert rec["kernel"] == "corner_turn"
+        assert rec["machine"] == "viram"
+        assert rec["run_id"] == "abc123"
+        assert rec["cycles"] == run.cycles
+        assert rec["window"] == (0.0, run.breakdown.total)
+        assert tr.counters["trace.runs"] == 1.0
+
+    def test_successive_runs_tile_successive_windows(self):
+        from repro.mappings import registry
+
+        run = registry.run("corner_turn", "viram")
+        tr = Tracer()
+        tr.attach_run(run)
+        tr.attach_run(run)
+        first, second = tr.runs
+        assert second["window"][0] == first["window"][1]
+        total = tr.busy_by_class()["accounting"]
+        assert total == pytest.approx(2 * run.cycles)
+
+
+class TestTracingContext:
+    def test_off_by_default(self):
+        assert active_tracer() is None
+
+    def test_installs_and_restores(self):
+        with tracing() as tr:
+            assert active_tracer() is tr
+        assert active_tracer() is None
+
+    def test_nested_contexts_shadow_and_restore(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert inner is not outer
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert active_tracer() is None
+
+    def test_accepts_existing_tracer(self):
+        tr = Tracer()
+        with tracing(tr) as got:
+            assert got is tr
