@@ -3,8 +3,8 @@
 PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
-.PHONY: install test bench report check check-inject refresh-golden \
-	figures export metrics trace clean
+.PHONY: install test bench bench-cache report check check-inject \
+	refresh-golden figures export metrics trace clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ bench:
 
 bench-verbose:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Cold-vs-warm guard for the two-tier run cache; writes BENCH_PR4.json
+# (see docs/performance.md).
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/test_cache_cold_warm.py --benchmark-only
 
 report:
 	$(PYTHON) -m repro report

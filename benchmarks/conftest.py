@@ -22,6 +22,25 @@ sys.path.insert(0, os.path.dirname(__file__))
 from repro.eval.tables import run_table3
 
 
+@pytest.fixture(scope="session", autouse=True)
+def isolated_disk_cache(tmp_path_factory):
+    """Point the persistent run-cache tier at a per-session directory so
+    benchmark timings never depend on entries a previous run left in the
+    user's real cache (and never pollute it)."""
+    from repro.perf.diskcache import DISK_CACHE
+
+    previous = os.environ.get("REPRO_DISK_CACHE_DIR")
+    os.environ["REPRO_DISK_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("diskcache")
+    )
+    DISK_CACHE.clear()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_DISK_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_DISK_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def canonical_results():
     """The fifteen canonical Table 3 runs, shared across benchmarks."""

@@ -14,12 +14,14 @@ from pathlib import Path
 from repro.eval.report import full_report
 from repro.eval.tables import run_table3
 from repro.perf.cache import RUN_CACHE
+from repro.perf.diskcache import DISK_CACHE
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_cached_table3_at_least_10x_faster(benchmark):
     RUN_CACHE.clear()
+    DISK_CACHE.clear()  # the cold leg must simulate, not read tier 2
 
     t0 = time.perf_counter()
     cold_results = run_table3()

@@ -18,9 +18,11 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
 
 * **fast** — invariants on every registered (kernel, machine) pair, the
   trace-vs-ledger cross-check (a traced run's event stream must sum
-  back to its cycle ledger and must not perturb the model), plus the
-  synthetic DRAM and engine oracles.  Cheap enough that ``full_report``
-  runs it automatically, so every published table ships pre-validated.
+  back to its cycle ledger and must not perturb the model), the
+  synthetic DRAM and engine oracles, plus the disk-tier differential
+  oracle (disk-hit vs memory-hit vs cold) and an integrity sweep of the
+  persisted entries.  Cheap enough that ``full_report`` runs it
+  automatically, so every published table ships pre-validated.
 * **full** — fast, plus the cache oracle on every pair and the
   serial-vs-parallel executor oracle.
 * **inject** — the fault-injection matrix (see :mod:`.faults`).
@@ -37,7 +39,13 @@ from repro.check.invariants import (
     validate_results,
     validate_run,
 )
-from repro.check.oracles import cache_oracle, dram_oracle, executor_oracle
+from repro.check.oracles import (
+    cache_oracle,
+    disk_cache_oracle,
+    disk_integrity_check,
+    dram_oracle,
+    executor_oracle,
+)
 from repro.check.report import CheckReport, CheckResult
 from repro.errors import CheckError
 
@@ -77,6 +85,8 @@ def run_checks(
     report.extend(check_engine_conservation())
     report.extend(check_trace_accounting(workloads=workloads))
     report.extend(dram_oracle())
+    report.extend(disk_cache_oracle(workloads=workloads))
+    report.extend(disk_integrity_check())
     if tier == "full":
         report.extend(cache_oracle(workloads=workloads))
         report.extend(executor_oracle(jobs=jobs))
@@ -139,6 +149,8 @@ __all__ = [
     "check_engine_conservation",
     "check_trace_accounting",
     "continuous_validation",
+    "disk_cache_oracle",
+    "disk_integrity_check",
     "dram_oracle",
     "executor_oracle",
     "run_checks",

@@ -66,6 +66,72 @@ def corrupted_cache_entry(
 
 
 @contextlib.contextmanager
+def tampered_disk_entry(
+    kernel: str = "corner_turn", machine: str = "viram"
+) -> Iterator[str]:
+    """Rewrite the persisted disk entry for ``(kernel, machine)`` with a
+    2x-scaled cycle ledger and a *valid* digest — the stale-but-
+    self-consistent corruption hash verification cannot catch, which is
+    exactly what the disk-tier differential oracle exists for.  The
+    memory-tier copy is evicted so the next lookup must cross the disk.
+    Yields the tampered key."""
+    from repro.errors import CheckError
+    from repro.mappings import registry
+    from repro.perf.cache import RUN_CACHE, cache_key
+    from repro.perf.diskcache import DISK_CACHE
+
+    if not DISK_CACHE.enabled:
+        yield ""
+        return
+    registry.run(kernel, machine)  # ensure both tiers hold the entry
+    key = cache_key(kernel, machine, {})
+
+    def scale(entry) -> None:
+        entry.breakdown = entry.breakdown.scaled(2.0)
+
+    if key is None or not DISK_CACHE.tamper(key, scale):
+        raise CheckError(
+            f"could not tamper the disk entry for {kernel}/{machine}"
+        )
+    RUN_CACHE.evict(key)
+    try:
+        yield key
+    finally:
+        DISK_CACHE.evict(key)
+        RUN_CACHE.clear()
+
+
+@contextlib.contextmanager
+def bitflipped_disk_entry(
+    kernel: str = "corner_turn", machine: str = "viram"
+) -> Iterator[str]:
+    """Flip a payload byte of the persisted entry *without* refreshing
+    its digest — media corruption.  The read path must refuse the entry
+    (counted under ``corrupt``) and the integrity sweep must fail.
+    Yields the corrupted key."""
+    from repro.errors import CheckError
+    from repro.mappings import registry
+    from repro.perf.cache import RUN_CACHE, cache_key
+    from repro.perf.diskcache import DISK_CACHE
+
+    if not DISK_CACHE.enabled:
+        yield ""
+        return
+    registry.run(kernel, machine)
+    key = cache_key(kernel, machine, {})
+    if key is None or not DISK_CACHE.corrupt_bytes(key):
+        raise CheckError(
+            f"could not corrupt the disk entry for {kernel}/{machine}"
+        )
+    RUN_CACHE.evict(key)
+    try:
+        yield key
+    finally:
+        DISK_CACHE.evict(key)
+        RUN_CACHE.clear()
+
+
+@contextlib.contextmanager
 def misdelivered_worker_results() -> Iterator[None]:
     """Patch the process-pool path to swap its first two results —
     the classic dropped/reordered-future bug a parallel executor can
@@ -75,8 +141,8 @@ def misdelivered_worker_results() -> Iterator[None]:
 
     original = executor._run_pool
 
-    def swapped(requests, n_jobs):
-        outcomes = original(requests, n_jobs)
+    def swapped(requests, n_jobs, chunk_size=None):
+        outcomes = original(requests, n_jobs, chunk_size=chunk_size)
         if outcomes is None:
             return None
         if len(outcomes) >= 2:
@@ -135,12 +201,30 @@ def _dram_oracle_under_fault() -> List[CheckResult]:
     return oracles.dram_oracle()
 
 
+def _disk_oracle_under_fault() -> List[CheckResult]:
+    return oracles.disk_cache_oracle(pairs=[("corner_turn", "viram")])
+
+
+def _disk_integrity_under_fault() -> List[CheckResult]:
+    return oracles.disk_integrity_check()
+
+
 #: The injection matrix: fault name -> (injector, oracle name, oracle fn).
 SCENARIOS: Dict[str, tuple] = {
     "cache-entry-tampered": (
         corrupted_cache_entry,
         "cache",
         _cache_oracle_under_fault,
+    ),
+    "disk-entry-tampered": (
+        tampered_disk_entry,
+        "diskcache",
+        _disk_oracle_under_fault,
+    ),
+    "disk-entry-bitflipped": (
+        bitflipped_disk_entry,
+        "diskcache",
+        _disk_integrity_under_fault,
     ),
     "executor-results-misdelivered": (
         misdelivered_worker_results,

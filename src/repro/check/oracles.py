@@ -118,17 +118,152 @@ def cache_oracle(
     return results
 
 
+#: Default cells for the disk-tier oracle: one per kernel, spread over
+#: the research machines, so all three mapping families cross the
+#: persistence boundary every fast-tier run.
+DISK_ORACLE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("corner_turn", "viram"),
+    ("cslc", "imagine"),
+    ("beam_steering", "raw"),
+)
+
+
+def disk_cache_oracle(
+    pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    workloads: Optional[Mapping[str, Any]] = None,
+) -> List[CheckResult]:
+    """Disk-tier hit vs memory-tier hit vs cold simulation, field by
+    field.
+
+    For each pair: a first run populates (or is served by) the tiers;
+    the entry is then read back through the full persistence boundary —
+    pickle, digest, file, unpickle — the key is evicted from the memory
+    tier so a re-served run must cross the tiers again, and a
+    ``cache=False`` cold re-simulation anchors the comparison.  All of
+    them must be value-identical: a stale, tampered, or mis-serialised
+    disk entry shows up as a disk-hit/cold diff.
+
+    When the disk tier is opted out (``REPRO_DISK_CACHE=0`` or
+    ``--no-disk-cache``) the oracle exercises the same machinery against
+    an *ephemeral private store* instead of skipping: the subject under
+    test is the persistence code path, not the user's cache directory,
+    and the published validation section must not depend on cache
+    configuration.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.mappings import registry
+    from repro.perf.cache import RUN_CACHE, cache_key
+    from repro.perf.diskcache import DISK_CACHE, DiskCache
+
+    if pairs is None:
+        pairs = DISK_ORACLE_PAIRS
+    results: List[CheckResult] = []
+    with contextlib.ExitStack() as stack:
+        if DISK_CACHE.enabled:
+            store = DISK_CACHE
+        else:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-oracle-disk-")
+            )
+            store = DiskCache(tmp, respect_env=False)
+        for kernel, machine in pairs:
+            name = f"oracle.diskcache.{kernel}.{machine}"
+            kwargs: Dict[str, Any] = {}
+            if workloads and kernel in workloads:
+                kwargs["workload"] = workloads[kernel]
+            key = cache_key(kernel, machine, kwargs)
+            if key is None:
+                results.append(CheckResult(name, SKIP, "request uncacheable"))
+                continue
+            first = registry.run(kernel, machine, **kwargs)  # populate tiers
+            if not store.contains(key):
+                store.insert(key, first)  # memory tier pre-dated the disk
+            disk_hit = store.lookup(key)  # the full persistence round-trip
+            if disk_hit is None:
+                results.append(
+                    CheckResult(
+                        name, FAIL,
+                        "persisted entry unreadable (corrupt or vanished)",
+                    )
+                )
+                continue
+            RUN_CACHE.evict(key)
+            reserved = registry.run(kernel, machine, **kwargs)  # re-served
+            cold = registry.run(kernel, machine, cache=False, **kwargs)
+            diffs = [
+                f"disk-hit vs cold: {d}" for d in diff_runs(disk_hit, cold)
+            ] + [
+                f"re-served vs cold: {d}" for d in diff_runs(reserved, cold)
+            ]
+            results.append(
+                CheckResult(
+                    name,
+                    PASS if not diffs else FAIL,
+                    "" if not diffs else (
+                        "tiered runs disagree with cold simulation: "
+                        + "; ".join(diffs[:5])
+                    ),
+                )
+            )
+    return results
+
+
+def disk_integrity_check() -> List[CheckResult]:
+    """Digest-verify every persisted entry of the current model version.
+
+    The write path hashes each payload and the read path refuses a
+    mismatch, so a flipped bit can never be *served* — this check makes
+    the same sweep eagerly, failing loudly if any stored entry no
+    longer matches its digest (media corruption, torn external writes).
+
+    When the disk tier is opted out, the sweep machinery is exercised
+    against an ephemeral store seeded with a canary entry instead — the
+    user's directory is left untouched but the check still runs, so the
+    published validation section does not depend on cache configuration.
+    """
+    import tempfile
+
+    from repro.perf.diskcache import DISK_CACHE, DiskCache
+
+    name = "oracle.diskcache.integrity"
+    if DISK_CACHE.enabled:
+        bad = DISK_CACHE.verify()
+    else:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-oracle-disk-"
+        ) as tmp:
+            store = DiskCache(tmp, respect_env=False)
+            store.insert("integritycanary", {"canary": 1.0})
+            bad = store.verify()
+    return [
+        CheckResult(
+            name,
+            PASS if not bad else FAIL,
+            "" if not bad else (
+                f"{len(bad)} entries failed digest verification: "
+                + ", ".join(k[:12] for k in bad[:5])
+            ),
+        )
+    ]
+
+
 def executor_oracle(
     requests: Optional[Sequence[Tuple[str, str, Dict[str, Any]]]] = None,
     jobs: int = 2,
 ) -> List[CheckResult]:
     """Serial sweep vs ``--jobs N`` process pool, diffed element-wise.
 
-    Runs with the cache disabled so both legs genuinely simulate; if the
-    pool is unavailable in this environment (the executor warns and
-    falls back), the comparison is vacuous and reported as a skip.
+    Runs with *both* cache tiers disabled so both legs genuinely
+    simulate — a persistent store warmed by an earlier process would
+    otherwise answer the planner before it ever dispatched to the pool,
+    blinding the oracle to pool-side misdelivery.  If the pool is
+    unavailable in this environment (the executor warns and falls
+    back), the comparison is vacuous and reported as a skip.
     """
     from repro.perf.cache import RUN_CACHE
+    from repro.perf.diskcache import DISK_CACHE
     from repro.perf.executor import run_cells
 
     if requests is None:
@@ -147,10 +282,11 @@ def executor_oracle(
     was_enabled = RUN_CACHE.enabled
     RUN_CACHE.disable()
     try:
-        serial = run_cells(requests, jobs=1)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            parallel = run_cells(requests, jobs=jobs)
+        with DISK_CACHE.disabled():
+            serial = run_cells(requests, jobs=1)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                parallel = run_cells(requests, jobs=jobs)
         fell_back = any(
             issubclass(w.category, RuntimeWarning) for w in caught
         )

@@ -28,10 +28,18 @@ Commands
     proves the matching oracle notices (always exits non-zero: 1 when
     every injected corruption was detected, 3 when an oracle missed
     its fault).
+``cache ACTION``
+    Manage the persistent disk tier of the run cache (see
+    docs/performance.md).  ``stats`` prints counters and footprint,
+    ``clear`` removes every persisted entry, ``prune`` evicts oldest
+    entries beyond ``--max-entries`` / ``--max-bytes``.
 ``experiments``
     List the experiment registry.
 ``list``
     List kernels, machines, and mapping options.
+
+``run`` and ``report`` accept ``--no-disk-cache`` to skip the disk tier
+for one invocation; setting ``REPRO_DISK_CACHE=0`` disables it globally.
 
 Examples
 --------
@@ -46,9 +54,12 @@ Examples
     python -m repro figure 8
     python -m repro report
     python -m repro report --jobs 4 --perf
+    python -m repro report --no-disk-cache
     python -m repro check --fast
     python -m repro check --full --jobs 4
     python -m repro check --inject
+    python -m repro cache stats
+    python -m repro cache prune --max-entries 1024
 """
 
 from __future__ import annotations
@@ -114,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="run under tracing and write a Chrome trace_event JSON here",
+    )
+    run_p.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the persistent disk tier for this invocation",
     )
 
     trace_p = sub.add_parser(
@@ -183,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON-lines metrics manifest of the sweep here",
     )
+    report_p.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the persistent disk tier for this invocation",
+    )
     check_p = sub.add_parser(
         "check",
         help="validate invariants and differential oracles",
@@ -232,6 +253,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every passing check, not just failures and skips",
     )
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or manage the persistent run-cache disk tier",
+        description=(
+            "The disk tier persists simulated runs across processes "
+            "(docs/performance.md).  stats prints counters and footprint; "
+            "clear removes every persisted entry; prune evicts oldest "
+            "entries beyond the caps."
+        ),
+    )
+    cache_p.add_argument("action", choices=("stats", "clear", "prune"))
+    cache_p.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune: keep at most N entries (default: cache's own cap)",
+    )
+    cache_p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="prune: keep at most B bytes (default: cache's own cap)",
+    )
     sub.add_parser("experiments", help="list the experiment registry")
     sub.add_parser("list", help="list kernels and machines")
     return parser
@@ -240,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     from repro.mappings.registry import run
 
+    if args.no_disk_cache:
+        from repro.perf.diskcache import DISK_CACHE
+
+        DISK_CACHE.disable()
     options = dict(args.option)
     kwargs = dict(options, seed=args.seed)
     if args.trace:
@@ -323,14 +373,19 @@ def _cmd_figure(args) -> int:
 def _cmd_report(args) -> int:
     from repro.eval.report import full_report
 
+    if args.no_disk_cache:
+        from repro.perf.diskcache import DISK_CACHE
+
+        DISK_CACHE.disable()
     # Perf output goes to stderr so the report on stdout stays
     # byte-identical whether or not instrumentation is requested.
     print(full_report(jobs=args.jobs, metrics_path=args.metrics))
     if args.perf:
-        from repro.perf import RUN_CACHE, timers
+        from repro.perf import DISK_CACHE, RUN_CACHE, timers
 
         print(timers.render(), file=sys.stderr)
         print(RUN_CACHE.format_stats(), file=sys.stderr)
+        print(DISK_CACHE.format_stats(), file=sys.stderr)
     return 0
 
 
@@ -354,6 +409,23 @@ def _cmd_check(args) -> int:
     report = run_checks(args.tier, jobs=args.jobs)
     print(report.render(verbose=args.verbose))
     return report.exit_code
+
+
+def _cmd_cache(args) -> int:
+    from repro.perf.diskcache import DISK_CACHE
+
+    if args.action == "stats":
+        print(DISK_CACHE.format_stats())
+    elif args.action == "clear":
+        removed = DISK_CACHE.clear()
+        print(f"disk cache: cleared {removed} entries at {DISK_CACHE.root()}")
+    else:  # prune
+        removed = DISK_CACHE.prune(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        print(f"disk cache: pruned {removed} entries")
+        print(DISK_CACHE.format_stats())
+    return 0
 
 
 def _cmd_experiments(_args) -> int:
@@ -385,6 +457,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "report": _cmd_report,
     "check": _cmd_check,
+    "cache": _cmd_cache,
     "experiments": _cmd_experiments,
     "list": _cmd_list,
 }

@@ -143,10 +143,15 @@ def sweep(
             kwargs["workload"] = workloads[kernel]
         return kwargs
 
-    # First pass: one run request per (cell, calibration) measurement,
-    # in deterministic order; the executor folds duplicates (shared
-    # baselines, cells reached by several constants) into one run each.
-    requests = []
+    # Collection pass: one plan slot per *unique* (cell, calibration)
+    # measurement, in deterministic order.  The plan hoists shared
+    # requests at collection time — the unperturbed base cell, which
+    # every (machine, constant) pair touching that cell would otherwise
+    # re-request (and, with caching off, re-simulate), is collected
+    # once; so are cells reached by several constants.
+    from repro.perf.planner import SweepPlan
+
+    plan = SweepPlan()
     row_specs = []
     for machine, constant in targets:
         if (machine, constant) not in CONSTANT_CELLS:
@@ -157,21 +162,19 @@ def sweep(
         down = perturbed_calibration(machine, constant, 1 - delta)
         for cell in CONSTANT_CELLS[(machine, constant)]:
             kernel, cell_machine = cell
-            indices = {}
-            for which, cal in (
-                ("baseline", DEFAULT_CALIBRATION),
-                ("up", up),
-                ("down", down),
-            ):
-                indices[which] = len(requests)
-                requests.append(
-                    (kernel, cell_machine, cell_kwargs(kernel, cal))
+            indices = {
+                which: plan.add(
+                    kernel, cell_machine, **cell_kwargs(kernel, cal)
                 )
+                for which, cal in (
+                    ("baseline", DEFAULT_CALIBRATION),
+                    ("up", up),
+                    ("down", down),
+                )
+            }
             row_specs.append((machine, constant, cell, indices))
 
-    from repro.perf.executor import run_cells
-
-    outcomes = run_cells(requests, jobs=jobs)
+    outcomes = plan.execute(jobs=jobs)
     rows: List[SensitivityRow] = []
     for machine, constant, (kernel, cell_machine), indices in row_specs:
         rows.append(

@@ -5,12 +5,16 @@ five machine names match the paper's Table 3 rows (``ppc``, ``altivec``,
 ``viram``, ``imagine``, ``raw``) and the three kernel names its columns
 (``corner_turn``, ``cslc``, ``beam_steering``).
 
-Runs are memoized through :data:`repro.perf.cache.RUN_CACHE`: mappings
-are pure functions of their arguments, so a repeated ``(kernel,
-machine, kwargs)`` request is served from a defensive copy of the first
-result instead of re-simulated.  Pass ``cache=False`` to force a fresh
-simulation (the opt-out for stateful experiments), or disable the cache
-globally with ``REPRO_RUN_CACHE=0``.
+Runs are memoized through two tiers: the in-process
+:data:`repro.perf.cache.RUN_CACHE` and the persistent
+:data:`repro.perf.diskcache.DISK_CACHE`.  Mappings are pure functions
+of their arguments, so a repeated ``(kernel, machine, kwargs)`` request
+is served from the first result instead of re-simulated — within this
+process from tier 1, across processes (CI jobs, fresh CLI invocations,
+pool workers) from tier 2, whose hits are promoted into tier 1.  Pass
+``cache=False`` to force a fresh simulation (the opt-out for stateful
+experiments), or disable the tiers globally with ``REPRO_RUN_CACHE=0``
+/ ``REPRO_DISK_CACHE=0``.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.arch.base import KernelRun
 from repro.errors import MappingError
 from repro.perf import timers
 from repro.perf.cache import RUN_CACHE, cache_key
+from repro.perf.diskcache import DISK_CACHE
 from repro.trace.tracer import active_tracer
 from repro.mappings import (
     imagine_beam_steering,
@@ -137,10 +142,19 @@ def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun
     hit = RUN_CACHE.lookup(key)
     if hit is not None:
         return hit
+    if DISK_CACHE.enabled:
+        # Tier 2: a run some other process (or an earlier life of this
+        # one) already simulated.  Digest-verified by the lookup;
+        # promoted into tier 1 so the rest of this session hits there.
+        persisted = DISK_CACHE.lookup(key)
+        if persisted is not None:
+            RUN_CACHE.insert(key, persisted)
+            return persisted
     with timers.timer(f"run:{kernel}/{machine}"):
         result = fn(**kwargs)
     _post_run(result, kwargs)
     RUN_CACHE.insert(key, result)
+    DISK_CACHE.insert(key, result)
     return result
 
 

@@ -1,31 +1,51 @@
-"""Performance layer: run-result memoization, parallel sweeps, timers.
+"""Performance layer: two-tier run caching, planned sweeps, timers.
 
-Three orthogonal tools, all invisible to the modelled results:
+Orthogonal tools, all invisible to the modelled results:
 
-* :mod:`repro.perf.cache` — a content-addressed memoization cache for
-  :func:`repro.mappings.registry.run`; identical requests are served
-  from defensive copies instead of re-simulated.
-* :mod:`repro.perf.executor` — a process-pool sweep executor (with a
-  transparent serial fallback) for lists of independent run requests;
-  the CLI's ``report --jobs N`` and the sensitivity/scaling sweeps'
-  ``jobs=`` plumb into it.
+* :mod:`repro.perf.cache` — tier 1: an in-process content-addressed
+  memoization cache for :func:`repro.mappings.registry.run`; identical
+  requests are served from defensive copies instead of re-simulated.
+* :mod:`repro.perf.diskcache` — tier 2: a persistent file-per-key store
+  (atomic publish, digest-verified reads, LRU pruning) that shares runs
+  across processes — CI jobs, CLI invocations, and pool workers all
+  warm each other.
+* :mod:`repro.perf.planner` — the sweep planner: collects every cell a
+  driver will need, dedups the set by content key, probes both tiers,
+  and dispatches only the misses.
+* :mod:`repro.perf.executor` — the dispatch mechanics: chunked
+  process-pool batches (with a transparent serial fallback); the CLI's
+  ``report --jobs N`` and the sensitivity/scaling sweeps' ``jobs=``
+  plumb into it.
 * :mod:`repro.perf.timers` — nested wall-time timers and counters for
   profiling the simulator itself (``report --perf``).
 
 Determinism contract: everything in this package must leave modelled
-numbers bit-identical — the cache and executor only change *when and
-where* a mapping executes, never what it returns, and the regression
-pins plus the cache-correctness tests enforce that.
+numbers bit-identical — the caches, planner, and executor only change
+*when and where* a mapping executes, never what it returns, and the
+regression pins plus the cache-correctness tests and differential
+oracles (:mod:`repro.check`) enforce that.
 """
 
-from repro.perf.cache import RUN_CACHE, RunCache, cache_key
+from repro.perf.cache import (
+    RUN_CACHE,
+    RunCache,
+    cache_key,
+    model_version_stamp,
+)
+from repro.perf.diskcache import DISK_CACHE, DiskCache
 from repro.perf.executor import RunRequest, resolve_jobs, run_cells
+from repro.perf.planner import SweepPlan, execute_requests
 
 __all__ = [
+    "DISK_CACHE",
+    "DiskCache",
     "RUN_CACHE",
     "RunCache",
     "RunRequest",
+    "SweepPlan",
     "cache_key",
+    "execute_requests",
+    "model_version_stamp",
     "resolve_jobs",
     "run_cells",
 ]

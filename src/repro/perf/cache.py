@@ -93,12 +93,48 @@ def _encode(obj: Any, parts: List[bytes]) -> None:
         raise _Uncacheable(f"no canonical encoding for {type(obj)!r}")
 
 
+#: Lazily computed digest of everything that can change a modelled
+#: number without appearing in the run arguments (see
+#: :func:`model_version_stamp`).
+_VERSION_STAMP: Optional[str] = None
+
+
+def model_version_stamp() -> str:
+    """Digest of the library version and the default calibration.
+
+    Folded into every :func:`cache_key` (and used by the disk tier as
+    its entry namespace) so that a modeling change — a version bump, a
+    retuned default constant — invalidates every previously persisted
+    entry instead of silently serving stale results.
+    """
+    global _VERSION_STAMP
+    if _VERSION_STAMP is None:
+        import repro
+        from repro.calibration import DEFAULT_CALIBRATION
+
+        parts: List[bytes] = [f"version={repro.__version__};".encode()]
+        _encode(DEFAULT_CALIBRATION, parts)
+        _VERSION_STAMP = hashlib.sha256(b"".join(parts)).hexdigest()[:16]
+    return _VERSION_STAMP
+
+
+def reset_model_version_stamp() -> None:
+    """Drop the memoized stamp so the next call recomputes it (tests
+    monkeypatching ``repro.__version__`` or the default calibration)."""
+    global _VERSION_STAMP
+    _VERSION_STAMP = None
+
+
 def cache_key(
     kernel: str, machine: str, kwargs: Mapping[str, Any]
 ) -> Optional[str]:
     """Stable content hash of one run request, or ``None`` if any
-    argument is uncacheable (caller should bypass the cache)."""
-    parts: List[bytes] = [f"{kernel}|{machine}|".encode()]
+    argument is uncacheable (caller should bypass the cache).  The hash
+    covers the model version stamp, so keys minted before a modeling
+    change can never collide with keys minted after it."""
+    parts: List[bytes] = [
+        f"{model_version_stamp()}|{kernel}|{machine}|".encode()
+    ]
     try:
         _encode(dict(kwargs), parts)
     except _Uncacheable:
@@ -178,6 +214,13 @@ class RunCache:
         """The stored keys, oldest first (LRU order)."""
         with self._lock:
             return list(self._store)
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry (counters untouched); returns whether it was
+        present.  The disk-tier oracle uses this to force its next
+        lookup through tier 2."""
+        with self._lock:
+            return self._store.pop(key, None) is not None
 
     def tamper(self, key: str, mutate) -> bool:
         """Apply ``mutate`` to the stored value under ``key``, in place.

@@ -1,0 +1,448 @@
+"""Persistent, content-addressed disk tier for the run cache.
+
+:data:`repro.perf.cache.RUN_CACHE` memoizes runs *within* one process;
+this module adds tier 2 — a file-per-key store that survives process
+boundaries, so a CI job, a fresh CLI invocation, or a pool worker can
+serve a run that some earlier process already simulated.
+
+Layout and integrity
+--------------------
+Entries live under ``<root>/<model version stamp>/<key[:2]>/<key>.run``.
+The *root* resolves, in order, to ``$REPRO_DISK_CACHE_DIR``,
+``$XDG_CACHE_HOME/repro/runs``, or ``~/.cache/repro/runs`` — re-read on
+every operation so tests and subprocesses can redirect it.  The stamp
+directory comes from :func:`repro.perf.cache.model_version_stamp`: any
+modeling change (library version, default calibration) lands in a fresh
+namespace and can never serve stale results.
+
+Each entry is ``MAGIC + sha256(payload) + payload`` where the payload is
+the pickled :class:`~repro.arch.base.KernelRun`.  Reads verify the
+digest; a corrupt or torn file is counted, quarantined (unlinked), and
+reported as a miss — never served.
+
+Concurrency
+-----------
+Writes go to a unique temporary file in the entry's directory and are
+published with :func:`os.replace`, which is atomic on POSIX: two
+processes racing on the same key both leave a complete, valid entry and
+readers can never observe a torn write.  Pruning takes a best-effort
+inter-process advisory lock (``fcntl.flock`` on ``<root>/.lock``) and
+tolerates entries vanishing underneath it.
+
+Opt-outs
+--------
+``REPRO_DISK_CACHE=0`` disables the tier globally; the CLI's
+``--no-disk-cache`` calls :meth:`DiskCache.disable` for one invocation.
+Bypassed lookups are counted so telemetry shows the tier was skipped,
+not silently absent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.trace.tracer import active_tracer
+
+#: Entry header: identifies the format; followed by the payload digest.
+MAGIC = b"repro-diskcache-v1\n"
+
+_DIGEST_LEN = 64  # sha256 hexdigest
+
+
+def _default_root() -> Path:
+    env = os.environ.get("REPRO_DISK_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path("~/.cache").expanduser()
+    return base / "repro" / "runs"
+
+
+class DiskCache:
+    """Atomic file-per-key store of pickled runs with integrity hashes.
+
+    All mutating operations are safe under concurrent processes (atomic
+    publish, tolerant prune); the in-process counters are guarded by a
+    thread lock.  ``max_entries``/``max_bytes`` bound the store; inserts
+    trigger an opportunistic prune every ``prune_interval`` writes.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        max_entries: int = 4096,
+        max_bytes: int = 512 * 1024 * 1024,
+        prune_interval: int = 128,
+        respect_env: bool = True,
+    ) -> None:
+        self._directory = Path(directory) if directory is not None else None
+        self._respect_env = bool(respect_env)
+        self._forced_off = False
+        self._lock = threading.Lock()
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.prune_interval = int(prune_interval)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.bypasses = 0
+
+    # -- configuration -------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups/inserts touch the disk at all.
+
+        Re-reads ``REPRO_DISK_CACHE`` on each access so environment
+        changes (tests, subprocess setup) take effect immediately.
+        """
+        if self._forced_off:
+            return False
+        if not self._respect_env:
+            return True
+        return os.environ.get("REPRO_DISK_CACHE", "1") != "0"
+
+    def enable(self) -> None:
+        self._forced_off = False
+
+    def disable(self) -> None:
+        self._forced_off = True
+
+    @contextlib.contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Force the tier off for a scope, restoring the prior state.
+
+        Restores ``_forced_off`` rather than calling :meth:`enable`, so
+        a surrounding ``--no-disk-cache`` opt-out survives the scope.
+        """
+        prev = self._forced_off
+        self._forced_off = True
+        try:
+            yield
+        finally:
+            self._forced_off = prev
+
+    def root(self) -> Path:
+        """The cache root (env-resolved unless pinned at construction)."""
+        return self._directory if self._directory is not None else _default_root()
+
+    def stamp_dir(self) -> Path:
+        """The directory holding entries for the current model version."""
+        from repro.perf.cache import model_version_stamp
+
+        return self.root() / model_version_stamp()
+
+    def _path(self, key: str) -> Path:
+        return self.stamp_dir() / key[:2] / f"{key}.run"
+
+    # -- counters ------------------------------------------------------
+
+    def _count(self, attr: str, trace_name: str) -> None:
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count(trace_name)
+
+    def note_bypass(self) -> None:
+        """Record one lookup/insert skipped because the tier is off."""
+        self._count("bypasses", "perf.diskcache.bypass")
+
+    # -- encoding ------------------------------------------------------
+
+    @staticmethod
+    def encode(value: Any) -> bytes:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        return MAGIC + digest + b"\n" + payload
+
+    @staticmethod
+    def decode(blob: bytes) -> Any:
+        """Verified payload of one entry; raises ``ValueError`` on any
+        corruption (bad magic, digest mismatch, truncated pickle)."""
+        if not blob.startswith(MAGIC):
+            raise ValueError("disk-cache entry: bad magic header")
+        body = blob[len(MAGIC):]
+        digest, sep, payload = (
+            body[:_DIGEST_LEN],
+            body[_DIGEST_LEN:_DIGEST_LEN + 1],
+            body[_DIGEST_LEN + 1:],
+        )
+        if sep != b"\n" or len(digest) != _DIGEST_LEN:
+            raise ValueError("disk-cache entry: truncated header")
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            raise ValueError("disk-cache entry: payload digest mismatch")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # pickle raises many concrete types
+            raise ValueError(f"disk-cache entry: unpicklable ({exc})") from exc
+
+    # -- store operations ----------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists (no counters, no verification)."""
+        return self.enabled and self._path(key).exists()
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """The stored run, digest-verified, or ``None``.
+
+        A verification failure counts under ``corrupt`` *and* ``misses``
+        and quarantines the file, so a flipped bit can never be served
+        and never permanently wedges the key.
+        """
+        if not self.enabled:
+            self.note_bypass()
+            return None
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._count("misses", "perf.diskcache.miss")
+            return None
+        try:
+            value = self.decode(blob)
+        except ValueError:
+            self._count("corrupt", "perf.diskcache.corrupt")
+            self._count("misses", "perf.diskcache.miss")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU clock for pruning
+        except OSError:
+            pass
+        self._count("hits", "perf.diskcache.hit")
+        return value
+
+    def insert(self, key: str, value: Any) -> bool:
+        """Atomically publish ``value`` under ``key``.
+
+        Returns whether a write happened; an unpicklable value or a
+        read-only filesystem degrades to a no-op rather than an error —
+        the disk tier is an accelerator, never a correctness dependency.
+        """
+        if not self.enabled:
+            self.note_bypass()
+            return False
+        try:
+            blob = self.encode(value)
+        except Exception:
+            return False
+        path = self._path(key)
+        tmp = path.with_name(f".tmp-{os.getpid()}-{threading.get_ident()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self._count("writes", "perf.diskcache.write")
+        if self.prune_interval and self.writes % self.prune_interval == 0:
+            self.prune()
+        return True
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; returns whether a file was removed."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        return True
+
+    def _entries(self) -> List[Tuple[Path, float, int]]:
+        """(path, mtime, size) of every entry of the current stamp."""
+        out: List[Tuple[Path, float, int]] = []
+        stamp_dir = self.stamp_dir()
+        if not stamp_dir.is_dir():
+            return out
+        for path in stamp_dir.glob("*/*.run"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished under a concurrent prune/evict
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
+
+    def keys(self) -> List[str]:
+        """Stored keys of the current stamp, oldest first."""
+        entries = sorted(self._entries(), key=lambda e: e[1])
+        return [path.stem for path, _, _ in entries]
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Remove oldest entries until within the caps; returns the
+        number evicted.  Safe under contention: concurrent pruners are
+        serialised by an advisory lock where available, and an entry
+        deleted by a sibling is simply skipped."""
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        removed = 0
+        with self._interprocess_lock():
+            entries = sorted(self._entries(), key=lambda e: e[1])
+            total = sum(size for _, _, size in entries)
+            while entries and (
+                len(entries) > max_entries or total > max_bytes
+            ):
+                path, _, size = entries.pop(0)
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+        if removed:
+            with self._lock:
+                self.evictions += removed
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.count("perf.diskcache.evict", removed)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry (all stamps) and reset the counters;
+        returns the number of entry files removed."""
+        import shutil
+
+        root = self.root()
+        removed = 0
+        if root.is_dir():
+            removed = sum(1 for _ in root.glob("*/*/*.run"))
+            shutil.rmtree(root, ignore_errors=True)
+        with self._lock:
+            self.hits = self.misses = self.writes = 0
+            self.evictions = self.corrupt = self.bypasses = 0
+        return removed
+
+    # -- integrity and fault hooks -------------------------------------
+
+    def verify(self) -> List[str]:
+        """Digest-verify every entry of the current stamp; returns the
+        keys that failed (each counted under ``corrupt``)."""
+        bad: List[str] = []
+        for path, _, _ in self._entries():
+            try:
+                self.decode(path.read_bytes())
+            except (OSError, ValueError):
+                self._count("corrupt", "perf.diskcache.corrupt")
+                bad.append(path.stem)
+        return bad
+
+    def tamper(self, key: str, mutate: Callable[[Any], None]) -> bool:
+        """Rewrite the entry under ``key`` with ``mutate`` applied and a
+        *valid* digest — the stale-but-self-consistent corruption only a
+        differential oracle can catch.  Exists for
+        :mod:`repro.check.faults`; production code has no business
+        calling it.  Returns whether the key was present."""
+        path = self._path(key)
+        try:
+            value = self.decode(path.read_bytes())
+        except (OSError, ValueError):
+            return False
+        mutate(value)
+        path.write_bytes(self.encode(value))
+        return True
+
+    def corrupt_bytes(self, key: str, offset: int = -1) -> bool:
+        """Flip one payload byte of the entry on disk (digest left
+        stale), modelling media corruption.  For fault injection only.
+        Returns whether the key was present."""
+        path = self._path(key)
+        try:
+            blob = bytearray(path.read_bytes())
+        except OSError:
+            return False
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return True
+
+    # -- reporting -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        return sum(size for _, _, size in self._entries())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "bypasses": self.bypasses,
+            "enabled": int(self.enabled),
+        }
+
+    def format_stats(self) -> str:
+        s = self.stats()
+        state = "" if s["enabled"] else " (disabled)"
+        return (
+            f"disk cache: {s['hits']} hits, {s['misses']} misses, "
+            f"{s['writes']} writes, {s['evictions']} evictions, "
+            f"{s['corrupt']} corrupt, {s['bypasses']} bypasses, "
+            f"{s['entries']} entries ({s['bytes'] / 1e6:.1f} MB)"
+            f"{state} at {self.root()}"
+        )
+
+    # -- locking -------------------------------------------------------
+
+    def _interprocess_lock(self):
+        """Advisory lock over prune; degrades to a no-op where
+        ``fcntl`` or the lock file is unavailable."""
+        return _FlockGuard(self.root() / ".lock")
+
+
+class _FlockGuard:
+    """Context manager: ``fcntl.flock`` on a lock file, best-effort."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._fh: Optional[io.IOBase] = None
+
+    def __enter__(self) -> "_FlockGuard":
+        try:
+            import fcntl
+
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self._path, "a+b")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            if self._fh is not None:
+                self._fh.close()
+            self._fh = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fh is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            except (ImportError, OSError):
+                pass
+            self._fh.close()
+
+
+#: Process-wide tier 2, consulted by ``registry.run`` and the planner.
+DISK_CACHE = DiskCache()

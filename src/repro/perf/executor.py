@@ -8,10 +8,15 @@ module evaluates such a list either serially or on a
 request order; because the mappings are pure functions, the parallel
 results are identical to serial execution.
 
-The executor cooperates with the run cache (:mod:`repro.perf.cache`):
-requests already cached are answered without dispatch, and results
-computed by workers are inserted into the parent process's cache so
-later experiments in the same session hit.
+Planning — deduplication, the two-tier cache probe, serving duplicate
+slots — lives in :mod:`repro.perf.planner`; :func:`run_cells` is the
+stable entry point that hands its request list to the planner.  This
+module owns the *mechanics* of dispatch: the worker entry points and
+the chunked process pool (one pool submission per chunk of cells, not
+one per cell — a sweep of hundreds of small cells pays pickling and
+scheduling overhead per chunk instead of per run).  Workers execute via
+``registry.run``, which writes fresh results straight into the shared
+disk tier, so sibling workers' parents and future processes hit.
 
 Process pools are not available everywhere (restricted sandboxes,
 interpreters without ``fork``/``spawn``); any pool *infrastructure*
@@ -22,16 +27,22 @@ themselves (``ReproError`` and friends) propagate.
 
 from __future__ import annotations
 
+import math
 import pickle
 import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.perf import timers
-from repro.perf.cache import RUN_CACHE, cache_key
+
+__all__ = ["RunRequest", "resolve_jobs", "run_cells", "chunked"]
 
 #: One sweep cell: (kernel, machine, mapping kwargs).
 RunRequest = Tuple[str, str, Dict[str, Any]]
+
+#: Target pool submissions per worker: enough chunks for load balance,
+#: few enough that submission overhead stays amortised.
+CHUNKS_PER_WORKER = 4
 
 
 def _execute(request: RunRequest):
@@ -40,6 +51,33 @@ def _execute(request: RunRequest):
     from repro.mappings import registry
 
     return registry.run(kernel, machine, **kwargs)
+
+
+def _execute_chunk(chunk: Sequence[RunRequest]) -> List[Any]:
+    """Worker entry point: run one chunk of requests, in order.
+
+    Each run goes through ``registry.run``, so the worker's own cache
+    tiers apply — in particular every fresh result is persisted to the
+    shared disk tier before the chunk is pickled back to the parent.
+    """
+    return [_execute(request) for request in chunk]
+
+
+def chunked(
+    requests: Sequence[RunRequest], n_jobs: int,
+    chunk_size: Optional[int] = None,
+) -> List[List[RunRequest]]:
+    """Split ``requests`` into dispatch batches of ``chunk_size``
+    (default: ~``CHUNKS_PER_WORKER`` chunks per worker)."""
+    if chunk_size is None:
+        chunk_size = max(
+            1, math.ceil(len(requests) / (n_jobs * CHUNKS_PER_WORKER))
+        )
+    chunk_size = max(1, int(chunk_size))
+    return [
+        list(requests[i:i + chunk_size])
+        for i in range(0, len(requests), chunk_size)
+    ]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -53,84 +91,42 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def run_cells(
-    requests: Sequence[RunRequest], jobs: Optional[int] = None
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Any]:
     """Evaluate run requests, in order; ``jobs > 1`` uses a process pool.
 
-    Returns one :class:`~repro.arch.base.KernelRun` per request.  Cached
-    requests are answered from the run cache without dispatch; fresh
-    results are inserted into it.  Duplicate requests in one sweep are
-    evaluated once.
+    Returns one :class:`~repro.arch.base.KernelRun` per request.
+    Requests already held by either cache tier are answered without
+    dispatch; fresh results land in both tiers.  Duplicate requests in
+    one sweep are evaluated once.  This is a thin front over
+    :func:`repro.perf.planner.execute_requests`.
     """
-    requests = [
-        (kernel, machine, dict(kwargs)) for kernel, machine, kwargs in requests
-    ]
-    n_jobs = resolve_jobs(jobs)
-    results: List[Any] = [None] * len(requests)
+    from repro.perf.planner import execute_requests
 
-    # Answer what the cache already holds; collect the rest, folding
-    # duplicate keys into one evaluation.
-    pending: List[Tuple[int, RunRequest, Optional[str]]] = []
-    seen_keys: Dict[str, int] = {}
-    duplicates: List[Tuple[int, int]] = []  # (index, index of first copy)
-    with timers.timer("sweep.cache-probe"):
-        for i, (kernel, machine, kwargs) in enumerate(requests):
-            key = (
-                cache_key(kernel, machine, kwargs)
-                if RUN_CACHE.enabled
-                else None
-            )
-            if key is not None:
-                hit = RUN_CACHE.lookup(key)
-                if hit is not None:
-                    results[i] = hit
-                    continue
-                if key in seen_keys:
-                    duplicates.append((i, seen_keys[key]))
-                    continue
-                seen_keys[key] = i
-            pending.append((i, requests[i], key))
-
-    if pending:
-        if n_jobs > 1 and len(pending) > 1:
-            outcomes = _run_pool(
-                [request for _, request, _ in pending], n_jobs
-            )
-        else:
-            outcomes = None
-        if outcomes is None:
-            with timers.timer("sweep.serial"):
-                outcomes = [_execute(request) for _, request, _ in pending]
-        else:
-            # Parallel workers computed in their own processes; seed the
-            # parent cache so later calls in this session hit.
-            for (_, _, key), outcome in zip(pending, outcomes):
-                if key is not None and RUN_CACHE.enabled:
-                    RUN_CACHE.insert(key, outcome)
-        for (i, _, _), outcome in zip(pending, outcomes):
-            results[i] = outcome
-
-    for i, first in duplicates:
-        import copy
-
-        results[i] = copy.deepcopy(results[first])
-    return results
+    return execute_requests(requests, jobs=jobs, chunk_size=chunk_size)
 
 
 def _run_pool(
-    requests: Sequence[RunRequest], n_jobs: int
+    requests: Sequence[RunRequest], n_jobs: int,
+    chunk_size: Optional[int] = None,
 ) -> Optional[List[Any]]:
-    """Evaluate on a process pool; ``None`` if the pool cannot be used
-    (caller falls back to serial).  Mapping errors propagate."""
+    """Evaluate on a process pool, one submission per chunk; ``None`` if
+    the pool cannot be used (caller falls back to serial).  Mapping
+    errors propagate."""
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - stdlib always has it
         return None
+    chunks = chunked(requests, n_jobs, chunk_size)
     try:
         with timers.timer("sweep.parallel"):
             with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                return list(pool.map(_execute, requests))
+                timers.count("sweep.pool_chunks", len(chunks))
+                batched = list(pool.map(_execute_chunk, chunks))
+        return [result for batch in batched for result in batch]
     except ReproError:
         raise
     except (BrokenProcessPool, OSError, pickle.PicklingError, ValueError,

@@ -1,0 +1,189 @@
+"""Sweep planner: collect → dedup → batch-dispatch → serve from cache.
+
+Every sweep driver in the library — ``run_table3``, the sensitivity
+perturbation study, the scaling curve, the ablation variants,
+``full_report``'s prewarm — ultimately needs a *set* of ``(kernel,
+machine, kwargs)`` cells.  Before this module each driver handed its
+list to the executor independently, so overlapping cells (the shared
+Table 3 baselines, a sensitivity sweep's unperturbed anchors) were
+re-requested and, with caching off, re-simulated.
+
+The planner makes the request set a first-class object:
+
+1. **collect** — drivers add cells to a :class:`SweepPlan` (or pass a
+   list to :func:`execute_requests`), receiving a slot per *request*;
+2. **dedup** — requests are folded by content key
+   (:func:`~repro.perf.cache.cache_key`) *before* any execution, and
+   independently of whether the caches are enabled — structural
+   deduplication, not a cache artifact;
+3. **probe** — each unique cell is answered from tier 1 (the in-memory
+   :data:`~repro.perf.cache.RUN_CACHE`) or tier 2 (the persistent
+   :data:`~repro.perf.diskcache.DISK_CACHE`, promoting hits into
+   tier 1) where possible;
+4. **batch-dispatch** — only the misses go to the process pool, in
+   *chunks* (one pool submission per chunk instead of one per cell);
+   workers run ``registry.run``, which writes results straight into the
+   shared disk tier, so sibling workers' parents and future processes
+   hit without re-simulating;
+5. **serve** — duplicate slots are filled with independent copies, and
+   drivers index results by the slots they collected.
+
+Planner activity is counted through :mod:`repro.perf.timers`
+(``planner.requests``, ``planner.duplicates``, ``planner.memory_hits``,
+``planner.disk_hits``, ``planner.executed``, ``planner.chunks``), which
+the TELEMETRY registry exposes under ``perf.timers.counters.*``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf import timers
+from repro.perf.cache import RUN_CACHE, cache_key
+from repro.perf.diskcache import DISK_CACHE
+
+#: One sweep cell: (kernel, machine, mapping kwargs).
+RunRequest = Tuple[str, str, Dict[str, Any]]
+
+
+def execute_requests(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate run requests in order; the planner's full pipeline.
+
+    Returns one :class:`~repro.arch.base.KernelRun` per request.
+    ``jobs > 1`` dispatches cache misses to a process pool in chunked
+    batches; ``chunk_size`` overrides the batch size (default: enough
+    chunks for ~4 per worker, for load balance without per-cell
+    submission overhead).
+    """
+    from repro.perf import executor
+
+    requests = [
+        (kernel, machine, dict(kwargs)) for kernel, machine, kwargs in requests
+    ]
+    n_jobs = executor.resolve_jobs(jobs)
+    results: List[Any] = [None] * len(requests)
+    timers.count("planner.requests", len(requests))
+
+    # Collect + dedup: one representative slot per content key.  Keys
+    # are computed even with the caches disabled — identical requests
+    # are pure-function calls, so evaluating one per key is a
+    # structural optimisation, not a caching assumption.
+    pending: List[Tuple[int, RunRequest, Optional[str]]] = []
+    seen_keys: Dict[str, int] = {}
+    duplicates: List[Tuple[int, int]] = []  # (slot, representative slot)
+    with timers.timer("sweep.cache-probe"):
+        for i, (kernel, machine, kwargs) in enumerate(requests):
+            key = cache_key(kernel, machine, kwargs)
+            if key is not None:
+                if key in seen_keys:
+                    duplicates.append((i, seen_keys[key]))
+                    continue
+                # Tier 1: in-memory memo.
+                if RUN_CACHE.enabled:
+                    hit = RUN_CACHE.lookup(key)
+                    if hit is not None:
+                        results[i] = hit
+                        seen_keys[key] = i
+                        timers.count("planner.memory_hits")
+                        continue
+                # Tier 2: persistent disk store (promote into tier 1).
+                if DISK_CACHE.enabled:
+                    value = DISK_CACHE.lookup(key)
+                    if value is not None:
+                        if RUN_CACHE.enabled:
+                            RUN_CACHE.insert(key, value)
+                        results[i] = value
+                        seen_keys[key] = i
+                        timers.count("planner.disk_hits")
+                        continue
+                seen_keys[key] = i
+            pending.append((i, requests[i], key))
+    if duplicates:
+        timers.count("planner.duplicates", len(duplicates))
+
+    if pending:
+        timers.count("planner.executed", len(pending))
+        outcomes = None
+        if n_jobs > 1 and len(pending) > 1:
+            outcomes = executor._run_pool(
+                [request for _, request, _ in pending], n_jobs,
+                chunk_size=chunk_size,
+            )
+        if outcomes is None:
+            # Serial path: registry.run handles both cache tiers itself.
+            with timers.timer("sweep.serial"):
+                outcomes = [
+                    executor._execute(request) for _, request, _ in pending
+                ]
+        else:
+            # Workers simulated in their own processes and wrote the
+            # disk tier themselves (their registry.run does); seed this
+            # process's memory tier so later calls in-session hit.
+            for (_, _, key), outcome in zip(pending, outcomes):
+                if key is not None and RUN_CACHE.enabled:
+                    RUN_CACHE.insert(key, outcome)
+        for (i, _, _), outcome in zip(pending, outcomes):
+            results[i] = outcome
+
+    for i, rep in duplicates:
+        results[i] = copy.deepcopy(results[rep])
+    return results
+
+
+class SweepPlan:
+    """A collected request set with slot-stable, dedup-aware execution.
+
+    Drivers call :meth:`add` while enumerating the cells they will need
+    — duplicate cells (by content key) share one slot, so the shared
+    baselines of a sensitivity sweep are *hoisted* at collection time —
+    then :meth:`execute` once, and read results by slot::
+
+        plan = SweepPlan()
+        base = plan.add("corner_turn", "viram")
+        up = plan.add("corner_turn", "viram", calibration=perturbed)
+        runs = plan.execute(jobs=4)
+        elasticity = runs[up].cycles / runs[base].cycles
+    """
+
+    def __init__(self) -> None:
+        self._requests: List[RunRequest] = []
+        self._by_key: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def add(self, kernel: str, machine: str, **kwargs: Any) -> int:
+        """Collect one cell; returns its slot.  A cell already collected
+        (same content key) returns the existing slot instead of growing
+        the plan."""
+        key = cache_key(kernel, machine, kwargs)
+        if key is not None and key in self._by_key:
+            return self._by_key[key]
+        slot = len(self._requests)
+        self._requests.append((kernel, machine, dict(kwargs)))
+        if key is not None:
+            self._by_key[key] = slot
+        return slot
+
+    @property
+    def requests(self) -> List[RunRequest]:
+        """The deduped request list, in collection order."""
+        return [
+            (kernel, machine, dict(kwargs))
+            for kernel, machine, kwargs in self._requests
+        ]
+
+    def execute(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Run the plan; returns one result per slot."""
+        return execute_requests(
+            self._requests, jobs=jobs, chunk_size=chunk_size
+        )

@@ -14,7 +14,9 @@ metrics manifest, and the trace ``otherData`` block all consume.
 The process-wide :data:`TELEMETRY` registry starts with three sources:
 
 * ``perf.timers`` — the wall-time tree and counters (non-deterministic);
-* ``perf.cache`` — run-cache entries/hits/misses/bypasses;
+* ``perf.cache`` — memory-tier run-cache entries/hits/misses/bypasses;
+* ``perf.diskcache`` — persistent-tier hits/misses/writes/evictions/
+  corrupt-entry detections/bypasses plus entry and byte counts;
 * ``trace`` — the active tracer's counters and event census (empty when
   tracing is off).
 
@@ -161,6 +163,12 @@ def _run_cache_source() -> Dict[str, Any]:
     return dict(RUN_CACHE.stats())
 
 
+def _disk_cache_source() -> Dict[str, Any]:
+    from repro.perf.diskcache import DISK_CACHE
+
+    return dict(DISK_CACHE.stats())
+
+
 def _trace_source() -> Dict[str, Any]:
     tracer = active_tracer()
     if tracer is None:
@@ -174,4 +182,5 @@ def _trace_source() -> Dict[str, Any]:
 TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
 TELEMETRY.register("perf.cache", _run_cache_source)
+TELEMETRY.register("perf.diskcache", _disk_cache_source)
 TELEMETRY.register("trace", _trace_source)

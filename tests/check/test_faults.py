@@ -23,9 +23,10 @@ def fresh_cache():
 
 
 class TestScenarios:
-    def test_matrix_covers_all_three_redundant_paths(self):
+    def test_matrix_covers_all_redundant_paths(self):
         assert {oracle for _, oracle, _ in faults.SCENARIOS.values()} == {
             "cache",
+            "diskcache",
             "executor",
             "dram",
         }

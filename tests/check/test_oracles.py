@@ -12,12 +12,15 @@ import pytest
 from repro.check.oracles import (
     cache_oracle,
     diff_runs,
+    disk_cache_oracle,
+    disk_integrity_check,
     dram_oracle,
     executor_oracle,
 )
-from repro.check.report import FAIL, SKIP
+from repro.check.report import FAIL, PASS, SKIP
 from repro.mappings import registry
 from repro.perf.cache import RUN_CACHE
+from repro.perf.diskcache import DISK_CACHE
 
 
 @pytest.fixture(autouse=True)
@@ -89,6 +92,41 @@ class TestCacheOracle:
         finally:
             RUN_CACHE.enable()
         assert [r.status for r in results] == [SKIP]
+
+
+class TestDiskOracleWithTierDisabled:
+    """The validation section must not depend on cache configuration:
+    with the disk tier opted out, the disk oracles exercise an
+    ephemeral private store and still PASS (never SKIP), so ``repro
+    report`` stays byte-identical under ``--no-disk-cache``."""
+
+    def test_differential_oracle_passes_against_ephemeral_store(
+        self, small_workloads
+    ):
+        with DISK_CACHE.disabled():
+            results = disk_cache_oracle(
+                pairs=[("corner_turn", "viram")], workloads=small_workloads
+            )
+        assert [r.status for r in results] == [PASS], [
+            r.format() for r in results
+        ]
+
+    def test_integrity_check_passes_against_ephemeral_store(self):
+        with DISK_CACHE.disabled():
+            results = disk_integrity_check()
+        assert [r.status for r in results] == [PASS]
+        assert not DISK_CACHE.keys()  # user's store untouched
+
+    def test_forced_off_state_survives_the_oracles(self, small_workloads):
+        DISK_CACHE.disable()
+        try:
+            disk_cache_oracle(
+                pairs=[("corner_turn", "viram")], workloads=small_workloads
+            )
+            disk_integrity_check()
+            assert not DISK_CACHE.enabled
+        finally:
+            DISK_CACHE.enable()
 
 
 class TestExecutorOracle:

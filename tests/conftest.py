@@ -12,6 +12,28 @@ from repro.kernels.workloads import (
 )
 
 
+@pytest.fixture(autouse=True)
+def isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the run-cache disk tier at a per-test directory.
+
+    The disk tier persists across processes by design, which is exactly
+    what tests must not see: an entry left by one test (or an earlier
+    suite run) would satisfy a lookup another test expects to miss.  The
+    cache resolves its root from the environment on every operation, so
+    redirecting the variable is sufficient — no cache object state to
+    reset beyond the counters.
+    """
+    from repro.perf.diskcache import DISK_CACHE
+
+    monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path / "diskcache"))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    DISK_CACHE.enable()
+    DISK_CACHE.clear()
+    yield
+    DISK_CACHE.enable()
+    DISK_CACHE.clear()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

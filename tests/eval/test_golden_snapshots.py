@@ -45,13 +45,19 @@ class TestSnapshots:
         )
         assert not diff, diff
 
-    def test_report_command_prints_the_fixture(self, documents):
+    def test_report_command_prints_the_fixture(self, documents, tmp_path):
         # The fixture pins what the user-facing command actually emits.
+        # The subprocess gets its own disk-cache dir: the snapshot must
+        # hold cold, not be inherited from another test's warm tier.
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "report"],
             capture_output=True,
             text=True,
-            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONPATH": "src",
+                "PATH": "/usr/bin:/bin",
+                "REPRO_DISK_CACHE_DIR": str(tmp_path / "diskcache"),
+            },
             cwd=str(GOLDEN_DIR.parents[2]),
             check=True,
         )

@@ -12,6 +12,7 @@ from repro.eval.scaling import corner_turn_scaling
 from repro.eval.sensitivity import sweep
 from repro.eval.tables import run_table3
 from repro.perf.cache import RUN_CACHE
+from repro.perf.diskcache import DISK_CACHE
 from repro.perf.executor import resolve_jobs, run_cells
 
 
@@ -59,6 +60,7 @@ class TestRunCells:
         ]
         serial = run_cells(requests)
         RUN_CACHE.clear()
+        DISK_CACHE.clear()
         parallel = run_cells(requests, jobs=2)
         assert [repr(r) for r in serial] == [repr(r) for r in parallel]
 
@@ -107,6 +109,7 @@ class TestPoolFallbackWarning:
         ]
         serial = run_cells(requests)
         RUN_CACHE.clear()
+        DISK_CACHE.clear()  # force the planner back onto the pool path
         self._break_pool(
             monkeypatch, OSError("no process spawning in this sandbox")
         )
@@ -137,6 +140,7 @@ class TestSweepEquivalence:
     def test_table3_parallel_identical(self, small_workloads):
         serial = run_table3(small_workloads)
         RUN_CACHE.clear()
+        DISK_CACHE.clear()
         parallel = run_table3(small_workloads, jobs=2)
         assert serial.keys() == parallel.keys()
         for key in serial:
@@ -149,6 +153,7 @@ class TestSweepEquivalence:
         ]
         serial = sweep(constants=constants, workloads=small_workloads)
         RUN_CACHE.clear()
+        DISK_CACHE.clear()
         parallel = sweep(
             constants=constants, workloads=small_workloads, jobs=2
         )
