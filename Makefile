@@ -4,7 +4,7 @@ PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
 .PHONY: install test bench bench-cache report check check-inject \
-	refresh-golden figures export metrics trace clean
+	check-chaos doctor refresh-golden figures export metrics trace clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,16 @@ check:
 
 check-inject:
 	$(PYTHON) -m repro check --inject; test $$? -eq 1
+
+# Inject real faults (worker kill, disk error) into a live sweep and
+# require byte-identical output (see docs/robustness.md).
+check-chaos:
+	$(PYTHON) -m repro check --chaos --fast
+
+# Runtime health probes: pool spawn, disk-cache RW + verify, locking,
+# quarantine history, telemetry registry.
+doctor:
+	$(PYTHON) -m repro doctor
 
 # Regenerate the golden snapshot fixtures.  Deliberate act: review the
 # fixture diff before committing (see docs/modeling.md, "Validation").

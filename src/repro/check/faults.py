@@ -132,6 +132,39 @@ def bitflipped_disk_entry(
 
 
 @contextlib.contextmanager
+def truncated_disk_entry(
+    kernel: str = "corner_turn", machine: str = "viram"
+) -> Iterator[str]:
+    """Truncate the persisted entry to zero bytes — the torn file a
+    crash mid-write or a full disk leaves behind.  The integrity sweep
+    must flag it, and (separately, proven in the resilience tests) a
+    ``lookup`` must quarantine it and miss rather than raise.  Yields
+    the truncated key."""
+    from repro.errors import CheckError
+    from repro.mappings import registry
+    from repro.perf.cache import RUN_CACHE, cache_key
+    from repro.perf.diskcache import DISK_CACHE
+
+    if not DISK_CACHE.enabled:
+        yield ""
+        return
+    registry.run(kernel, machine)
+    key = cache_key(kernel, machine, {})
+    path = DISK_CACHE._path(key) if key is not None else None
+    if path is None or not path.exists():
+        raise CheckError(
+            f"could not truncate the disk entry for {kernel}/{machine}"
+        )
+    path.write_bytes(b"")
+    RUN_CACHE.evict(key)
+    try:
+        yield key
+    finally:
+        DISK_CACHE.evict(key)
+        RUN_CACHE.clear()
+
+
+@contextlib.contextmanager
 def misdelivered_worker_results() -> Iterator[None]:
     """Patch the process-pool path to swap its first two results —
     the classic dropped/reordered-future bug a parallel executor can
@@ -223,6 +256,11 @@ SCENARIOS: Dict[str, tuple] = {
     ),
     "disk-entry-bitflipped": (
         bitflipped_disk_entry,
+        "diskcache",
+        _disk_integrity_under_fault,
+    ),
+    "disk-entry-truncated": (
+        truncated_disk_entry,
         "diskcache",
         _disk_integrity_under_fault,
     ),

@@ -44,13 +44,19 @@ def golden_documents() -> Dict[str, str]:
 
 
 def write_golden(directory: Path) -> List[Path]:
-    """Write every golden document under ``directory``; returns paths."""
+    """Write every golden document under ``directory``; returns paths.
+
+    Writes are atomic (temp file + rename), so an interrupted refresh
+    can never leave a half-written fixture to confuse the next diff.
+    """
+    from repro.ioutil import atomic_write_text
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     for name, text in golden_documents().items():
         path = directory / name
-        path.write_text(text)
+        atomic_write_text(path, text)
         written.append(path)
     return written
 

@@ -10,7 +10,6 @@ each oracle here turns that claim into an executable check.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -259,12 +258,14 @@ def executor_oracle(
     simulate — a persistent store warmed by an earlier process would
     otherwise answer the planner before it ever dispatched to the pool,
     blinding the oracle to pool-side misdelivery.  If the pool is
-    unavailable in this environment (the executor warns and falls
-    back), the comparison is vacuous and reported as a skip.
+    unavailable in this environment (the supervisor degrades to serial
+    and counts it under ``resilience.degradations``), the comparison is
+    vacuous and reported as a skip.
     """
     from repro.perf.cache import RUN_CACHE
     from repro.perf.diskcache import DISK_CACHE
     from repro.perf.executor import run_cells
+    from repro.resilience.stats import RESILIENCE
 
     if requests is None:
         from repro.kernels.workloads import (
@@ -284,11 +285,10 @@ def executor_oracle(
     try:
         with DISK_CACHE.disabled():
             serial = run_cells(requests, jobs=1)
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                parallel = run_cells(requests, jobs=jobs)
-        fell_back = any(
-            issubclass(w.category, RuntimeWarning) for w in caught
+            degradations_before = RESILIENCE.snapshot()["degradations"]
+            parallel = run_cells(requests, jobs=jobs)
+        fell_back = (
+            RESILIENCE.snapshot()["degradations"] > degradations_before
         )
     finally:
         if was_enabled:

@@ -18,8 +18,9 @@ from repro.errors import CheckError
 PASS = "pass"
 FAIL = "fail"
 SKIP = "skip"
+WARN = "warn"
 
-_STATUSES = (PASS, FAIL, SKIP)
+_STATUSES = (PASS, FAIL, SKIP, WARN)
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,9 @@ class CheckResult:
 
     ``name`` is dotted and stable (``invariant.bound.corner_turn.viram``,
     ``oracle.dram.batch-vs-reference``); ``status`` is ``pass``/``fail``/
-    ``skip``; ``detail`` explains a failure or why a check was skipped.
+    ``skip``/``warn``; ``detail`` explains a failure, a skip, or a
+    degraded-but-survivable condition (``warn`` — used by the chaos and
+    doctor surfaces; like ``skip``, it does not fail the report).
     """
 
     name: str
@@ -86,11 +89,14 @@ class CheckReport:
         """The report text: failures and skips always, passes one-line
         summarised unless ``verbose``."""
         counts = self.counts()
-        lines = [
+        summary = (
             f"repro check [{self.tier}]: "
             f"{counts[PASS]} passed, {counts[FAIL]} failed, "
             f"{counts[SKIP]} skipped"
-        ]
+        )
+        if counts[WARN]:
+            summary += f", {counts[WARN]} warnings"
+        lines = [summary]
         for result in self.results:
             if verbose or result.status != PASS:
                 lines.append("  " + result.format())

@@ -27,7 +27,15 @@ Commands
     oracles; ``--inject`` corrupts each redundant path on purpose and
     proves the matching oracle notices (always exits non-zero: 1 when
     every injected corruption was detected, 3 when an oracle missed
-    its fault).
+    its fault); ``--chaos [SPEC]`` runs the report clean and then under
+    injected runtime faults (worker kills, disk errors — see
+    docs/robustness.md) and requires byte-identical output with the
+    recoveries visible in ``resilience.*`` telemetry.
+``doctor``
+    Probe the execution runtime's health — pool spawn, disk-cache
+    round-trip and digest sweep, interprocess lock, telemetry registry —
+    and print a pass/warn/fail table.  Exits 0 when healthy (warnings
+    allowed), 2 naming the failing probe otherwise.
 ``cache ACTION``
     Manage the persistent disk tier of the run cache (see
     docs/performance.md).  ``stats`` prints counters and footprint,
@@ -58,6 +66,9 @@ Examples
     python -m repro check --fast
     python -m repro check --full --jobs 4
     python -m repro check --inject
+    python -m repro check --chaos --fast
+    python -m repro check --chaos kill=1,corrupt=1
+    python -m repro doctor
     python -m repro cache stats
     python -m repro cache prune --max-entries 1024
 """
@@ -240,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.set_defaults(tier="fast")
     check_p.add_argument(
+        "--chaos",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run the report clean and under injected runtime faults "
+            "(default spec: kill=1,disk=1) and require byte-identical "
+            "output; combine with --fast for the small workloads"
+        ),
+    )
+    check_p.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -277,6 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="B",
         help="prune: keep at most B bytes (default: cache's own cap)",
+    )
+    sub.add_parser(
+        "doctor",
+        help="probe the execution runtime's health",
+        description=(
+            "Run the health-probe battery (process-pool spawn, disk-cache "
+            "write/read/verify, interprocess lock, quarantine census, "
+            "telemetry registry) and print a pass/warn/fail table.  "
+            "Exits 0 when healthy, 2 naming the failing probe otherwise."
+        ),
     )
     sub.add_parser("experiments", help="list the experiment registry")
     sub.add_parser("list", help="list kernels and machines")
@@ -382,14 +415,26 @@ def _cmd_report(args) -> int:
     print(full_report(jobs=args.jobs, metrics_path=args.metrics))
     if args.perf:
         from repro.perf import DISK_CACHE, RUN_CACHE, timers
+        from repro.resilience.stats import RESILIENCE
 
         print(timers.render(), file=sys.stderr)
         print(RUN_CACHE.format_stats(), file=sys.stderr)
         print(DISK_CACHE.format_stats(), file=sys.stderr)
+        print(RESILIENCE.render(), file=sys.stderr)
     return 0
 
 
 def _cmd_check(args) -> int:
+    if args.chaos is not None:
+        from repro.resilience import chaos
+
+        report = chaos.run_chaos_check(
+            spec_text=args.chaos or None,
+            jobs=args.jobs,
+            fast=(args.tier != "full"),
+        )
+        print(report.render(verbose=args.verbose))
+        return report.exit_code
     if args.tier == "inject":
         from repro.check.faults import render_injection, run_injection
 
@@ -428,6 +473,14 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_doctor(_args) -> int:
+    from repro.resilience import doctor
+
+    results = doctor.run_doctor()
+    print(doctor.render_doctor(results))
+    return doctor.exit_code(results)
+
+
 def _cmd_experiments(_args) -> int:
     from repro.eval.experiments import EXPERIMENTS
 
@@ -458,6 +511,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "check": _cmd_check,
     "cache": _cmd_cache,
+    "doctor": _cmd_doctor,
     "experiments": _cmd_experiments,
     "list": _cmd_list,
 }

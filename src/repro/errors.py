@@ -3,9 +3,20 @@
 All errors raised by the library derive from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while letting
 programming errors (``TypeError`` etc.) propagate.
+
+The resilience layer (:mod:`repro.resilience`) extends the hierarchy
+with an execution-failure taxonomy: :class:`TransientError` marks
+infrastructure failures that are legitimate to retry or degrade around,
+while its subclasses :class:`WorkerCrashError` and
+:class:`DeadlineExceeded` mark failures that *survived* the retry budget
+and must propagate (re-running a crashing cell serially would take the
+main process down with it).  :class:`CacheCorruptionError` carries a
+structured ``incident`` payload describing a quarantined store entry.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 
 class ReproError(Exception):
@@ -53,3 +64,61 @@ class CheckError(ReproError):
     the kernel footprint, ...) or when two redundant evaluation paths
     disagree.  Carries the rendered check report in its message.
     """
+
+
+class TransientError(ReproError):
+    """A retryable infrastructure failure (pool spawn, pickling, I/O).
+
+    The supervised executor treats a ``TransientError`` that is *not*
+    one of the subclasses below as "the pool cannot be used at all" and
+    degrades to serial execution — the work itself is fine, only the
+    parallel transport is broken.  Subclasses mark failures where the
+    *work* misbehaved under supervision and retrying serially would be
+    wrong.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A worker process died (SIGKILL, OOM, hard crash) and the retry
+    budget could not recover the affected cell.
+
+    Carries ``incident`` — a structured description of the failed cells
+    (request indices, attempt counts, last observed error) — so callers
+    can report *which* cell is poisoned instead of a bare traceback.
+    """
+
+    def __init__(
+        self, message: str, incident: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.incident: Dict[str, Any] = dict(incident or {})
+
+
+class DeadlineExceeded(TransientError):
+    """A supervised task ran past its per-chunk deadline on every
+    attempt.  Carries the same structured ``incident`` payload as
+    :class:`WorkerCrashError`."""
+
+    def __init__(
+        self, message: str, incident: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.incident: Dict[str, Any] = dict(incident or {})
+
+
+class CacheCorruptionError(ReproError):
+    """A persisted cache entry failed verification and was quarantined.
+
+    The disk tier never *raises* this on the read path (a damaged store
+    degrades to misses); it is raised by explicit integrity surfaces —
+    ``repro doctor``'s strict probes and
+    :meth:`repro.perf.diskcache.DiskCache.verify` with ``strict=True`` —
+    and carries the structured ``incident`` record written next to the
+    quarantined file.
+    """
+
+    def __init__(
+        self, message: str, incident: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.incident: Dict[str, Any] = dict(incident or {})

@@ -1,0 +1,80 @@
+"""Crash-safe file publication helpers.
+
+Benchmark guards (``BENCH_*.json``), golden-fixture refreshes, and
+metrics manifests are all *artifacts another process trusts*: CI diffs
+them, the snapshot tests pin them byte-for-byte, and a later session
+reads them as ground truth.  A plain ``write_text`` interrupted by a
+signal, an OOM kill, or a full disk leaves a truncated file that still
+parses as "the artifact" — the worst kind of corruption, silent and
+plausible.
+
+Every writer here stages the full content in a temporary file *in the
+target's own directory* (same filesystem, so the final rename cannot
+degrade to a copy) and publishes it with :func:`os.replace`, which is
+atomic on POSIX: readers observe either the old complete artifact or
+the new complete artifact, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path.
+
+    The temporary staging file is fsynced before the rename so a power
+    loss cannot publish a name pointing at unwritten blocks; on any
+    failure the staging file is removed and the original artifact is
+    left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path], blob: bytes) -> Path:
+    """Atomically replace ``path`` with ``blob``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: Union[str, Path], obj: Any, *, indent: int = 2, **dumps_kwargs: Any
+) -> Path:
+    """Atomically replace ``path`` with ``obj`` serialised as JSON
+    (trailing newline included); returns the path."""
+    text = json.dumps(obj, indent=indent, **dumps_kwargs) + "\n"
+    return atomic_write_text(path, text)

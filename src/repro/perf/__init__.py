@@ -13,7 +13,9 @@ Orthogonal tools, all invisible to the modelled results:
   driver will need, dedups the set by content key, probes both tiers,
   and dispatches only the misses.
 * :mod:`repro.perf.executor` — the dispatch mechanics: chunked
-  process-pool batches (with a transparent serial fallback); the CLI's
+  process-pool batches under a :class:`repro.resilience.Supervisor`
+  (retry/deadline/isolate, with serial degradation only when the pool
+  transport itself is unusable — counted, never silent); the CLI's
   ``report --jobs N`` and the sensitivity/scaling sweeps' ``jobs=``
   plumb into it.
 * :mod:`repro.perf.timers` — nested wall-time timers and counters for

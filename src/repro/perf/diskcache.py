@@ -17,16 +17,32 @@ namespace and can never serve stale results.
 
 Each entry is ``MAGIC + sha256(payload) + payload`` where the payload is
 the pickled :class:`~repro.arch.base.KernelRun`.  Reads verify the
-digest; a corrupt or torn file is counted, quarantined (unlinked), and
-reported as a miss — never served.
+digest; a corrupt or torn file is counted and reported as a miss —
+never served.
+
+Self-healing
+------------
+A damaged store heals instead of wedging.  An entry that fails
+verification is *moved* to ``<root>/quarantine/`` (never deleted — the
+bytes are forensic evidence) together with a structured JSON incident
+record; the key recomputes on the next run.  A transient read error is
+retried once before the lookup degrades to a miss.  A stale
+interprocess lock file — holder pid dead, file old — is detected and
+broken before acquisition.  ``lookup`` never raises on a damaged store:
+every failure path counts, heals what it can, and returns a miss.
+Recovery actions are tallied both here (``quarantined``) and under the
+``resilience.*`` telemetry namespace.
 
 Concurrency
 -----------
 Writes go to a unique temporary file in the entry's directory and are
 published with :func:`os.replace`, which is atomic on POSIX: two
 processes racing on the same key both leave a complete, valid entry and
-readers can never observe a torn write.  Pruning takes a best-effort
-inter-process advisory lock (``fcntl.flock`` on ``<root>/.lock``) and
+readers can never observe a torn write.  Pruning holds the
+inter-process advisory lock (``fcntl.flock`` on ``<root>/.lock``) for
+the whole scan-and-evict pass, re-checks each entry's mtime immediately
+before unlinking (an entry refreshed by a concurrent reader or
+re-published by a concurrent inserter since the scan is spared), and
 tolerates entries vanishing underneath it.
 
 Opt-outs
@@ -42,9 +58,11 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import io
+import json
 import os
 import pickle
 import threading
+import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -54,6 +72,30 @@ from repro.trace.tracer import active_tracer
 MAGIC = b"repro-diskcache-v1\n"
 
 _DIGEST_LEN = 64  # sha256 hexdigest
+
+#: A lock file whose recorded holder is dead counts as stale once it is
+#: this many seconds old (age guards against breaking a lock whose
+#: holder pid we simply failed to observe mid-handoff).
+STALE_LOCK_AGE = 60.0
+
+
+def _chaos_active() -> bool:
+    """Cheap gate for the chaos-injection hooks (hot paths)."""
+    return bool(os.environ.get("REPRO_CHAOS"))
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (conservative: unknown
+    errors are treated as alive — never break a lock on a guess)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
 
 
 def _default_root() -> Path:
@@ -95,6 +137,8 @@ class DiskCache:
         self.evictions = 0
         self.corrupt = 0
         self.bypasses = 0
+        self.quarantined = 0
+        self.io_retries = 0
 
     # -- configuration -------------------------------------------------
 
@@ -144,6 +188,10 @@ class DiskCache:
     def _path(self, key: str) -> Path:
         return self.stamp_dir() / key[:2] / f"{key}.run"
 
+    def quarantine_dir(self) -> Path:
+        """Where verification failures are preserved for forensics."""
+        return self.root() / "quarantine"
+
     # -- counters ------------------------------------------------------
 
     def _count(self, attr: str, trace_name: str) -> None:
@@ -192,31 +240,114 @@ class DiskCache:
         """Whether an entry file exists (no counters, no verification)."""
         return self.enabled and self._path(key).exists()
 
+    def _read_entry(self, path: Path) -> Optional[bytes]:
+        """The entry's bytes, retrying one transient I/O error; ``None``
+        when the entry is absent or both attempts failed."""
+        for attempt in (0, 1):
+            try:
+                if _chaos_active():
+                    from repro.resilience import chaos
+
+                    chaos.on_disk_read(path)
+                return path.read_bytes()
+            except FileNotFoundError:
+                return None
+            except OSError:
+                from repro.resilience.stats import RESILIENCE
+
+                RESILIENCE.note("io_errors")
+                if attempt == 0:
+                    with self._lock:
+                        self.io_retries += 1
+                    RESILIENCE.note("io_retries")
+        return None
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> Dict[str, Any]:
+        """Move a damaged entry (and the evidence) out of the store.
+
+        The file is renamed into ``quarantine/`` — never deleted — and a
+        structured incident record is written beside it, so a corruption
+        event can be investigated after the fact.  Returns the incident
+        record; never raises (a failing quarantine degrades to unlink,
+        and a failing unlink to a no-op — the lookup still misses).
+        """
+        incident: Dict[str, Any] = {
+            "key": key,
+            "reason": reason,
+            "source": str(path),
+            "action": "quarantined",
+            "pid": os.getpid(),
+            "detected_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+            ),
+        }
+        try:
+            incident["size"] = path.stat().st_size
+        except OSError:
+            pass
+        qdir = self.quarantine_dir()
+        dest = qdir / f"{key}.run"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            incident["quarantined_to"] = str(dest)
+            dest.with_suffix(".incident.json").write_text(
+                json.dumps(incident, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:
+            incident["action"] = "unlinked"
+            try:
+                path.unlink()
+            except OSError:
+                incident["action"] = "left-in-place"
+        with self._lock:
+            self.quarantined += 1
+        from repro.resilience.stats import RESILIENCE
+
+        RESILIENCE.note("quarantined")
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("perf.diskcache.quarantined")
+        return incident
+
+    def incidents(self) -> List[Dict[str, Any]]:
+        """Every parseable incident record in the quarantine, sorted by
+        key (malformed records are skipped, not raised)."""
+        out: List[Dict[str, Any]] = []
+        qdir = self.quarantine_dir()
+        if not qdir.is_dir():
+            return out
+        for record in sorted(qdir.glob("*.incident.json")):
+            try:
+                out.append(json.loads(record.read_text()))
+            except (OSError, ValueError):
+                continue
+        return out
+
     def lookup(self, key: str) -> Optional[Any]:
         """The stored run, digest-verified, or ``None``.
 
-        A verification failure counts under ``corrupt`` *and* ``misses``
-        and quarantines the file, so a flipped bit can never be served
-        and never permanently wedges the key.
+        This method never raises on a damaged store.  A verification
+        failure counts under ``corrupt`` *and* ``misses`` and moves the
+        file to quarantine with an incident record, so a flipped bit
+        can never be served and never permanently wedges the key; a
+        transient read error is retried once before degrading to a
+        miss.
         """
         if not self.enabled:
             self.note_bypass()
             return None
         path = self._path(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
+        blob = self._read_entry(path)
+        if blob is None:
             self._count("misses", "perf.diskcache.miss")
             return None
         try:
             value = self.decode(blob)
-        except ValueError:
+        except ValueError as exc:
             self._count("corrupt", "perf.diskcache.corrupt")
             self._count("misses", "perf.diskcache.miss")
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(key, path, str(exc))
             return None
         try:
             os.utime(path)  # refresh LRU clock for pruning
@@ -252,6 +383,10 @@ class DiskCache:
                 pass
             return False
         self._count("writes", "perf.diskcache.write")
+        if _chaos_active():
+            from repro.resilience import chaos
+
+            chaos.on_disk_insert(path)
         if self.prune_interval and self.writes % self.prune_interval == 0:
             self.prune()
         return True
@@ -290,8 +425,11 @@ class DiskCache:
     ) -> int:
         """Remove oldest entries until within the caps; returns the
         number evicted.  Safe under contention: concurrent pruners are
-        serialised by an advisory lock where available, and an entry
-        deleted by a sibling is simply skipped."""
+        serialised by the advisory lock (held for the whole
+        scan-and-evict pass) where available; an entry touched since the
+        scan (``os.utime`` on a hit, re-publish on a racing insert) is
+        re-checked by mtime immediately before unlink and spared; an
+        entry that vanished underneath us is simply skipped."""
         max_entries = self.max_entries if max_entries is None else max_entries
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
         removed = 0
@@ -301,9 +439,13 @@ class DiskCache:
             while entries and (
                 len(entries) > max_entries or total > max_bytes
             ):
-                path, _, size = entries.pop(0)
+                path, mtime, size = entries.pop(0)
                 try:
+                    if path.stat().st_mtime > mtime:
+                        continue  # refreshed since the scan: no longer LRU
                     path.unlink()
+                except FileNotFoundError:
+                    continue  # a sibling pruner/evictor got here first
                 except OSError:
                     continue
                 total -= size
@@ -329,6 +471,7 @@ class DiskCache:
         with self._lock:
             self.hits = self.misses = self.writes = 0
             self.evictions = self.corrupt = self.bypasses = 0
+            self.quarantined = self.io_retries = 0
         return removed
 
     # -- integrity and fault hooks -------------------------------------
@@ -390,6 +533,8 @@ class DiskCache:
             "writes": self.writes,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "io_retries": self.io_retries,
             "bypasses": self.bypasses,
             "enabled": int(self.enabled),
         }
@@ -400,7 +545,8 @@ class DiskCache:
         return (
             f"disk cache: {s['hits']} hits, {s['misses']} misses, "
             f"{s['writes']} writes, {s['evictions']} evictions, "
-            f"{s['corrupt']} corrupt, {s['bypasses']} bypasses, "
+            f"{s['corrupt']} corrupt, {s['quarantined']} quarantined, "
+            f"{s['bypasses']} bypasses, "
             f"{s['entries']} entries ({s['bytes'] / 1e6:.1f} MB)"
             f"{state} at {self.root()}"
         )
@@ -414,19 +560,76 @@ class DiskCache:
 
 
 class _FlockGuard:
-    """Context manager: ``fcntl.flock`` on a lock file, best-effort."""
+    """Context manager: ``fcntl.flock`` on a lock file, best-effort.
+
+    The holder records ``{"pid", "time"}`` into the lock file once the
+    flock is held.  Before acquiring, a lock file whose *recorded*
+    holder is dead and whose mtime is older than :data:`STALE_LOCK_AGE`
+    is broken (unlinked) — the leftover of a SIGKILLed or rebooted
+    process cannot wedge pruning forever.  The break is deliberately
+    conservative: an empty or unparseable record is left alone (the
+    kernel releases a real ``flock`` with its holder anyway), and a
+    live recorded pid is never broken.
+    """
 
     def __init__(self, path: Path) -> None:
         self._path = path
         self._fh: Optional[io.IOBase] = None
+
+    def _break_if_stale(self) -> None:
+        """Unlink the lock file iff its recorded holder is provably
+        dead and the file has not been touched recently."""
+        try:
+            raw = self._path.read_bytes()
+            age = time.time() - self._path.stat().st_mtime
+        except OSError:
+            return
+        try:
+            record = json.loads(raw)
+            pid = int(record["pid"])
+        except (KeyError, TypeError, ValueError):
+            return  # no recorded holder: nothing provable, leave it
+        if _pid_alive(pid) or age < STALE_LOCK_AGE:
+            return
+        try:
+            self._path.unlink()
+        except OSError:
+            return
+        from repro.resilience.stats import RESILIENCE
+
+        RESILIENCE.note("locks_broken")
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("perf.diskcache.lock_broken")
+
+    def _record_holder(self) -> None:
+        """Write our pid into the held lock file (flock is exclusive,
+        so the truncate-and-write cannot race another holder)."""
+        try:
+            self._fh.seek(0)
+            self._fh.truncate()
+            self._fh.write(
+                json.dumps(
+                    {"pid": os.getpid(), "time": time.time()}
+                ).encode("ascii")
+            )
+            self._fh.flush()
+        except OSError:
+            pass
 
     def __enter__(self) -> "_FlockGuard":
         try:
             import fcntl
 
             self._path.parent.mkdir(parents=True, exist_ok=True)
+            if _chaos_active():
+                from repro.resilience import chaos
+
+                chaos.on_lock_acquire(self._path)
+            self._break_if_stale()
             self._fh = open(self._path, "a+b")
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+            self._record_holder()
         except (ImportError, OSError):
             if self._fh is not None:
                 self._fh.close()

@@ -18,21 +18,25 @@ scheduling overhead per chunk instead of per run).  Workers execute via
 ``registry.run``, which writes fresh results straight into the shared
 disk tier, so sibling workers' parents and future processes hit.
 
-Process pools are not available everywhere (restricted sandboxes,
-interpreters without ``fork``/``spawn``); any pool *infrastructure*
-failure falls back to serial execution, emitting a ``RuntimeWarning``
-that carries the original exception.  Failures raised by the mappings
-themselves (``ReproError`` and friends) propagate.
+Dispatch is *supervised* (:class:`repro.resilience.Supervisor`): a
+crashed worker or a chunk that misses its deadline is retried with
+backoff on a resurrected pool, a persistently failing cell is isolated
+and reported precisely, and only a failure of the pool *transport*
+itself (restricted sandboxes, interpreters without ``fork``/``spawn``,
+unpicklable payloads) degrades the sweep to serial execution.  Each
+degradation is counted under ``resilience.degradations`` with the
+classified reason string recorded in telemetry — not a warning that
+scrolls away.  Failures raised by the mappings themselves
+(``ReproError`` and friends) propagate unchanged.
 """
 
 from __future__ import annotations
 
 import math
-import pickle
-import warnings
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientError
 from repro.perf import timers
 
 __all__ = ["RunRequest", "resolve_jobs", "run_cells", "chunked"]
@@ -60,6 +64,10 @@ def _execute_chunk(chunk: Sequence[RunRequest]) -> List[Any]:
     tiers apply — in particular every fresh result is persisted to the
     shared disk tier before the chunk is pickled back to the parent.
     """
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.resilience import chaos
+
+        chaos.on_worker_chunk()
     return [_execute(request) for request in chunk]
 
 
@@ -112,34 +120,44 @@ def _run_pool(
     requests: Sequence[RunRequest], n_jobs: int,
     chunk_size: Optional[int] = None,
 ) -> Optional[List[Any]]:
-    """Evaluate on a process pool, one submission per chunk; ``None`` if
-    the pool cannot be used (caller falls back to serial).  Mapping
-    errors propagate."""
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-    except ImportError:  # pragma: no cover - stdlib always has it
-        return None
+    """Evaluate on a supervised process pool, one submission per chunk;
+    ``None`` if the pool transport cannot be used (caller falls back to
+    serial).
+
+    Failure classification is the supervisor's: worker crashes and
+    deadline misses are retried internally (and raised as
+    :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.DeadlineExceeded` only once the retry budget
+    is spent — those propagate, since re-running a crashing cell
+    serially would take this process down too).  A plain
+    :class:`~repro.errors.TransientError` means the pool *itself* is
+    unusable; that degrades to serial here, counted under
+    ``resilience.degradations`` with the reason recorded in telemetry.
+    Mapping errors (``ReproError``) propagate unchanged.
+    """
+    from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.resilience.stats import RESILIENCE
+    from repro.resilience.supervisor import Supervisor
+
     chunks = chunked(requests, n_jobs, chunk_size)
     try:
         with timers.timer("sweep.parallel"):
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                timers.count("sweep.pool_chunks", len(chunks))
-                batched = list(pool.map(_execute_chunk, chunks))
+            timers.count("sweep.pool_chunks", len(chunks))
+            batched = Supervisor(n_jobs).run(chunks)
         return [result for batch in batched for result in batch]
-    except ReproError:
+    except (WorkerCrashError, DeadlineExceeded):
         raise
-    except (BrokenProcessPool, OSError, pickle.PicklingError, ValueError,
-            RuntimeError) as exc:
-        # Pool infrastructure unavailable (sandbox, no fork, unpicklable
+    except TransientError as exc:
+        # Pool transport unavailable (sandbox, no fork, unpicklable
         # payload): run the sweep serially instead.  The fallback keeps
         # results identical, but silently losing the requested
-        # parallelism hides real environment problems — surface it.
-        warnings.warn(
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            "falling back to serial execution",
-            RuntimeWarning,
-            stacklevel=3,
+        # parallelism hides real environment problems — record the
+        # classified cause where it persists.
+        cause = exc.__cause__
+        reason = (
+            f"{type(cause).__name__}: {cause}" if cause is not None
+            else str(exc)
         )
+        RESILIENCE.note_degradation(reason)
         timers.count("sweep.pool_fallback")
         return None

@@ -21,7 +21,10 @@ The planner makes the request set a first-class object:
    :data:`~repro.perf.diskcache.DISK_CACHE`, promoting hits into
    tier 1) where possible;
 4. **batch-dispatch** — only the misses go to the process pool, in
-   *chunks* (one pool submission per chunk instead of one per cell);
+   *chunks* (one pool submission per chunk instead of one per cell),
+   supervised by :class:`repro.resilience.Supervisor` (crashed workers
+   are retried, a poisoned cell is isolated, and only an unusable pool
+   transport degrades the batch to serial — see docs/robustness.md);
    workers run ``registry.run``, which writes results straight into the
    shared disk tier, so sibling workers' parents and future processes
    hit without re-simulating;

@@ -1,0 +1,114 @@
+"""Resilience counters: every recovery action, counted and named.
+
+The supervisor's whole value is that failures are *absorbed* — a killed
+worker becomes a retried chunk, a corrupt cache entry becomes a
+quarantined file — which means the only external evidence that anything
+happened is telemetry.  This module is that evidence: a process-wide
+tally of retries, degradations, crashes, deadline misses, pool
+resurrections, broken locks, and quarantines, exposed to the
+:data:`~repro.trace.telemetry.TELEMETRY` registry under the
+``resilience.*`` namespace and printed by ``repro report --perf``.
+
+The acceptance contract of the chaos harness reads these directly:
+under an injected worker kill a healthy supervisor shows
+``resilience.retries >= 1`` and ``resilience.degradations == 0`` —
+recovered in place, never silently downgraded to serial.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+from repro.trace.tracer import active_tracer
+
+#: Counter names, in render order.  Declared up front so the telemetry
+#: snapshot always carries every key (a zero is information: "no
+#: degradations" is exactly what the chaos acceptance check asserts).
+COUNTERS = (
+    "retries",
+    "degradations",
+    "worker_crashes",
+    "deadline_exceeded",
+    "pool_restarts",
+    "isolated_cells",
+    "failed_cells",
+    "io_errors",
+    "io_retries",
+    "locks_broken",
+    "quarantined",
+    "chaos_injections",
+)
+
+
+class ResilienceStats:
+    """Thread-safe counters plus a last-degradation-reason gauge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._last_degradation_reason = ""
+
+    def note(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n`` (and mirror it onto the
+        active tracer, if any, as ``resilience.<name>``)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count(f"resilience.{name}", n)
+
+    def note_degradation(self, reason: str) -> None:
+        """Record one parallel→serial degradation and why it happened.
+
+        The reason string replaces the bare ``RuntimeWarning`` the
+        executor used to emit: it survives in the telemetry snapshot,
+        the metrics manifest, and the ``--perf`` output, where a warning
+        would have scrolled away.
+        """
+        with self._lock:
+            self._counters["degradations"] += 1
+            self._last_degradation_reason = reason
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count("resilience.degradations")
+            tracer.instant(
+                "degradation",
+                track="resilience/supervisor",
+                args={"reason": reason},
+            )
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    @property
+    def last_degradation_reason(self) -> str:
+        with self._lock:
+            return self._last_degradation_reason
+
+    def snapshot(self) -> Dict[str, Union[int, str]]:
+        """Counters plus the reason gauge, the telemetry-source shape."""
+        with self._lock:
+            out: Dict[str, Union[int, str]] = dict(self._counters)
+            out["last_degradation_reason"] = self._last_degradation_reason
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {name: 0 for name in COUNTERS}
+            self._last_degradation_reason = ""
+
+    def render(self) -> str:
+        """Aligned ``resilience.<name> value`` lines for ``--perf``."""
+        snap = self.snapshot()
+        width = max(len(name) for name in snap) + len("resilience.")
+        lines = ["resilience:"]
+        for name in sorted(snap):
+            lines.append(f"  {f'resilience.{name}':<{width}s}  {snap[name]}")
+        return "\n".join(lines)
+
+
+#: Process-wide resilience tally, registered with TELEMETRY at import
+#: of :mod:`repro.trace.telemetry`.
+RESILIENCE = ResilienceStats()

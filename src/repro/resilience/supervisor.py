@@ -1,0 +1,442 @@
+"""Supervised process-pool execution: retry, deadline, isolate, degrade.
+
+The plain executor treats the process pool as all-or-nothing: any
+infrastructure failure abandons parallelism for the whole sweep.  The
+:class:`Supervisor` turns the pool into a *supervised* resource with an
+explicit recovery ladder, applied per chunk of work:
+
+1. **retry with backoff** — a chunk whose worker crashed
+   (``BrokenProcessPool``) or whose result missed the per-chunk deadline
+   is re-dispatched on a fresh pool, up to
+   :attr:`RetryPolicy.max_retries` times, with exponential backoff and
+   deterministic jitter between rounds;
+2. **isolate** — a chunk that keeps failing is *split*: its cells are
+   retried one at a time, so a single poisoned cell (one that reliably
+   kills its worker or hangs) cannot sink its chunk-mates, whose results
+   are computed and persisted normally;
+3. **mark failed** — a cell that fails even alone is reported via
+   :class:`~repro.errors.WorkerCrashError` /
+   :class:`~repro.errors.DeadlineExceeded` carrying a structured
+   ``incident`` (cell index, attempts, last error) — after every
+   healthy cell has completed and reached the cache tiers;
+4. **degrade** — failures of the pool *transport* itself (spawn failure,
+   unpicklable payloads, a sandbox without ``fork``) raise plain
+   :class:`~repro.errors.TransientError`, which the executor converts
+   into a serial fallback, counted under ``resilience.degradations``
+   with the reason string recorded in telemetry.
+
+Every transition is counted in :data:`~repro.resilience.stats.RESILIENCE`
+(``resilience.retries``, ``.worker_crashes``, ``.deadline_exceeded``,
+``.pool_restarts``, ``.isolated_cells``, ``.failed_cells``,
+``.degradations``) and mirrored onto the active tracer's
+``resilience/supervisor`` track, so a chaos run leaves a full audit
+trail while its *output* stays byte-identical to an undisturbed run.
+
+Mapping failures (:class:`~repro.errors.ReproError` raised by the work
+itself) propagate unchanged — the supervisor recovers infrastructure,
+never papers over model errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DeadlineExceeded,
+    ReproError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.resilience.stats import RESILIENCE
+from repro.trace.tracer import active_tracer
+
+__all__ = ["RetryPolicy", "Supervisor", "default_policy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy with exponential backoff and jitter.
+
+    ``deadline`` bounds how long the supervisor waits on one chunk's
+    future, measured from when it starts waiting (``None`` disables
+    deadlines).  ``jitter`` is a ±fraction applied to each backoff
+    delay; it is *deterministic* — a hash of the retry token and attempt
+    number, not a random draw — so supervised runs remain exactly
+    reproducible.
+    """
+
+    max_retries: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    deadline: Optional[float] = 300.0
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = self.backoff * (self.multiplier ** attempt)
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # [0, 1]
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * unit - 1.0)))
+
+
+def default_policy() -> RetryPolicy:
+    """The environment-tunable policy the executor uses.
+
+    ``REPRO_CHUNK_DEADLINE`` (seconds, ``0`` disables),
+    ``REPRO_MAX_RETRIES``, and ``REPRO_RETRY_BACKOFF`` override the
+    defaults — the chaos harness and CI use these to shrink timescales.
+    """
+    deadline: Optional[float] = float(
+        os.environ.get("REPRO_CHUNK_DEADLINE", "300")
+    )
+    if deadline is not None and deadline <= 0:
+        deadline = None
+    return RetryPolicy(
+        max_retries=int(os.environ.get("REPRO_MAX_RETRIES", "3")),
+        backoff=float(os.environ.get("REPRO_RETRY_BACKOFF", "0.05")),
+        deadline=deadline,
+    )
+
+
+def _classify_infra(exc: BaseException) -> Optional[str]:
+    """Reason string if ``exc`` is a pool-transport failure the serial
+    path would not suffer, else ``None`` (the error should propagate).
+
+    ``AttributeError``/``TypeError`` are included because payload
+    pickling failures surface as them; a genuine work error caught by
+    this net still surfaces correctly — the serial fallback re-executes
+    the work and raises it there.
+    """
+    import pickle
+
+    if isinstance(
+        exc,
+        (OSError, pickle.PicklingError, AttributeError, TypeError,
+         ImportError, ValueError, RuntimeError, MemoryError),
+    ):
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+class Supervisor:
+    """Run chunks of work on a supervised process pool.
+
+    ``task`` is the picklable chunk function (defaults to the executor's
+    ``_execute_chunk``); ``sleep`` is injectable for tests.  One
+    supervisor instance drives one sweep: :meth:`run` takes the ordered
+    chunk list and returns one result list per chunk.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int,
+        policy: Optional[RetryPolicy] = None,
+        task: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if task is None:
+            from repro.perf.executor import _execute_chunk
+
+            task = _execute_chunk
+        self._n_jobs = max(1, int(n_jobs))
+        self._policy = policy if policy is not None else default_policy()
+        self._task = task
+        self._sleep = sleep
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self):
+        """The live pool, spawning one if needed; raises
+        :class:`TransientError` when the environment cannot host one."""
+        if self._pool is None:
+            import concurrent.futures
+
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self._n_jobs
+                )
+            except Exception as exc:
+                reason = _classify_infra(exc)
+                if reason is None:
+                    raise
+                raise TransientError(
+                    f"process pool unavailable ({reason})"
+                ) from exc
+        return self._pool
+
+    def _discard_pool(self, wait: bool = False) -> None:
+        """Drop the current pool (a fresh one spawns on next use)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=wait, cancel_futures=True)
+            except Exception:
+                pass
+
+    def _restart_pool(self) -> None:
+        self._discard_pool(wait=False)
+        RESILIENCE.note("pool_restarts")
+        self._event("pool_restart")
+
+    @staticmethod
+    def _event(name: str, **args: Any) -> None:
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                f"resilience.{name}",
+                track="resilience/supervisor",
+                args=args or None,
+            )
+
+    # -- supervised execution -------------------------------------------
+
+    def run(self, chunks: Sequence[Sequence[Any]]) -> List[List[Any]]:
+        """Evaluate every chunk, in order, surviving worker failures.
+
+        Returns one result list per chunk.  Raises
+        :class:`WorkerCrashError` / :class:`DeadlineExceeded` when a
+        cell failed even in isolation (after completing every healthy
+        cell), :class:`TransientError` when the pool transport itself is
+        unusable (callers degrade to serial), and propagates
+        :class:`ReproError` from the work unchanged.
+        """
+        if not chunks:
+            return []
+        results: Dict[int, List[Any]] = {}
+        attempts: Dict[int, int] = {i: 0 for i in range(len(chunks))}
+        poisoned: Dict[int, BaseException] = {}
+        todo = list(range(len(chunks)))
+        round_no = 0
+        try:
+            while todo:
+                failed = self._dispatch_round(chunks, todo, results)
+                todo = []
+                retryable: List[int] = []
+                for ci, exc in failed.items():
+                    attempts[ci] += 1
+                    if attempts[ci] > self._policy.max_retries:
+                        poisoned[ci] = exc
+                    else:
+                        retryable.append(ci)
+                if retryable:
+                    RESILIENCE.note("retries", len(retryable))
+                    self._event(
+                        "retry", chunks=len(retryable), round=round_no
+                    )
+                    self._restart_pool()
+                    self._sleep(
+                        self._policy.delay(round_no, token="round")
+                    )
+                    todo = sorted(retryable)
+                    round_no += 1
+                elif failed:
+                    # Everything that failed is out of chunk-level
+                    # retries; fall through to isolation.
+                    self._restart_pool()
+            if poisoned:
+                self._isolate(chunks, poisoned, results)
+            return [results[i] for i in range(len(chunks))]
+        finally:
+            self._discard_pool(wait=self._pool is not None)
+
+    def _dispatch_round(
+        self,
+        chunks: Sequence[Sequence[Any]],
+        todo: List[int],
+        results: Dict[int, List[Any]],
+    ) -> Dict[int, BaseException]:
+        """Submit every chunk in ``todo`` and wait for each in order.
+
+        Fills ``results``; returns the chunks that failed with a
+        *recoverable* failure (crash or deadline).  Transport failures
+        raise :class:`TransientError`; work failures propagate.
+        """
+        import concurrent.futures as cf
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._ensure_pool()
+        futures: Dict[int, "cf.Future"] = {}
+        submit_error: Optional[BaseException] = None
+        for ci in todo:
+            try:
+                futures[ci] = pool.submit(self._task, chunks[ci])
+            except BrokenProcessPool as exc:
+                submit_error = exc
+                break
+            except Exception as exc:
+                self._cancel(futures)
+                reason = _classify_infra(exc)
+                if reason is None:
+                    raise
+                raise TransientError(
+                    f"pool submit failed ({reason})"
+                ) from exc
+
+        failed: Dict[int, BaseException] = {}
+        pool_broken = submit_error is not None
+        if pool_broken:
+            RESILIENCE.note("worker_crashes")
+            self._event("worker_crash", phase="submit")
+        for ci, fut in futures.items():
+            if pool_broken:
+                # The pool is gone; every unresolved sibling retries.
+                if not self._harvest(fut, ci, results):
+                    failed[ci] = submit_error or WorkerCrashError(
+                        "worker crashed"
+                    )
+                continue
+            try:
+                results[ci] = fut.result(timeout=self._policy.deadline)
+            except cf.TimeoutError:
+                RESILIENCE.note("deadline_exceeded")
+                self._event(
+                    "deadline_exceeded",
+                    chunk=ci,
+                    deadline=self._policy.deadline,
+                )
+                failed[ci] = DeadlineExceeded(
+                    f"chunk {ci} exceeded its "
+                    f"{self._policy.deadline:.3g}s deadline"
+                )
+            except BrokenProcessPool as exc:
+                RESILIENCE.note("worker_crashes")
+                self._event("worker_crash", chunk=ci)
+                submit_error = exc
+                pool_broken = True
+                failed[ci] = exc
+            except ReproError:
+                self._cancel(futures)
+                raise
+            except Exception as exc:
+                self._cancel(futures)
+                reason = _classify_infra(exc)
+                if reason is None:
+                    raise
+                raise TransientError(
+                    f"pool execution failed ({reason})"
+                ) from exc
+        # Chunks that never got submitted after a mid-submit break.
+        for ci in todo:
+            if ci not in results and ci not in failed:
+                failed[ci] = submit_error or WorkerCrashError(
+                    "worker crashed before dispatch"
+                )
+        if pool_broken:
+            self._discard_pool(wait=False)
+        return failed
+
+    @staticmethod
+    def _harvest(fut, ci: int, results: Dict[int, List[Any]]) -> bool:
+        """Salvage an already-completed future from a broken pool."""
+        if fut.done() and not fut.cancelled():
+            try:
+                exc = fut.exception(timeout=0)
+            except Exception:
+                return False
+            if exc is None:
+                results[ci] = fut.result(timeout=0)
+                return True
+        return False
+
+    @staticmethod
+    def _cancel(futures: Dict[int, Any]) -> None:
+        for fut in futures.values():
+            fut.cancel()
+
+    def _isolate(
+        self,
+        chunks: Sequence[Sequence[Any]],
+        poisoned: Dict[int, BaseException],
+        results: Dict[int, List[Any]],
+    ) -> None:
+        """Retry each poisoned chunk cell-by-cell; healthy cells
+        complete, persistently failing cells are marked and reported
+        *after* every sibling has run."""
+        failures: List[Tuple[int, int, int, BaseException]] = []
+        for ci in sorted(poisoned):
+            chunk = chunks[ci]
+            RESILIENCE.note("isolated_cells", len(chunk))
+            self._event("isolate", chunk=ci, cells=len(chunk))
+            out: List[Any] = []
+            for j, cell in enumerate(chunk):
+                value, n_attempts, err = self._run_cell_alone(ci, j, cell)
+                if err is None:
+                    out.append(value)
+                else:
+                    RESILIENCE.note("failed_cells")
+                    self._event("cell_failed", chunk=ci, cell=j)
+                    failures.append((ci, j, n_attempts, err))
+                    out.append(None)
+            results[ci] = out
+        if failures:
+            incident = {
+                "failed_cells": [
+                    {
+                        "chunk": ci,
+                        "cell": j,
+                        "attempts": n,
+                        "error": f"{type(err).__name__}: {err}",
+                    }
+                    for ci, j, n, err in failures
+                ],
+            }
+            _, _, _, first = failures[0]
+            cls = (
+                DeadlineExceeded
+                if isinstance(first, DeadlineExceeded)
+                else WorkerCrashError
+            )
+            raise cls(
+                f"{len(failures)} cell(s) failed even in isolation "
+                f"(first: chunk {failures[0][0]} cell {failures[0][1]}: "
+                f"{type(first).__name__}: {first})",
+                incident=incident,
+            )
+
+    def _run_cell_alone(
+        self, ci: int, j: int, cell: Any
+    ) -> Tuple[Any, int, Optional[BaseException]]:
+        """One cell on its own pool submission, with its own retry
+        budget; returns ``(value, attempts, last_error)``."""
+        import concurrent.futures as cf
+        from concurrent.futures.process import BrokenProcessPool
+
+        last: Optional[BaseException] = None
+        for attempt in range(self._policy.max_retries + 1):
+            if attempt:
+                RESILIENCE.note("retries")
+                self._restart_pool()
+                self._sleep(
+                    self._policy.delay(attempt - 1, token=f"cell{ci}.{j}")
+                )
+            try:
+                pool = self._ensure_pool()
+                fut = pool.submit(self._task, [cell])
+                value = fut.result(timeout=self._policy.deadline)
+                return value[0], attempt + 1, None
+            except cf.TimeoutError:
+                RESILIENCE.note("deadline_exceeded")
+                last = DeadlineExceeded(
+                    f"cell {j} of chunk {ci} exceeded its "
+                    f"{self._policy.deadline:.3g}s deadline in isolation"
+                )
+            except BrokenProcessPool as exc:
+                RESILIENCE.note("worker_crashes")
+                last = exc
+            except ReproError:
+                raise
+            except Exception as exc:
+                reason = _classify_infra(exc)
+                if reason is None:
+                    raise
+                raise TransientError(
+                    f"pool execution failed ({reason})"
+                ) from exc
+        self._discard_pool(wait=False)
+        return None, self._policy.max_retries + 1, last

@@ -205,16 +205,22 @@ def write_metrics_manifest(
     results: Mapping[Tuple[str, str], Any],
     workloads: Optional[Mapping[str, Any]] = None,
 ) -> Path:
-    """Write the JSON-lines metrics manifest for a sweep; returns path."""
+    """Write the JSON-lines metrics manifest for a sweep (atomically);
+    returns the path."""
+    from repro.ioutil import atomic_write_text
+
     path = Path(path)
-    path.write_text(
-        "\n".join(metrics_manifest_lines(results, workloads)) + "\n"
+    atomic_write_text(
+        path, "\n".join(metrics_manifest_lines(results, workloads)) + "\n"
     )
     return path
 
 
 def write_chrome(path: Union[str, Path], tracer: Tracer) -> Path:
-    """Write the chrome trace JSON for ``tracer``; returns the path."""
+    """Write the chrome trace JSON for ``tracer`` (atomically); returns
+    the path."""
+    from repro.ioutil import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps(to_chrome(tracer), indent=1) + "\n")
+    atomic_write_text(path, json.dumps(to_chrome(tracer), indent=1) + "\n")
     return path

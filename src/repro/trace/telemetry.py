@@ -11,12 +11,16 @@ flat ``{key: value}`` mapping) register under a dotted namespace, and
 ``{"namespace.key": value}`` dict — the shape the ``--perf`` output, the
 metrics manifest, and the trace ``otherData`` block all consume.
 
-The process-wide :data:`TELEMETRY` registry starts with three sources:
+The process-wide :data:`TELEMETRY` registry starts with five sources:
 
 * ``perf.timers`` — the wall-time tree and counters (non-deterministic);
 * ``perf.cache`` — memory-tier run-cache entries/hits/misses/bypasses;
 * ``perf.diskcache`` — persistent-tier hits/misses/writes/evictions/
-  corrupt-entry detections/bypasses plus entry and byte counts;
+  corrupt-entry detections/quarantines/bypasses plus entry and byte
+  counts;
+* ``resilience`` — the supervised executor's recovery ledger (retries,
+  degradations, worker crashes, pool restarts, quarantines, broken
+  locks — see :mod:`repro.resilience.stats`);
 * ``trace`` — the active tracer's counters and event census (empty when
   tracing is off).
 
@@ -169,6 +173,12 @@ def _disk_cache_source() -> Dict[str, Any]:
     return dict(DISK_CACHE.stats())
 
 
+def _resilience_source() -> Dict[str, Any]:
+    from repro.resilience.stats import RESILIENCE
+
+    return dict(RESILIENCE.snapshot())
+
+
 def _trace_source() -> Dict[str, Any]:
     tracer = active_tracer()
     if tracer is None:
@@ -183,4 +193,5 @@ TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
 TELEMETRY.register("perf.cache", _run_cache_source)
 TELEMETRY.register("perf.diskcache", _disk_cache_source)
+TELEMETRY.register("resilience", _resilience_source)
 TELEMETRY.register("trace", _trace_source)

@@ -87,9 +87,10 @@ class TestRunCells:
         assert run_cells([]) == []
 
 
-class TestPoolFallbackWarning:
-    """A broken pool must fall back to serial — loudly, with the
-    original exception attached, and with results unchanged."""
+class TestPoolFallbackTelemetry:
+    """A broken pool must degrade to serial — counted under
+    ``resilience.degradations`` with the original exception's type and
+    text in the recorded reason, and with results unchanged."""
 
     def _break_pool(self, monkeypatch, exc):
         import concurrent.futures
@@ -102,7 +103,11 @@ class TestPoolFallbackWarning:
             concurrent.futures, "ProcessPoolExecutor", ExplodingPool
         )
 
-    def test_broken_pool_warns_and_stays_correct(self, small_bs, monkeypatch):
+    def test_broken_pool_degrades_and_stays_correct(
+        self, small_bs, monkeypatch
+    ):
+        from repro.resilience.stats import RESILIENCE
+
         requests = [
             ("beam_steering", "raw", {"workload": small_bs}),
             ("beam_steering", "viram", {"workload": small_bs}),
@@ -113,25 +118,23 @@ class TestPoolFallbackWarning:
         self._break_pool(
             monkeypatch, OSError("no process spawning in this sandbox")
         )
-        with pytest.warns(RuntimeWarning) as caught:
-            results = run_cells(requests, jobs=2)
-        messages = [str(w.message) for w in caught]
-        assert any("process pool unavailable" in m for m in messages)
+        before = RESILIENCE.get("degradations")
+        results = run_cells(requests, jobs=2)
+        assert RESILIENCE.get("degradations") == before + 1
         # The original exception's type and text must be surfaced.
-        assert any(
-            "OSError" in m and "no process spawning" in m for m in messages
-        )
+        reason = RESILIENCE.last_degradation_reason
+        assert "OSError" in reason and "no process spawning" in reason
         assert [repr(r) for r in results] == [repr(r) for r in serial]
 
-    def test_serial_path_does_not_warn(self, small_bs, monkeypatch):
-        self._break_pool(monkeypatch, OSError("unused"))
-        import warnings
+    def test_serial_path_does_not_degrade(self, small_bs, monkeypatch):
+        from repro.resilience.stats import RESILIENCE
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            run_cells(
-                [("beam_steering", "raw", {"workload": small_bs})], jobs=1
-            )
+        self._break_pool(monkeypatch, OSError("unused"))
+        before = RESILIENCE.get("degradations")
+        run_cells(
+            [("beam_steering", "raw", {"workload": small_bs})], jobs=1
+        )
+        assert RESILIENCE.get("degradations") == before
 
 
 class TestSweepEquivalence:

@@ -1,0 +1,95 @@
+"""Tests for the ``repro doctor`` health-probe battery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.diskcache import DISK_CACHE
+from repro.resilience.doctor import (
+    FAIL,
+    PASS,
+    WARN,
+    ProbeResult,
+    exit_code,
+    probe_disk_cache_verify,
+    probe_quarantine,
+    render_doctor,
+    run_doctor,
+)
+
+
+def _status(results, name):
+    (match,) = [r for r in results if r.name == name]
+    return match
+
+
+class TestHealthyEnvironment:
+    def test_full_battery_passes(self):
+        results = run_doctor()
+        assert exit_code(results) == 0
+        statuses = {r.name: r.status for r in results}
+        # Pool spawn may legitimately WARN in constrained sandboxes;
+        # everything else must pass outright on a healthy store.
+        for name in (
+            "probe.disk-cache-rw",
+            "probe.disk-cache-verify",
+            "probe.lock",
+            "probe.quarantine",
+            "probe.telemetry",
+        ):
+            assert statuses[name] == PASS, render_doctor(results)
+        assert statuses["probe.pool-spawn"] in (PASS, WARN)
+        assert "verdict: HEALTHY" in render_doctor(results)
+
+    def test_probe_leaves_no_residue_in_store(self):
+        keys_before = set(DISK_CACHE.keys())
+        run_doctor()
+        assert set(DISK_CACHE.keys()) == keys_before
+
+
+class TestUnhealthyEnvironment:
+    def test_corrupt_store_fails_verify_probe(self):
+        key = "cafef00d" * 8
+        DISK_CACHE.insert(key, {"v": 1})
+        DISK_CACHE.corrupt_bytes(key)
+        result = probe_disk_cache_verify()
+        assert result.status == FAIL
+        assert key[:12] in result.detail
+
+    def test_corrupt_store_makes_doctor_exit_nonzero(self):
+        key = "cafef00d" * 8
+        DISK_CACHE.insert(key, {"v": 1})
+        DISK_CACHE.corrupt_bytes(key)
+        results = run_doctor()
+        assert exit_code(results) == 2
+        rendered = render_doctor(results)
+        assert "verdict: UNHEALTHY" in rendered
+        assert "probe.disk-cache-verify" in rendered.rsplit("verdict", 1)[1]
+
+    def test_quarantined_entries_warn_not_fail(self):
+        key = "cafef00d" * 8
+        DISK_CACHE.insert(key, {"v": 1})
+        DISK_CACHE.corrupt_bytes(key)
+        assert DISK_CACHE.lookup(key) is None  # heals: moves to quarantine
+        result = probe_quarantine()
+        assert result.status == WARN
+        assert "kept for forensics" in result.detail
+        assert exit_code(run_doctor()) == 0
+
+    def test_crashing_probe_becomes_fail_row(self, monkeypatch):
+        import repro.resilience.doctor as doctor_mod
+
+        def exploding():
+            raise RuntimeError("probe went sideways")
+
+        monkeypatch.setattr(
+            doctor_mod, "PROBES", (("exploding", exploding),)
+        )
+        results = run_doctor()
+        assert results == [
+            ProbeResult(
+                "probe.exploding", FAIL,
+                "probe crashed: RuntimeError: probe went sideways",
+            )
+        ]
+        assert exit_code(results) == 2

@@ -1,0 +1,55 @@
+"""Tests for the atomic artifact writers in :mod:`repro.ioutil`."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrites:
+    def test_text_roundtrip_without_staging_residue(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "line one\n")
+        assert target.read_text() == "line one\n"
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+    def test_bytes_roundtrip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\xff")
+        assert target.read_bytes() == b"\x00\xff"
+
+    def test_json_has_trailing_newline(self, tmp_path):
+        target = tmp_path / "bench.json"
+        atomic_write_json(target, {"b": 2, "a": 1}, sort_keys=True)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_replaces_existing_artifact(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "artifact.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.txt"
+        target.write_text("precious")
+
+        def refuse_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", refuse_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(target, "half-written garbage")
+        monkeypatch.undo()
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["artifact.txt"]
