@@ -3,8 +3,9 @@
 PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
-.PHONY: install test bench bench-cache report check check-inject \
-	check-chaos doctor refresh-golden figures export metrics trace clean
+.PHONY: install test bench bench-cache bench-tensor report check \
+	check-inject check-chaos doctor refresh-golden figures export \
+	metrics trace clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +23,12 @@ bench-verbose:
 # (see docs/performance.md).
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/test_cache_cold_warm.py --benchmark-only
+
+# Tensor-engine guard: cold-report wall-clock and batch-vs-per-cell
+# speedup + equivalence on a dense sensitivity grid; writes
+# BENCH_PR6.json (see docs/performance.md).
+bench-tensor:
+	$(PYTHON) -m pytest benchmarks/test_tensor_sweep.py --benchmark-only
 
 report:
 	$(PYTHON) -m repro report

@@ -90,26 +90,36 @@ class ImagineMachine:
         the calibrated derating (§4.4: the calibration-table reads make
         loads/stores 89% of beam-steering time).
         """
-        cost: DRAMCost = self.dram.access(
+        cost = self.stream_cost(pattern, kind=kind)
+        if gather:
+            return self.gather_cycles(pattern)
+        return cost.stream_cycles
+
+    def stream_cost(self, pattern: AccessPattern, *, kind: str) -> DRAMCost:
+        """The DRAM cost behind :meth:`stream_cycles` (advances the
+        open-row state, so calls must stay in program order)."""
+        return self.dram.access(
             pattern,
             rate_words_per_cycle=self.config.controller_words_per_cycle,
             kind=kind,
         )
-        cycles = cost.stream_cycles
-        if gather:
-            cycles = (
-                pattern.n_words
-                * self.cal.gather_derate
-                / self.config.controller_words_per_cycle
+
+    def gather_cycles(self, pattern: AccessPattern) -> float:
+        """Controller-cycles for an indexed gather of ``pattern``: the
+        calibrated derating replaces the streaming rate entirely."""
+        cycles = (
+            pattern.n_words
+            * self.cal.gather_derate
+            / self.config.controller_words_per_cycle
+        )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "gather",
+                "imagine/memctl",
+                args={"words": pattern.n_words, "cycles": cycles},
             )
-            tracer = active_tracer()
-            if tracer is not None:
-                tracer.instant(
-                    "gather",
-                    "imagine/memctl",
-                    args={"words": pattern.n_words, "cycles": cycles},
-                )
-                tracer.count("imagine.gathers")
+            tracer.count("imagine.gathers")
         return cycles
 
     def memory_time(self, controller_cycles: float) -> float:

@@ -22,8 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.arch.imagine.machine import ImagineMachine
 from repro.errors import ScheduleError
+from repro.memory.dram import DRAMCost
 from repro.memory.streams import AccessPattern
 from repro.sim.resources import TimelineResource
 from repro.sim.schedule import DependencyScheduler, Task
@@ -135,8 +138,34 @@ class StreamProgram:
         return len(self._ops)
 
 
-def execute(program: StreamProgram, machine: ImagineMachine) -> StreamSchedule:
-    """Schedule ``program`` on ``machine``; returns the timeline summary.
+@dataclass(frozen=True)
+class OpCost:
+    """Structural cost coefficients of one stream op.
+
+    :func:`execute_measured` records these while it runs the DRAM model
+    in program order; :func:`reschedule` turns them back into task
+    durations under a *different* calibration without touching DRAM
+    state.  ``issue_cycles`` (data transfer at the controller rate) and
+    ``activations`` (row switches, a pure function of the address stream
+    and bank geometry) are calibration-independent; the row-cycle time,
+    gather derate, and kernel durations re-enter at replay.
+    """
+
+    name: str
+    kind: str
+    deps: Tuple[str, ...]
+    issue_cycles: float = 0.0
+    activations: int = 0
+    n_words: int = 0
+    gather: bool = False
+    cycles: float = 0.0  # kernel duration under the measuring calibration
+
+
+def execute_measured(
+    program: StreamProgram, machine: ImagineMachine
+) -> Tuple[StreamSchedule, Tuple[OpCost, ...]]:
+    """Schedule ``program`` on ``machine`` and record per-op cost
+    coefficients for later replay.
 
     Each memory stream stripes across the machine's controllers (the
     memory controllers "reorder accesses ... to increase data access
@@ -149,18 +178,119 @@ def execute(program: StreamProgram, machine: ImagineMachine) -> StreamSchedule:
     memory = TimelineResource("memory-system")
     clusters = TimelineResource("cluster-array")
     scheduler = DependencyScheduler()
+    costs: List[OpCost] = []
+
+    # Cost every memory stream in one DRAM pass: the ops' address
+    # streams, concatenated in program order, are one ``access_run``
+    # whose open-row state threads through exactly as per-op ``access``
+    # calls would (that equivalence is the access_run contract, held to
+    # by the DRAM oracle).  A corner-turn program issues hundreds of
+    # short streams; one vectorised pass replaces per-op bank walks.
+    memory_ops = [op for op in program.ops if op.kind != "kernel"]
+    op_cost_index: Dict[str, DRAMCost] = {}
+    if memory_ops:
+        address_runs = [op.pattern.addresses() for op in memory_ops]
+        seg_lengths = np.asarray(
+            [a.size for a in address_runs], dtype=np.int64
+        )
+        rate = machine.config.controller_words_per_cycle
+        batch = machine.dram.access_run(
+            np.concatenate(address_runs) if address_runs else [],
+            seg_lengths,
+            np.full(len(memory_ops), rate, dtype=np.float64),
+        )
+        for i, op in enumerate(memory_ops):
+            op_cost_index[op.name] = batch.segment(i)
 
     for op in program.ops:
         if op.kind == "kernel":
             resource = clusters
             duration = op.cycles
+            costs.append(
+                OpCost(name=op.name, kind=op.kind, deps=op.deps,
+                       cycles=op.cycles)
+            )
         else:
             resource = memory
-            controller_cycles = machine.stream_cycles(
-                op.pattern, kind="read" if op.kind == "load" else "write",
-                gather=op.gather,
+            cost = op_cost_index[op.name]
+            controller_cycles = (
+                machine.gather_cycles(op.pattern)
+                if op.gather
+                else cost.stream_cycles
             )
             duration = machine.memory_time(controller_cycles)
+            costs.append(
+                OpCost(
+                    name=op.name,
+                    kind=op.kind,
+                    deps=op.deps,
+                    issue_cycles=cost.issue_cycles,
+                    activations=cost.activations,
+                    n_words=op.pattern.n_words,
+                    gather=op.gather,
+                )
+            )
+        scheduler.add(Task(op.name, resource, duration, deps=op.deps))
+
+    intervals = {
+        t.name: (t.start, t.end) for t in scheduler.tasks
+    }
+    schedule = StreamSchedule(
+        makespan=scheduler.makespan,
+        memory_busy=memory.busy_cycles,
+        cluster_busy=clusters.busy_cycles,
+        op_intervals=intervals,
+    )
+    return schedule, tuple(costs)
+
+
+def execute(program: StreamProgram, machine: ImagineMachine) -> StreamSchedule:
+    """Schedule ``program`` on ``machine``; returns the timeline summary
+    (see :func:`execute_measured` for the resource model)."""
+    schedule, _ = execute_measured(program, machine)
+    return schedule
+
+
+def reschedule(
+    costs: Sequence[OpCost],
+    machine: ImagineMachine,
+    *,
+    row_cycle: float,
+    gather_derate: float,
+    kernel_cycles: Dict[str, float],
+) -> StreamSchedule:
+    """Replay a measured program under different calibration constants.
+
+    Rebuilds every task duration from the structural coefficients —
+    ``issue + activations * row_cycle`` for record streams, the derated
+    word rate for gathers, the caller-supplied per-op durations for
+    kernels — and re-runs the identical dependency schedule.  With the
+    measuring calibration's constants this reproduces
+    :func:`execute_measured`'s timeline bit for bit; no DRAM state is
+    touched and no trace spans are emitted, so a batch sweep can replay
+    one structure pass across many calibration cells.
+    """
+    memory = TimelineResource("memory-system")
+    clusters = TimelineResource("cluster-array")
+    scheduler = DependencyScheduler()
+
+    for op in costs:
+        if op.kind == "kernel":
+            resource = clusters
+            duration = kernel_cycles[op.name]
+        else:
+            resource = memory
+            if op.gather:
+                controller_cycles = (
+                    op.n_words
+                    * gather_derate
+                    / machine.config.controller_words_per_cycle
+                )
+            else:
+                controller_cycles = (
+                    op.issue_cycles + op.activations * row_cycle
+                )
+            duration = controller_cycles / machine.config.memory_controllers
         scheduler.add(Task(op.name, resource, duration, deps=op.deps))
 
     intervals = {

@@ -19,9 +19,11 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
 * **fast** — invariants on every registered (kernel, machine) pair, the
   trace-vs-ledger cross-check (a traced run's event stream must sum
   back to its cycle ledger and must not perturb the model), the
-  synthetic DRAM and engine oracles, plus the disk-tier differential
-  oracle (disk-hit vs memory-hit vs cold) and an integrity sweep of the
-  persisted entries.  Cheap enough that ``full_report`` runs it
+  synthetic DRAM and engine oracles, the tensor-engine batch-vs-per-cell
+  differential (``invariant.tensor.*``, :mod:`repro.check.tensor`), plus
+  the disk-tier differential oracle (disk-hit vs memory-hit vs cold) and
+  an integrity sweep of the persisted entries.  Cheap enough that
+  ``full_report`` runs it
   automatically, so every published table ships pre-validated.
 * **full** — fast, plus the cache oracle on every pair and the
   serial-vs-parallel executor oracle.
@@ -47,6 +49,7 @@ from repro.check.oracles import (
     executor_oracle,
 )
 from repro.check.report import CheckReport, CheckResult
+from repro.check.tensor import tensor_oracle
 from repro.errors import CheckError
 
 TIERS = ("fast", "full", "inject")
@@ -85,6 +88,7 @@ def run_checks(
     report.extend(check_engine_conservation())
     report.extend(check_trace_accounting(workloads=workloads))
     report.extend(dram_oracle())
+    report.extend(tensor_oracle(workloads=workloads))
     report.extend(disk_cache_oracle(workloads=workloads))
     report.extend(disk_integrity_check())
     if tier == "full":
@@ -154,6 +158,7 @@ __all__ = [
     "dram_oracle",
     "executor_oracle",
     "run_checks",
+    "tensor_oracle",
     "validate_results",
     "validate_run",
     "validation_section",

@@ -172,23 +172,23 @@ def misdelivered_worker_results() -> Iterator[None]:
     instead, so the fault is never a silent no-op."""
     from repro.perf import executor
 
-    original = executor._run_pool
+    original = executor._run_unit_pool
 
-    def swapped(requests, n_jobs, chunk_size=None):
-        outcomes = original(requests, n_jobs, chunk_size=chunk_size)
+    def swapped(units, n_jobs, chunk_size=None):
+        outcomes = original(units, n_jobs, chunk_size=chunk_size)
         if outcomes is None:
             return None
         if len(outcomes) >= 2:
             outcomes[0], outcomes[1] = outcomes[1], outcomes[0]
-        elif outcomes:
-            outcomes[0].breakdown = outcomes[0].breakdown.scaled(2.0)
+        elif outcomes and outcomes[0]:
+            outcomes[0][0].breakdown = outcomes[0][0].breakdown.scaled(2.0)
         return outcomes
 
-    executor._run_pool = swapped
+    executor._run_unit_pool = swapped
     try:
         yield
     finally:
-        executor._run_pool = original
+        executor._run_unit_pool = original
         from repro.perf.cache import RUN_CACHE
 
         RUN_CACHE.clear()

@@ -1,0 +1,107 @@
+"""Batch-vs-per-cell differential oracle for the tensor engine.
+
+The tensorized sweep engine (:mod:`repro.perf.tensorsweep`) claims its
+batch path is *bit-identical* to per-cell execution: a mapping's
+``run()`` is literally the batch of one, so the two paths execute the
+same float expressions in the same order.  That claim is structural —
+and this oracle keeps it honest by re-proving it on a sampled sub-grid
+every time the fast check tier runs.
+
+For each sampled (kernel, machine) cell — one per machine row, covering
+all four architecture families — a small calibration grid is built with
+:func:`repro.eval.sensitivity.perturbed_calibration` and evaluated both
+ways: cold scalar ``registry.run`` calls per cell, and one batch-runner
+call over the whole grid.  Every field of every :class:`KernelRun` pair
+is diffed with ``rtol=0`` (bitwise on floats, ``array_equal`` on
+outputs).  Any divergence — a refactor that reordered a float
+expression, a batch axis that leaked between cells — fails
+``invariant.tensor.<kernel>.<machine>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+from repro.check.oracles import diff_runs
+from repro.check.report import FAIL, PASS, SKIP, CheckResult
+
+#: Sampled sub-grid: (kernel, machine, calibration group, constant).
+#: One cell per machine row so every architecture family's batch path
+#: is exercised, each perturbing a constant that matters to that cell.
+SAMPLE_CELLS = (
+    ("corner_turn", "viram", "viram", "dram_row_cycle"),
+    ("cslc", "imagine", "imagine", "cluster_schedule_inefficiency"),
+    ("beam_steering", "ppc", "ppc", "dram_latency_cycles"),
+    ("corner_turn", "altivec", "ppc", "l2_hit_cycles"),
+    ("cslc", "raw", "raw", "cache_stall_fraction"),
+)
+
+#: Perturbation factors for the sampled grid (includes the unperturbed
+#: anchor, so the batch also reproduces the published baseline cell).
+SAMPLE_FACTORS = (0.85, 1.0, 1.25)
+
+
+def tensor_oracle(
+    workloads: Optional[Mapping[str, Any]] = None,
+) -> List[CheckResult]:
+    """Batch vs per-cell equivalence on the sampled sub-grid.
+
+    ``workloads`` overrides the per-kernel workloads (the mapping
+    ``run_checks`` takes); like the executor oracle, the default is the
+    small workload set — equivalence is structural, not size-dependent,
+    and both legs must *cold-simulate* every sampled cell on every fast
+    tier run.  The scalar leg bypasses the memo cache, so a warmed
+    cache can never mask a divergence in the batch path.
+    """
+    from repro.eval.sensitivity import perturbed_calibration
+    from repro.mappings import registry
+
+    if workloads is None:
+        from repro.kernels.workloads import (
+            small_beam_steering,
+            small_corner_turn,
+            small_cslc,
+        )
+
+        workloads = {
+            "corner_turn": small_corner_turn(),
+            "cslc": small_cslc(),
+            "beam_steering": small_beam_steering(),
+        }
+    results: List[CheckResult] = []
+    for kernel, machine, group, constant in SAMPLE_CELLS:
+        name = f"invariant.tensor.{kernel}.{machine}"
+        runner = registry.batch_runner(kernel, machine)
+        if runner is None:
+            results.append(
+                CheckResult(name, SKIP, "no batch entry point registered")
+            )
+            continue
+        kwargs: dict = {}
+        if workloads and kernel in workloads:
+            kwargs["workload"] = workloads[kernel]
+        cals = [
+            perturbed_calibration(group, constant, factor)
+            for factor in SAMPLE_FACTORS
+        ]
+        per_cell = [
+            registry.run(
+                kernel, machine, cache=False, calibration=cal, **kwargs
+            )
+            for cal in cals
+        ]
+        batched = runner(cals, **kwargs)
+        diffs: List[str] = []
+        for factor, a, b in zip(SAMPLE_FACTORS, per_cell, batched):
+            for diff in diff_runs(a, b, rtol=0.0):
+                diffs.append(f"factor {factor}: {diff}")
+        results.append(
+            CheckResult(
+                name,
+                PASS if not diffs else FAIL,
+                "" if not diffs else (
+                    "batch vs per-cell disagree: " + "; ".join(diffs[:5])
+                ),
+            )
+        )
+    return results

@@ -18,8 +18,15 @@ Commands
 ``report``
     Run every registered experiment (the EXPERIMENTS.md content).
     ``--jobs N`` spreads the kernel runs over N worker processes;
-    ``--perf`` prints timer and run-cache statistics to stderr;
-    ``--metrics PATH`` writes the JSON-lines metrics manifest.
+    ``--perf`` prints timer, run-cache, and tensor-engine statistics to
+    stderr; ``--metrics PATH`` writes the JSON-lines metrics manifest;
+    ``--density N`` appends a calibration-sensitivity section with N
+    grid points per constant side.
+``sensitivity``
+    Calibration sensitivity sweep (elasticity per constant).
+    ``--delta D`` sets the maximum perturbation, ``--points N`` (alias
+    ``--density``) densifies the grid — dense grids collapse into
+    tensor batches (docs/performance.md), so N=100 stays cheap.
 ``check``
     Validate the model against its machine-checkable invariants and
     differential oracles.  ``--fast`` (default) checks every registered
@@ -46,8 +53,9 @@ Commands
 ``list``
     List kernels, machines, and mapping options.
 
-``run`` and ``report`` accept ``--no-disk-cache`` to skip the disk tier
-for one invocation; setting ``REPRO_DISK_CACHE=0`` disables it globally.
+``run``, ``report``, and ``sensitivity`` accept ``--no-disk-cache`` to
+skip the disk tier for one invocation; setting ``REPRO_DISK_CACHE=0``
+disables it globally.
 
 Examples
 --------
@@ -63,6 +71,8 @@ Examples
     python -m repro report
     python -m repro report --jobs 4 --perf
     python -m repro report --no-disk-cache
+    python -m repro report --density 10
+    python -m repro sensitivity --points 50 --perf
     python -m repro check --fast
     python -m repro check --full --jobs 4
     python -m repro check --inject
@@ -215,6 +225,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent disk tier for this invocation",
     )
+    report_p.add_argument(
+        "--density",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "append a calibration-sensitivity section with N grid "
+            "points per constant side (dense grids evaluate as tensor "
+            "batches; default: no sensitivity section)"
+        ),
+    )
+
+    sens_p = sub.add_parser(
+        "sensitivity",
+        help="calibration sensitivity sweep (elasticity per constant)",
+        description=(
+            "Perturb every calibrated constant around its DESIGN.md "
+            "anchor and report elasticities.  --points/--density "
+            "densifies the perturbation grid; the dense cells differ "
+            "only in calibration constants, so the planner evaluates "
+            "each column as one tensor batch."
+        ),
+    )
+    sens_p.add_argument(
+        "--delta",
+        type=float,
+        default=0.25,
+        metavar="D",
+        help="maximum relative perturbation (default 0.25)",
+    )
+    sens_p.add_argument(
+        "--points",
+        "--density",
+        dest="points",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "grid points per constant side: magnitudes delta*k/N for "
+            "k=1..N (default 1, the classic ±delta sweep)"
+        ),
+    )
+    sens_p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate on N worker processes (default serial)",
+    )
+    sens_p.add_argument(
+        "--perf",
+        action="store_true",
+        help="print timer and tensor-engine statistics to stderr afterwards",
+    )
+    sens_p.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the persistent disk tier for this invocation",
+    )
+
     check_p = sub.add_parser(
         "check",
         help="validate invariants and differential oracles",
@@ -412,15 +483,43 @@ def _cmd_report(args) -> int:
         DISK_CACHE.disable()
     # Perf output goes to stderr so the report on stdout stays
     # byte-identical whether or not instrumentation is requested.
-    print(full_report(jobs=args.jobs, metrics_path=args.metrics))
+    print(
+        full_report(
+            jobs=args.jobs,
+            metrics_path=args.metrics,
+            sensitivity_points=args.density,
+        )
+    )
     if args.perf:
-        from repro.perf import DISK_CACHE, RUN_CACHE, timers
-        from repro.resilience.stats import RESILIENCE
+        _print_perf_stats()
+    return 0
 
-        print(timers.render(), file=sys.stderr)
-        print(RUN_CACHE.format_stats(), file=sys.stderr)
-        print(DISK_CACHE.format_stats(), file=sys.stderr)
-        print(RESILIENCE.render(), file=sys.stderr)
+
+def _print_perf_stats() -> None:
+    from repro.perf import DISK_CACHE, RUN_CACHE, timers
+    from repro.perf.tensorsweep import TENSOR_STATS
+    from repro.resilience.stats import RESILIENCE
+
+    print(timers.render(), file=sys.stderr)
+    print(RUN_CACHE.format_stats(), file=sys.stderr)
+    print(DISK_CACHE.format_stats(), file=sys.stderr)
+    print(TENSOR_STATS.format_stats(), file=sys.stderr)
+    print(RESILIENCE.render(), file=sys.stderr)
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.eval import sensitivity
+
+    if args.no_disk_cache:
+        from repro.perf.diskcache import DISK_CACHE
+
+        DISK_CACHE.disable()
+    rows = sensitivity.sweep(
+        delta=args.delta, jobs=args.jobs, points=args.points
+    )
+    print(sensitivity.render(rows))
+    if args.perf:
+        _print_perf_stats()
     return 0
 
 
@@ -509,6 +608,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "report": _cmd_report,
+    "sensitivity": _cmd_sensitivity,
     "check": _cmd_check,
     "cache": _cmd_cache,
     "doctor": _cmd_doctor,

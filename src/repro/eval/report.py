@@ -18,6 +18,7 @@ def full_report(
     jobs: Optional[int] = None,
     validate: bool = True,
     metrics_path: Optional[str] = None,
+    sensitivity_points: Optional[int] = None,
 ) -> str:
     """Run all experiments (sharing one Table 3 sweep) and render them.
 
@@ -33,6 +34,13 @@ def full_report(
     ``metrics_path`` additionally writes the JSON-lines metrics manifest
     (one record per Table 3 run, with config hashes) as a side effect;
     the report text is unaffected.
+
+    ``sensitivity_points`` (CLI: ``repro report --density N``) appends a
+    calibration-sensitivity section with ``N`` perturbation magnitudes
+    per constant side; the dense grid collapses into tensor batches
+    (:mod:`repro.perf.tensorsweep`), so even ``N=100`` adds only a few
+    structure passes.  ``None`` (the default) leaves the report text
+    unchanged.
     """
     from repro.perf.executor import resolve_jobs
 
@@ -58,6 +66,15 @@ def full_report(
                     f"ratio={ratio}"
                 )
         sections.append("\n".join(lines))
+    if sensitivity_points is not None:
+        from repro.eval import sensitivity
+
+        rows = sensitivity.sweep(
+            workloads=workloads, jobs=jobs, points=int(sensitivity_points)
+        )
+        sections.append(
+            "== Calibration sensitivity ==\n" + sensitivity.render(rows)
+        )
     if validate:
         from repro.check import validation_section
 

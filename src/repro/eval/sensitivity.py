@@ -123,6 +123,7 @@ def sweep(
     constants: Optional[Sequence[Tuple[str, str]]] = None,
     workloads: Optional[Dict[str, object]] = None,
     jobs: Optional[int] = None,
+    points: int = 1,
 ) -> Tuple[SensitivityRow, ...]:
     """Perturb each constant by ±``delta`` and measure its cells.
 
@@ -132,9 +133,23 @@ def sweep(
     evaluates the perturbed cells on a process pool — each (cell,
     calibration) run is independent, so the rows are identical to
     serial execution.
+
+    ``points`` densifies the perturbation grid: each constant is
+    measured at ``points`` magnitudes ``delta * k / points``
+    (``k = 1..points``) on each side of the anchor, yielding ``points``
+    rows per (constant, cell) — each row's :attr:`SensitivityRow.delta`
+    records its own magnitude, so elasticities stay local.  The CLI
+    exposes this as ``--points`` (alias ``--density``).  Because the
+    dense cells differ only in float calibration constants, the planner
+    collapses each (cell, constant) column into one tensor batch
+    (:mod:`repro.perf.tensorsweep`), so a 100-point grid costs roughly
+    one structure pass per cell rather than 200 full simulations.
     """
     if not 0 < delta < 1:
         raise ExperimentError(f"delta must be in (0, 1), got {delta}")
+    points = int(points)
+    if points < 1:
+        raise ExperimentError(f"points must be >= 1, got {points}")
     targets = list(constants) if constants else list(CONSTANT_CELLS)
 
     def cell_kwargs(kernel: str, cal: Calibration) -> Dict[str, object]:
@@ -158,25 +173,33 @@ def sweep(
             raise ExperimentError(
                 f"no cell map for constant {machine}.{constant}"
             )
-        up = perturbed_calibration(machine, constant, 1 + delta)
-        down = perturbed_calibration(machine, constant, 1 - delta)
+        magnitudes = [delta * k / points for k in range(1, points + 1)]
+        perturbations = [
+            (
+                d,
+                perturbed_calibration(machine, constant, 1 + d),
+                perturbed_calibration(machine, constant, 1 - d),
+            )
+            for d in magnitudes
+        ]
         for cell in CONSTANT_CELLS[(machine, constant)]:
             kernel, cell_machine = cell
-            indices = {
-                which: plan.add(
-                    kernel, cell_machine, **cell_kwargs(kernel, cal)
-                )
-                for which, cal in (
-                    ("baseline", DEFAULT_CALIBRATION),
-                    ("up", up),
-                    ("down", down),
-                )
-            }
-            row_specs.append((machine, constant, cell, indices))
+            for d, up, down in perturbations:
+                indices = {
+                    which: plan.add(
+                        kernel, cell_machine, **cell_kwargs(kernel, cal)
+                    )
+                    for which, cal in (
+                        ("baseline", DEFAULT_CALIBRATION),
+                        ("up", up),
+                        ("down", down),
+                    )
+                }
+                row_specs.append((machine, constant, cell, d, indices))
 
     outcomes = plan.execute(jobs=jobs)
     rows: List[SensitivityRow] = []
-    for machine, constant, (kernel, cell_machine), indices in row_specs:
+    for machine, constant, (kernel, cell_machine), d, indices in row_specs:
         rows.append(
             SensitivityRow(
                 machine=machine,
@@ -186,7 +209,7 @@ def sweep(
                 baseline_cycles=outcomes[indices["baseline"]].cycles,
                 up_cycles=outcomes[indices["up"]].cycles,
                 down_cycles=outcomes[indices["down"]].cycles,
-                delta=delta,
+                delta=d,
             )
         )
     return tuple(rows)

@@ -27,14 +27,18 @@ performance would be increased by a factor of about two."
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.arch.base import KernelRun
-from repro.arch.imagine.cluster import ClusterOpMix
+from repro.arch.imagine.cluster import ClusterOpMix, cluster_schedule_cycles
 from repro.arch.imagine.machine import ImagineMachine
-from repro.arch.imagine.stream_program import StreamProgram, execute
+from repro.arch.imagine.stream_program import (
+    StreamProgram,
+    execute_measured,
+    reschedule,
+)
 from repro.calibration import Calibration
 from repro.kernels.beam_steering import (
     BeamSteeringWorkload,
@@ -42,6 +46,7 @@ from repro.kernels.beam_steering import (
     make_tables,
 )
 from repro.kernels.workloads import canonical_beam_steering
+from repro.mappings import batch
 from repro.mappings.base import resolve_calibration
 from repro.memory.streams import Gather, Sequential
 from repro.sim.accounting import CycleBreakdown
@@ -55,8 +60,38 @@ def run(
     tables_in_srf: bool = False,
 ) -> KernelRun:
     """Run the Imagine beam steering; returns a :class:`KernelRun`."""
-    workload = workload or canonical_beam_steering()
     cal = resolve_calibration(calibration)
+    return _evaluate(
+        _structure(workload, cal, seed, tables_in_srf), [cal]
+    )[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[BeamSteeringWorkload] = None,
+    seed: int = 0,
+    tables_in_srf: bool = False,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (stream program, gather address streams, reference output); each cell
+    replays the schedule with its own timing constants."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("imagine", cals)
+    return _evaluate(
+        _structure(workload, cals[0], seed, tables_in_srf), cals
+    )
+
+
+def _structure(
+    workload: Optional[BeamSteeringWorkload],
+    cal: Calibration,
+    seed: int,
+    tables_in_srf: bool,
+) -> Dict:
+    """The calibration-independent pass: SRF allocation, the per-
+    invocation host stream program, one measured execution, and the
+    reference output."""
+    workload = workload or canonical_beam_steering()
     machine = ImagineMachine(calibration=cal.imagine)
 
     elements = workload.elements
@@ -107,36 +142,91 @@ def run(
                 Sequential(out_base + inv * elements, elements),
                 deps=(f"k{inv}",),
             )
-    schedule = execute(program, machine)
-
-    memory = schedule.memory_busy
-    exposed_kernel = schedule.exposed_over_memory
-
-    breakdown = CycleBreakdown(
-        {"memory": memory, "kernel+prologue (exposed)": exposed_kernel}
-    )
+    _, op_costs = execute_measured(program, machine)
 
     tables = make_tables(workload, seed)
     output = beam_steering_reference(workload, tables)
 
-    total = breakdown.total
-    return KernelRun(
-        kernel="beam_steering",
-        machine="imagine",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=workload.op_counts(),
-        output=output,
-        functional_ok=True,  # reference is the definition; oracle in tests
-        metrics={
-            "outputs": workload.outputs,
-            "tables_in_srf": tables_in_srf,
-            # §4.4: "load and store operations take 89% of the simulation
-            # time"; "the remaining 11% ... software pipeline prologue".
-            "loadstore_fraction": memory / total if total else 0.0,
-            "prologue_fraction": exposed_kernel / total if total else 0.0,
-            "kernel_hidden_cycles": max(
-                0.0, invocations * kernel_per_invocation - exposed_kernel
-            ),
-        },
+    return {
+        "workload": workload,
+        "machine": machine,
+        "tables_in_srf": tables_in_srf,
+        "op_costs": op_costs,
+        "mix_arith": ClusterOpMix(adds=mix.adds, muls=mix.muls, divs=mix.divs),
+        "mix_comms": mix.comms,
+        "invocations": invocations,
+        "output": output,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: gather, kernel, and
+    prologue timings are rebuilt from each cell's constants and the
+    dependency schedule is replayed."""
+    workload = s["workload"]
+    machine = s["machine"]
+    invocations = s["invocations"]
+
+    row_cycle = batch.cal_vector(cals, "imagine", "dram_row_cycle")
+    gather_derate = batch.cal_vector(cals, "imagine", "gather_derate")
+    inefficiency = batch.cal_vector(
+        cals, "imagine", "cluster_schedule_inefficiency"
     )
+    comm_exposure = batch.cal_vector(cals, "imagine", "comm_exposure")
+    kernel_startup = batch.cal_vector(cals, "imagine", "kernel_startup")
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        kernel_per_invocation = (
+            cluster_schedule_cycles(
+                s["mix_arith"],
+                machine.config,
+                inefficiency=float(inefficiency[i]),
+            )
+            + s["mix_comms"] * float(comm_exposure[i])
+        ) + 1 * float(kernel_startup[i])
+        schedule = reschedule(
+            s["op_costs"],
+            machine,
+            row_cycle=float(row_cycle[i]),
+            gather_derate=float(gather_derate[i]),
+            kernel_cycles={
+                f"k{inv}": kernel_per_invocation
+                for inv in range(invocations)
+            },
+        )
+
+        memory = schedule.memory_busy
+        exposed_kernel = schedule.exposed_over_memory
+        breakdown = CycleBreakdown(
+            {"memory": memory, "kernel+prologue (exposed)": exposed_kernel}
+        )
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="beam_steering",
+                machine="imagine",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                # reference is the definition; oracle in tests
+                functional_ok=True,
+                metrics={
+                    "outputs": workload.outputs,
+                    "tables_in_srf": s["tables_in_srf"],
+                    # §4.4: "load and store operations take 89% of the
+                    # simulation time"; "the remaining 11% ... software
+                    # pipeline prologue".
+                    "loadstore_fraction": memory / total if total else 0.0,
+                    "prologue_fraction": (
+                        exposed_kernel / total if total else 0.0
+                    ),
+                    "kernel_hidden_cycles": max(
+                        0.0,
+                        invocations * kernel_per_invocation - exposed_kernel,
+                    ),
+                },
+            )
+        )
+    return runs

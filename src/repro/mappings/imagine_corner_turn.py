@@ -31,17 +31,22 @@ bounds the transfer.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.arch.base import KernelRun
-from repro.arch.imagine.cluster import ClusterOpMix
+from repro.arch.imagine.cluster import ClusterOpMix, cluster_schedule_cycles
 from repro.arch.imagine.machine import ImagineMachine
-from repro.arch.imagine.stream_program import StreamProgram, execute
+from repro.arch.imagine.stream_program import (
+    StreamProgram,
+    execute_measured,
+    reschedule,
+)
 from repro.calibration import Calibration
 from repro.kernels.corner_turn import CornerTurnWorkload, corner_turn_reference
 from repro.kernels.workloads import canonical_corner_turn
+from repro.mappings import batch
 from repro.mappings.base import functional_match, require, resolve_calibration
 from repro.memory.streams import Custom, Sequential
 from repro.sim.accounting import CycleBreakdown
@@ -59,8 +64,38 @@ def run(
     via_network_port: bool = False,
 ) -> KernelRun:
     """Run the Imagine corner turn; returns a :class:`KernelRun`."""
-    workload = workload or canonical_corner_turn()
     cal = resolve_calibration(calibration)
+    return _evaluate(
+        _structure(workload, cal, seed, via_network_port), [cal]
+    )[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CornerTurnWorkload] = None,
+    seed: int = 0,
+    via_network_port: bool = False,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (stream program, DRAM activation counts, functional transpose); each
+    cell replays the schedule with its own timing constants."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("imagine", cals)
+    return _evaluate(
+        _structure(workload, cals[0], seed, via_network_port), cals
+    )
+
+
+def _structure(
+    workload: Optional[CornerTurnWorkload],
+    cal: Calibration,
+    seed: int,
+    via_network_port: bool,
+) -> Dict:
+    """The calibration-independent pass: strip sizing, the host stream
+    program, one measured execution (address streams through the DRAM
+    model), and the functional transpose."""
+    workload = workload or canonical_corner_turn()
     machine = ImagineMachine(calibration=cal.imagine)
 
     # Strip height: eight rows at the canonical width (the four input
@@ -141,18 +176,9 @@ def run(
             deps=(f"kernel{strip}",),
         )
 
-    schedule = execute(program, machine)
-    memory = schedule.memory_busy
-    kernel_exposed = schedule.exposed_over_memory
-    if via_network_port:
-        # §4.2: the network port also peaks at two words/cycle, and the
-        # external DRAM behaves the same, so the bound is unchanged.
-        port_bound = machine.network_port_time(2.0 * workload.words)
-        memory = max(memory, port_bound)
+    _, op_costs = execute_measured(program, machine)
 
-    breakdown = CycleBreakdown(
-        {"memory": memory, "kernel (exposed)": kernel_exposed}
-    )
+    port_bound = machine.network_port_time(2.0 * workload.words)
 
     # Row activations: the write streams dominate (one per strip_rows-
     # word run at canonical pitch); subtract the sequential reads' share.
@@ -170,28 +196,96 @@ def run(
         output[:, r0 : r0 + strip_rows] = matrix[r0 : r0 + strip_rows, :].T
     ok = functional_match(output, corner_turn_reference(matrix))
 
-    total = breakdown.total
-    return KernelRun(
-        kernel="corner_turn",
-        machine="imagine",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=workload.op_counts(),
-        output=output,
-        functional_ok=ok,
-        metrics={
-            "strips": n_strips,
-            "strip_rows": strip_rows,
-            "write_row_activations": write_activations,
-            "via_network_port": via_network_port,
-            "matrix_exceeds_srf": exceeds_srf,
-            # §4.2: "87% of the cycles in the Imagine corner turn are due
-            # to memory transfers.  The remaining 13% ... are due to
-            # unoverlapped cluster instructions."
-            "memory_fraction": memory / total if total else 0.0,
-            "unoverlapped_kernel_fraction": (
-                kernel_exposed / total if total else 0.0
-            ),
-            "kernel_cycles_total": n_strips * kernel_per_strip,
-        },
+    return {
+        "workload": workload,
+        "machine": machine,
+        "via_network_port": via_network_port,
+        "op_costs": op_costs,
+        "route_arith": ClusterOpMix(
+            adds=route_mix.adds, muls=route_mix.muls, divs=route_mix.divs
+        ),
+        "route_comms": route_mix.comms,
+        "n_strips": n_strips,
+        "strip_rows": strip_rows,
+        "port_bound": port_bound,
+        "write_activations": write_activations,
+        "exceeds_srf": exceeds_srf,
+        "output": output,
+        "ok": ok,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: the kernel duration and
+    memory timings are rebuilt from each cell's constants and the
+    dependency schedule is replayed."""
+    workload = s["workload"]
+    machine = s["machine"]
+    n_strips = s["n_strips"]
+
+    row_cycle = batch.cal_vector(cals, "imagine", "dram_row_cycle")
+    gather_derate = batch.cal_vector(cals, "imagine", "gather_derate")
+    inefficiency = batch.cal_vector(
+        cals, "imagine", "cluster_schedule_inefficiency"
     )
+    comm_exposure = batch.cal_vector(cals, "imagine", "comm_exposure")
+    kernel_startup = batch.cal_vector(cals, "imagine", "kernel_startup")
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        kernel_per_strip = (
+            cluster_schedule_cycles(
+                s["route_arith"],
+                machine.config,
+                inefficiency=float(inefficiency[i]),
+            )
+            + s["route_comms"] * float(comm_exposure[i])
+        ) + 1 * float(kernel_startup[i])
+        schedule = reschedule(
+            s["op_costs"],
+            machine,
+            row_cycle=float(row_cycle[i]),
+            gather_derate=float(gather_derate[i]),
+            kernel_cycles={
+                f"kernel{k}": kernel_per_strip for k in range(n_strips)
+            },
+        )
+        memory = schedule.memory_busy
+        kernel_exposed = schedule.exposed_over_memory
+        if s["via_network_port"]:
+            # §4.2: the network port also peaks at two words/cycle, and
+            # the external DRAM behaves the same, so the bound is
+            # unchanged.
+            memory = max(memory, s["port_bound"])
+
+        breakdown = CycleBreakdown(
+            {"memory": memory, "kernel (exposed)": kernel_exposed}
+        )
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="corner_turn",
+                machine="imagine",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "strips": n_strips,
+                    "strip_rows": s["strip_rows"],
+                    "write_row_activations": s["write_activations"],
+                    "via_network_port": s["via_network_port"],
+                    "matrix_exceeds_srf": s["exceeds_srf"],
+                    # §4.2: "87% of the cycles in the Imagine corner turn
+                    # are due to memory transfers.  The remaining 13% ...
+                    # are due to unoverlapped cluster instructions."
+                    "memory_fraction": memory / total if total else 0.0,
+                    "unoverlapped_kernel_fraction": (
+                        kernel_exposed / total if total else 0.0
+                    ),
+                    "kernel_cycles_total": n_strips * kernel_per_strip,
+                },
+            )
+        )
+    return runs

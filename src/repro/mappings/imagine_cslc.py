@@ -34,18 +34,23 @@ eliminate inter-cluster communication overhead".
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
-from repro.arch.imagine.cluster import ClusterOpMix
+from repro.arch.imagine.cluster import ClusterOpMix, cluster_schedule_cycles
 from repro.arch.imagine.machine import ImagineMachine
-from repro.arch.imagine.stream_program import StreamProgram, execute
+from repro.arch.imagine.stream_program import (
+    StreamProgram,
+    execute_measured,
+    reschedule,
+)
 from repro.calibration import Calibration
 from repro.kernels.cslc import CSLCWorkload, cslc_oracle, cslc_reference
 from repro.kernels.fft import FFTPlan
 from repro.kernels.opcount import COMPLEX_ADD_FLOPS, COMPLEX_MUL_ADDS, COMPLEX_MUL_MULS
 from repro.kernels.signal import make_jammed_channels
 from repro.kernels.workloads import canonical_cslc
+from repro.mappings import batch
 from repro.mappings.base import functional_match, resolve_calibration
 from repro.memory.streams import Sequential
 from repro.sim.accounting import CycleBreakdown
@@ -94,6 +99,11 @@ def _weight_mix(workload: CSLCWorkload, machine: ImagineMachine) -> ClusterOpMix
     )
 
 
+def _arith(mix: ClusterOpMix) -> ClusterOpMix:
+    """The arithmetic-only part of ``mix`` (what the VLIW bound sees)."""
+    return ClusterOpMix(adds=mix.adds, muls=mix.muls, divs=mix.divs)
+
+
 def run(
     workload: Optional[CSLCWorkload] = None,
     calibration: Optional[Calibration] = None,
@@ -101,8 +111,38 @@ def run(
     independent_ffts: bool = False,
 ) -> KernelRun:
     """Run the Imagine CSLC; returns a :class:`KernelRun`."""
-    workload = workload or canonical_cslc()
     cal = resolve_calibration(calibration)
+    return _evaluate(
+        _structure(workload, cal, seed, independent_ffts), [cal]
+    )[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CSLCWorkload] = None,
+    seed: int = 0,
+    independent_ffts: bool = False,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (op mixes, stream program, functional transforms); each cell replays
+    the schedule with its own timing constants."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("imagine", cals)
+    return _evaluate(
+        _structure(workload, cals[0], seed, independent_ffts), cals
+    )
+
+
+def _structure(
+    workload: Optional[CSLCWorkload],
+    cal: Calibration,
+    seed: int,
+    independent_ffts: bool,
+) -> Dict:
+    """The calibration-independent pass: cluster op mixes, the
+    software-pipelined host stream program, one measured execution, and
+    the functional result."""
+    workload = workload or canonical_cslc()
     machine = ImagineMachine(calibration=cal.imagine)
     plan = FFTPlan(workload.subband_len)  # radix-4 stages + one radix-2
 
@@ -117,13 +157,11 @@ def run(
 
     mix = _transform_mix(plan, machine, parallel=not independent_ffts)
     kernel_per_transform = machine.kernel_cycles(mix)
-    fft_kernel = workload.transforms * kernel_per_transform
-    weight_per_subband = machine.kernel_cycles(_weight_mix(workload, machine))
-    weight_kernel = workload.n_subbands * weight_per_subband
-    kernel = fft_kernel + weight_kernel
+    weight_mix = _weight_mix(workload, machine)
+    weight_per_subband = machine.kernel_cycles(weight_mix)
 
     invocations = workload.transforms
-    startup = machine.kernel_startups(invocations)
+    machine.kernel_startups(invocations)  # emits the prologue span
     startup_per_kernel = machine.kernel_startups(1)
 
     # Host stream program, emitted in software-pipelined order: the next
@@ -152,6 +190,8 @@ def run(
             )
             in_base += subband_words
 
+    weighted_kernels = []
+    plain_kernels = []
     emit_loads(0)
     for s in range(workload.n_subbands):
         if s + 1 < workload.n_subbands:
@@ -161,9 +201,12 @@ def run(
         )
         for t in range(transforms_per_subband):
             cycles = kernel_per_transform + startup_per_kernel
+            name = f"k{s}.{t}"
             if t == workload.n_channels:  # first IFFT carries the weights
                 cycles += weight_per_subband
-            name = f"k{s}.{t}"
+                weighted_kernels.append(name)
+            else:
+                plain_kernels.append(name)
             program.kernel(name, cycles, deps=prev)
             prev = (name,)
         for m in range(workload.n_mains):
@@ -173,13 +216,7 @@ def run(
                 deps=prev,
             )
             out_base += subband_words
-    schedule = execute(program, machine)
-
-    exposed_memory = max(0.0, schedule.makespan - (kernel + startup))
-    breakdown = CycleBreakdown(
-        {"kernel": kernel, "startup": startup, "memory (exposed)": exposed_memory}
-    )
-    memory_wall = schedule.memory_busy
+    _, op_costs = execute_measured(program, machine)
 
     channels = make_jammed_channels(
         workload.samples, workload.n_mains, workload.n_aux, seed=seed
@@ -188,39 +225,140 @@ def run(
     oracle = cslc_oracle(channels, workload, result.weights)
     ok = functional_match(result.outputs, oracle)
 
-    ops = workload.op_counts(plan)
-    total = breakdown.total
-    fft_flops = plan.flops() * workload.transforms
-    fft_time = fft_kernel + startup
+    free_mix = _transform_mix(plan, machine, parallel=False)
+    machine.kernel_cycles(free_mix)  # emits the comm-free what-if span
+
+    return {
+        "workload": workload,
+        "machine": machine,
+        "independent_ffts": independent_ffts,
+        "op_costs": op_costs,
+        "mix": mix,
+        "weight_mix": weight_mix,
+        "free_mix": free_mix,
+        "invocations": invocations,
+        "plain_kernels": plain_kernels,
+        "weighted_kernels": weighted_kernels,
+        "fft_flops": plan.flops() * workload.transforms,
+        "ops": workload.op_counts(plan),
+        "output": result.outputs,
+        "ok": ok,
+        "cancellation_db": result.cancellation_db,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: kernel, startup, and
+    stream timings are rebuilt from each cell's constants and the
+    dependency schedule is replayed."""
+    workload = s["workload"]
+    machine = s["machine"]
+    mix = s["mix"]
+    weight_mix = s["weight_mix"]
+    free_mix = s["free_mix"]
+    invocations = s["invocations"]
+
+    row_cycle = batch.cal_vector(cals, "imagine", "dram_row_cycle")
+    gather_derate = batch.cal_vector(cals, "imagine", "gather_derate")
+    inefficiency = batch.cal_vector(
+        cals, "imagine", "cluster_schedule_inefficiency"
+    )
+    comm_exposure = batch.cal_vector(cals, "imagine", "comm_exposure")
+    kernel_startup = batch.cal_vector(cals, "imagine", "kernel_startup")
+
     alus = machine.config.total_alus
     alus_no_div = alus - machine.config.clusters  # exclude the dividers
-    comm_free = workload.transforms * machine.kernel_cycles(
-        _transform_mix(plan, machine, parallel=False)
-    )
-    return KernelRun(
-        kernel="cslc",
-        machine="imagine",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=result.outputs,
-        functional_ok=ok,
-        metrics={
-            "cancellation_db": result.cancellation_db,
-            "independent_ffts": independent_ffts,
-            # §4.3: "about 10 useful operations per cycle".
-            "ops_per_cycle": ops.flops / total if total else 0.0,
-            # §4.3: FFT ALU utilization 25.5% (30.6% excluding dividers).
-            "fft_alu_utilization": (
-                fft_flops / (alus * fft_time) if fft_time else 0.0
-            ),
-            "fft_alu_utilization_no_div": (
-                fft_flops / (alus_no_div * fft_time) if fft_time else 0.0
-            ),
-            # §4.3: ~30% reduction from inter-cluster communication.
-            "comm_penalty_fraction": (
-                (fft_kernel - comm_free) / fft_kernel if fft_kernel else 0.0
-            ),
-            "memory_hidden_cycles": memory_wall - exposed_memory,
-        },
-    )
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        ineff = float(inefficiency[i])
+        ce = float(comm_exposure[i])
+        ks = float(kernel_startup[i])
+        kernel_per_transform = (
+            cluster_schedule_cycles(
+                _arith(mix), machine.config, inefficiency=ineff
+            )
+            + mix.comms * ce
+        )
+        weight_per_subband = (
+            cluster_schedule_cycles(
+                _arith(weight_mix), machine.config, inefficiency=ineff
+            )
+            + weight_mix.comms * ce
+        )
+        fft_kernel = workload.transforms * kernel_per_transform
+        weight_kernel = workload.n_subbands * weight_per_subband
+        kernel = fft_kernel + weight_kernel
+        startup = invocations * ks
+        startup_per_kernel = 1 * ks
+
+        kernel_cycles = {}
+        for name in s["plain_kernels"]:
+            kernel_cycles[name] = kernel_per_transform + startup_per_kernel
+        for name in s["weighted_kernels"]:
+            kernel_cycles[name] = (
+                kernel_per_transform + startup_per_kernel
+            ) + weight_per_subband
+        schedule = reschedule(
+            s["op_costs"],
+            machine,
+            row_cycle=float(row_cycle[i]),
+            gather_derate=float(gather_derate[i]),
+            kernel_cycles=kernel_cycles,
+        )
+
+        exposed_memory = max(0.0, schedule.makespan - (kernel + startup))
+        breakdown = CycleBreakdown(
+            {
+                "kernel": kernel,
+                "startup": startup,
+                "memory (exposed)": exposed_memory,
+            }
+        )
+        memory_wall = schedule.memory_busy
+
+        ops = s["ops"]
+        total = breakdown.total
+        fft_flops = s["fft_flops"]
+        fft_time = fft_kernel + startup
+        comm_free = workload.transforms * (
+            cluster_schedule_cycles(
+                _arith(free_mix), machine.config, inefficiency=ineff
+            )
+            + free_mix.comms * ce
+        )
+        runs.append(
+            KernelRun(
+                kernel="cslc",
+                machine="imagine",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=ops,
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "cancellation_db": s["cancellation_db"],
+                    "independent_ffts": s["independent_ffts"],
+                    # §4.3: "about 10 useful operations per cycle".
+                    "ops_per_cycle": ops.flops / total if total else 0.0,
+                    # §4.3: FFT ALU utilization 25.5% (30.6% excluding
+                    # dividers).
+                    "fft_alu_utilization": (
+                        fft_flops / (alus * fft_time) if fft_time else 0.0
+                    ),
+                    "fft_alu_utilization_no_div": (
+                        fft_flops / (alus_no_div * fft_time)
+                        if fft_time
+                        else 0.0
+                    ),
+                    # §4.3: ~30% reduction from inter-cluster communication.
+                    "comm_penalty_fraction": (
+                        (fft_kernel - comm_free) / fft_kernel
+                        if fft_kernel
+                        else 0.0
+                    ),
+                    "memory_hidden_cycles": memory_wall - exposed_memory,
+                },
+            )
+        )
+    return runs

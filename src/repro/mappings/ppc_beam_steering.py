@@ -21,7 +21,7 @@ way.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.kernels.beam_steering import (
     make_tables,
 )
 from repro.kernels.workloads import canonical_beam_steering
+from repro.mappings import batch
 from repro.mappings.base import resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 
@@ -68,25 +69,7 @@ def table_read_trace(workload: BeamSteeringWorkload) -> np.ndarray:
     return np.tile(one_dwell, workload.dwells)
 
 
-def _memory_stalls(
-    workload: BeamSteeringWorkload, machine: PpcMachine
-) -> dict:
-    """Trace-driven read stalls + store-queue-exposed write stalls."""
-    hierarchy = machine.make_hierarchy()
-    reads = hierarchy.run_trace(table_read_trace(workload))
-    write_lines = workload.outputs / machine.config.l1_line_words
-    write_stall = (
-        machine.memory_miss_stall(write_lines)
-        * machine.cal.store_queue_exposure
-    )
-    return {
-        "read_stall": reads.stall_cycles,
-        "write_stall": write_stall,
-        "l1_miss_rate": reads.l1.miss_rate,
-    }
-
-
-def _finish(
+def _structure(
     workload: BeamSteeringWorkload,
     machine: PpcMachine,
     name: str,
@@ -94,36 +77,116 @@ def _finish(
     issue: float,
     chain_stalls: float,
     seed: int,
-) -> KernelRun:
-    stalls = _memory_stalls(workload, machine)
-    breakdown = CycleBreakdown(
-        {
-            "issue": issue,
-            "dependency stalls": chain_stalls,
-            "table read misses": stalls["read_stall"],
-            "write misses": stalls["write_stall"],
-        }
-    )
+) -> Dict:
+    """The calibration-independent pass: the trace-driven hit/miss tally
+    (pure cache geometry) and the reference output.  Latency constants
+    re-enter in :func:`_evaluate`."""
+    hierarchy = machine.make_hierarchy()
+    reads = hierarchy.run_trace(table_read_trace(workload))
+    write_lines = workload.outputs / machine.config.l1_line_words
+
     tables = make_tables(workload, seed)
     output = beam_steering_reference(workload, tables)
-    total = breakdown.total
-    return KernelRun(
-        kernel="beam_steering",
-        machine=name,
-        spec=spec,
-        breakdown=breakdown,
-        ops=workload.op_counts(),
-        output=output,
-        functional_ok=True,  # reference is the definition; oracle in tests
-        metrics={
-            "outputs": workload.outputs,
-            "table_l1_miss_rate": stalls["l1_miss_rate"],
-            "memory_stall_fraction": (
-                (stalls["read_stall"] + stalls["write_stall"]) / total
-                if total
-                else 0.0
-            ),
-        },
+
+    return {
+        "workload": workload,
+        "machine": machine,
+        "name": name,
+        "spec": spec,
+        "issue": issue,
+        "chain_stalls": chain_stalls,
+        "l2_hits": reads.l2.hits if reads.l2 is not None else 0,
+        "memory_accesses": reads.memory_accesses,
+        "l1_miss_rate": reads.l1.miss_rate,
+        "write_lines": write_lines,
+        "output": output,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: the hierarchy tallies
+    are fixed, the per-level latencies and store-queue exposure vary."""
+    workload = s["workload"]
+
+    l2_hit = batch.cal_vector(cals, "ppc", "l2_hit_cycles")
+    dram = batch.cal_vector(cals, "ppc", "dram_latency_cycles")
+    exposure = batch.cal_vector(cals, "ppc", "store_queue_exposure")
+
+    read_stall = s["l2_hits"] * l2_hit + s["memory_accesses"] * (
+        l2_hit + dram
+    )
+    write_stall = s["write_lines"] * (l2_hit + dram) * exposure
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "issue": s["issue"],
+                "dependency stalls": s["chain_stalls"],
+                "table read misses": float(read_stall[i]),
+                "write misses": float(write_stall[i]),
+            }
+        )
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="beam_steering",
+                machine=s["name"],
+                spec=s["spec"],
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=True,  # reference is the definition
+                metrics={
+                    "outputs": workload.outputs,
+                    "table_l1_miss_rate": s["l1_miss_rate"],
+                    "memory_stall_fraction": (
+                        (float(read_stall[i]) + float(write_stall[i]))
+                        / total
+                        if total
+                        else 0.0
+                    ),
+                },
+            )
+        )
+    return runs
+
+
+def _scalar_structure(
+    workload: Optional[BeamSteeringWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    workload = workload or canonical_beam_steering()
+    machine = PpcMachine(calibration=cal.ppc)
+    # Fully serialised chain: one instruction per cycle.
+    issue = workload.outputs * SCALAR_CHAIN_INSTR
+    chain_stalls = workload.outputs * LOADS_PER_OUTPUT * (LOAD_USE_LATENCY - 1)
+    return _structure(
+        workload, machine, "ppc", machine.spec, issue, chain_stalls, seed
+    )
+
+
+def _altivec_structure(
+    workload: Optional[BeamSteeringWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    workload = workload or canonical_beam_steering()
+    machine = PpcMachine(calibration=cal.ppc)
+    width = machine.config.altivec_width
+    groups = workload.outputs / width
+    issue = groups * ALTIVEC_GROUP_INSTR
+    # The loads pipeline within a group; one load-use gap per group.
+    chain_stalls = groups * (LOAD_USE_LATENCY - 1)
+    return _structure(
+        workload,
+        machine,
+        "altivec",
+        machine.altivec_spec,
+        issue,
+        chain_stalls,
+        seed,
     )
 
 
@@ -133,15 +196,20 @@ def run_scalar(
     seed: int = 0,
 ) -> KernelRun:
     """Scalar PPC beam steering; returns a :class:`KernelRun`."""
-    workload = workload or canonical_beam_steering()
     cal = resolve_calibration(calibration)
-    machine = PpcMachine(calibration=cal.ppc)
-    # Fully serialised chain: one instruction per cycle.
-    issue = workload.outputs * SCALAR_CHAIN_INSTR
-    chain_stalls = workload.outputs * LOADS_PER_OUTPUT * (LOAD_USE_LATENCY - 1)
-    return _finish(
-        workload, machine, "ppc", machine.spec, issue, chain_stalls, seed
-    )
+    return _evaluate(_scalar_structure(workload, cal, seed), [cal])[0]
+
+
+def run_scalar_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[BeamSteeringWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One scalar :class:`KernelRun` per calibration, sharing one cache
+    trace and reference output."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("ppc", cals)
+    return _evaluate(_scalar_structure(workload, cals[0], seed), cals)
 
 
 def run_altivec(
@@ -150,20 +218,17 @@ def run_altivec(
     seed: int = 0,
 ) -> KernelRun:
     """AltiVec PPC beam steering; returns a :class:`KernelRun`."""
-    workload = workload or canonical_beam_steering()
     cal = resolve_calibration(calibration)
-    machine = PpcMachine(calibration=cal.ppc)
-    width = machine.config.altivec_width
-    groups = workload.outputs / width
-    issue = groups * ALTIVEC_GROUP_INSTR
-    # The loads pipeline within a group; one load-use gap per group.
-    chain_stalls = groups * (LOAD_USE_LATENCY - 1)
-    return _finish(
-        workload,
-        machine,
-        "altivec",
-        machine.altivec_spec,
-        issue,
-        chain_stalls,
-        seed,
-    )
+    return _evaluate(_altivec_structure(workload, cal, seed), [cal])[0]
+
+
+def run_altivec_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[BeamSteeringWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One AltiVec :class:`KernelRun` per calibration, sharing one cache
+    trace and reference output."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("ppc", cals)
+    return _evaluate(_altivec_structure(workload, cals[0], seed), cals)

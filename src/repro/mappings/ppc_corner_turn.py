@@ -28,7 +28,7 @@ quarter the instructions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.kernels.corner_turn import (
     corner_turn_reference,
 )
 from repro.kernels.workloads import canonical_corner_turn
+from repro.mappings import batch
 from repro.mappings.base import functional_match, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 
@@ -97,38 +98,107 @@ def run_scalar(
     seed: int = 0,
 ) -> KernelRun:
     """Scalar PPC corner turn; returns a :class:`KernelRun`."""
-    workload = workload or canonical_corner_turn()
     cal = resolve_calibration(calibration)
+    return _evaluate_scalar(_structure_scalar(workload, cal, seed), [cal])[0]
+
+
+def run_scalar_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CornerTurnWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One scalar-PPC :class:`KernelRun` per calibration, sharing one
+    structure pass (miss census, revisit classification, output)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("ppc", cals)
+    return _evaluate_scalar(_structure_scalar(workload, cals[0], seed), cals)
+
+
+def _structure_scalar(
+    workload: Optional[CornerTurnWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass: line counts, the revisit-level
+    classification (cache geometry, not latency constants), issue time,
+    and the transposed output."""
+    workload = workload or canonical_corner_turn()
     machine = PpcMachine(calibration=cal.ppc)
 
     issue = machine.issue_cycles(workload.words * SCALAR_INSTR_PER_ELEMENT)
-    stalls = scalar_miss_cycles(workload, machine)
 
-    breakdown = CycleBreakdown(
-        {
-            "issue": issue,
-            "read misses": stalls["read_stall"],
-            "write first-touch misses": stalls["write_first_stall"],
-            "write revisit stalls": stalls["write_revisit_stall"],
-        }
-    )
+    line_words = machine.config.l1_line_words
+    read_lines = workload.words / line_words
+    write_lines = workload.words / line_words
+    write_revisits = workload.words - write_lines
+    level = classify_write_revisits(workload.cols, machine)
 
     matrix = workload.make_matrix(seed)
     output = corner_turn_reference(matrix)
-    total = breakdown.total
-    return KernelRun(
-        kernel="corner_turn",
-        machine="ppc",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=workload.op_counts(),
-        output=output,
-        functional_ok=True,
-        metrics={
-            "write_revisit_level": stalls["revisit_level"],
-            "memory_bound_fraction": (total - issue) / total if total else 0.0,
-        },
-    )
+
+    return {
+        "workload": workload,
+        "machine": machine,
+        "issue": issue,
+        "read_lines": read_lines,
+        "write_lines": write_lines,
+        "write_revisits": write_revisits,
+        "level": level,
+        "output": output,
+    }
+
+
+def _evaluate_scalar(
+    s: Dict, cals: Sequence[Calibration]
+) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: the miss counts are
+    fixed by the structure, only the per-miss latencies vary."""
+    workload = s["workload"]
+    machine = s["machine"]
+    issue = s["issue"]
+
+    l2_hit = batch.cal_vector(cals, "ppc", "l2_hit_cycles")
+    dram = batch.cal_vector(cals, "ppc", "dram_latency_cycles")
+    miss_cost = l2_hit + dram
+
+    read_stall = s["read_lines"] * miss_cost
+    write_first_stall = s["write_lines"] * miss_cost
+    if s["level"] == "l1":
+        revisit_stall = np.zeros(len(cals), dtype=np.float64)
+    elif s["level"] == "l2":
+        revisit_stall = s["write_revisits"] * l2_hit
+    else:
+        revisit_stall = s["write_revisits"] * miss_cost
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "issue": issue,
+                "read misses": float(read_stall[i]),
+                "write first-touch misses": float(write_first_stall[i]),
+                "write revisit stalls": float(revisit_stall[i]),
+            }
+        )
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="corner_turn",
+                machine="ppc",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=True,
+                metrics={
+                    "write_revisit_level": s["level"],
+                    "memory_bound_fraction": (
+                        (total - issue) / total if total else 0.0
+                    ),
+                },
+            )
+        )
+    return runs
 
 
 def run_altivec(
@@ -138,12 +208,46 @@ def run_altivec(
 ) -> KernelRun:
     """AltiVec (blocked) PPC corner turn; returns a :class:`KernelRun`."""
     workload = workload or canonical_corner_turn()
-    cal = resolve_calibration(calibration)
-    machine = PpcMachine(calibration=cal.ppc)
     block = ALTIVEC_BLOCK
     if workload.rows % block or workload.cols % block:
         # Fall back to scalar traversal for odd shapes.
         return run_scalar(workload, calibration, seed)
+    cal = resolve_calibration(calibration)
+    return _evaluate_altivec(
+        _structure_altivec(workload, cal, seed), [cal]
+    )[0]
+
+
+def run_altivec_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CornerTurnWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One AltiVec :class:`KernelRun` per calibration, sharing one
+    structure pass (issue census, compulsory miss counts, output)."""
+    workload = workload or canonical_corner_turn()
+    cals = list(calibrations)
+    batch.require_uniform_structure("ppc", cals)
+    block = ALTIVEC_BLOCK
+    if workload.rows % block or workload.cols % block:
+        # Same odd-shape fallback as the per-cell entry point.
+        return _evaluate_scalar(
+            _structure_scalar(workload, cals[0], seed), cals
+        )
+    return _evaluate_altivec(
+        _structure_altivec(workload, cals[0], seed), cals
+    )
+
+
+def _structure_altivec(
+    workload: CornerTurnWorkload,
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass for the blocked AltiVec
+    traversal: issue time, compulsory line counts, functional output."""
+    machine = PpcMachine(calibration=cal.ppc)
+    block = ALTIVEC_BLOCK
 
     n_blocks = (workload.rows // block) * (workload.cols // block)
     width = machine.config.altivec_width
@@ -163,31 +267,59 @@ def run_altivec(
     # Blocked traversal: every line is touched within one block only —
     # compulsory DRAM misses on both streams, no revisit storm.
     line_words = machine.config.l1_line_words
-    read_stall = machine.memory_miss_stall(workload.words / line_words)
-    write_stall = machine.memory_miss_stall(workload.words / line_words)
-
-    breakdown = CycleBreakdown(
-        {
-            "issue": issue,
-            "read misses": read_stall,
-            "write first-touch misses": write_stall,
-        }
-    )
 
     matrix = workload.make_matrix(seed)
     output = blocked_corner_turn(matrix, block)
     ok = functional_match(output, corner_turn_reference(matrix))
-    total = breakdown.total
-    return KernelRun(
-        kernel="corner_turn",
-        machine="altivec",
-        spec=machine.altivec_spec,
-        breakdown=breakdown,
-        ops=workload.op_counts(),
-        output=output,
-        functional_ok=ok,
-        metrics={
-            "block": block,
-            "memory_bound_fraction": (total - issue) / total if total else 0.0,
-        },
-    )
+
+    return {
+        "workload": workload,
+        "machine": machine,
+        "block": block,
+        "issue": issue,
+        "miss_lines": workload.words / line_words,
+        "output": output,
+        "ok": ok,
+    }
+
+
+def _evaluate_altivec(
+    s: Dict, cals: Sequence[Calibration]
+) -> List[KernelRun]:
+    """Assemble one AltiVec cycle ledger per calibration."""
+    workload = s["workload"]
+    machine = s["machine"]
+    issue = s["issue"]
+
+    l2_hit = batch.cal_vector(cals, "ppc", "l2_hit_cycles")
+    dram = batch.cal_vector(cals, "ppc", "dram_latency_cycles")
+    miss_stall = s["miss_lines"] * (l2_hit + dram)
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "issue": issue,
+                "read misses": float(miss_stall[i]),
+                "write first-touch misses": float(miss_stall[i]),
+            }
+        )
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="corner_turn",
+                machine="altivec",
+                spec=machine.altivec_spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "block": s["block"],
+                    "memory_bound_fraction": (
+                        (total - issue) / total if total else 0.0
+                    ),
+                },
+            )
+        )
+    return runs

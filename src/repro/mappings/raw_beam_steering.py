@@ -20,7 +20,7 @@ corner-turn mapping.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
 from repro.arch.raw.machine import RawMachine
@@ -32,6 +32,7 @@ from repro.kernels.beam_steering import (
     make_tables,
 )
 from repro.kernels.workloads import canonical_beam_steering
+from repro.mappings import batch
 from repro.mappings.base import require, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 
@@ -42,8 +43,30 @@ def run(
     seed: int = 0,
 ) -> KernelRun:
     """Run the Raw beam steering; returns a :class:`KernelRun`."""
-    workload = workload or canonical_beam_steering()
     cal = resolve_calibration(calibration)
+    return _evaluate(_structure(workload, cal, seed), [cal])[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[BeamSteeringWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (distribution, network latency scan, reference output)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("raw", cals)
+    return _evaluate(_structure(workload, cals[0], seed), cals)
+
+
+def _structure(
+    workload: Optional[BeamSteeringWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass: tile distribution, compute
+    issue time, network fill latency, flow accounting, output."""
+    workload = workload or canonical_beam_steering()
     machine = RawMachine(calibration=cal.raw)
 
     per_tile_elements = machine.distribute(workload.elements)
@@ -52,9 +75,10 @@ def run(
     per_tile_outputs = busiest_elements * streams
 
     arith_per_output = 6.0  # 5 adds + 1 shift (§4.4's census)
-    stream_per_output = machine.cal.stream_ops_per_output
     compute = machine.tile_cycles(per_tile_outputs * arith_per_output)
-    sequencing = machine.tile_cycles(per_tile_outputs * stream_per_output)
+    machine.tile_cycles(
+        per_tile_outputs * machine.cal.stream_ops_per_output
+    )  # emits the sequencing span when traced
 
     # Pipeline fill per stream: network latency from the farthest port.
     ports = port_coords(machine.config)
@@ -65,54 +89,88 @@ def run(
     )
     startup = streams * max_latency
 
-    breakdown = CycleBreakdown(
-        {
-            "compute": compute,
-            "network sequencing": sequencing,
-            "startup": startup,
-        }
-    )
-    total = breakdown.total
-
-    # §4.4's implicit claims, verified: ports and links keep up.
     total_words = 3.0 * workload.outputs  # 2 table words in + 1 out
     port_bound = machine.offchip_time(total_words)
-    require(
-        port_bound <= total,
-        "DRAM ports would bottleneck the Raw beam steering, contradicting "
-        "§4.4",
-    )
     words_per_tile = 3.0 * busiest_elements * streams
     for tile_idx, coord in enumerate(ports[: machine.config.tiles]):
         machine.static_network.add_flow(coord, coord, words_per_tile)
-    require(
-        machine.static_network.check_feasible(total),
-        "static network would bottleneck the Raw beam steering, "
-        "contradicting §4.4",
-    )
 
     tables = make_tables(workload, seed)
     output = beam_steering_reference(workload, tables)
 
-    ops = workload.op_counts()
-    return KernelRun(
-        kernel="beam_steering",
-        machine="raw",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=output,
-        functional_ok=True,  # reference is the definition; oracle in tests
-        metrics={
-            "outputs": workload.outputs,
-            # §4.4: "loads and stores are not necessary".
-            "loads_stores_issued": 0,
-            # §4.4: "ALU utilization is very high" — issue slots are
-            # never idle on stalls; arithmetic share of issued work:
-            "issue_slot_occupancy": (compute + sequencing) / total
-            if total
-            else 0.0,
-            "arithmetic_fraction": compute / total if total else 0.0,
-            "port_utilization": port_bound / total if total else 0.0,
-        },
-    )
+    return {
+        "workload": workload,
+        "machine": machine,
+        "per_tile_outputs": per_tile_outputs,
+        "compute": compute,
+        "startup": startup,
+        "port_bound": port_bound,
+        "output": output,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: only the per-output
+    network-sequencing instruction count varies; the §4.4 bandwidth
+    claims are re-verified against each cell's achieved time."""
+    workload = s["workload"]
+    machine = s["machine"]
+    compute = s["compute"]
+
+    stream_ops = batch.cal_vector(cals, "raw", "stream_ops_per_output")
+    sequencing = s["per_tile_outputs"] * stream_ops
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "compute": compute,
+                "network sequencing": float(sequencing[i]),
+                "startup": s["startup"],
+            }
+        )
+        total = breakdown.total
+
+        # §4.4's implicit claims, verified: ports and links keep up.
+        require(
+            s["port_bound"] <= total,
+            "DRAM ports would bottleneck the Raw beam steering, "
+            "contradicting §4.4",
+        )
+        require(
+            machine.static_network.check_feasible(total),
+            "static network would bottleneck the Raw beam steering, "
+            "contradicting §4.4",
+        )
+
+        runs.append(
+            KernelRun(
+                kernel="beam_steering",
+                machine="raw",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=True,  # reference is the definition
+                metrics={
+                    "outputs": workload.outputs,
+                    # §4.4: "loads and stores are not necessary".
+                    "loads_stores_issued": 0,
+                    # §4.4: "ALU utilization is very high" — issue slots
+                    # are never idle on stalls; arithmetic share of
+                    # issued work:
+                    "issue_slot_occupancy": (
+                        (compute + float(sequencing[i])) / total
+                        if total
+                        else 0.0
+                    ),
+                    "arithmetic_fraction": (
+                        compute / total if total else 0.0
+                    ),
+                    "port_utilization": (
+                        s["port_bound"] / total if total else 0.0
+                    ),
+                },
+            )
+        )
+    return runs

@@ -28,7 +28,7 @@ Options reproduce §4.3's what-ifs:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
 from repro.arch.raw.dynamic import cslc_set_delivery
@@ -38,6 +38,7 @@ from repro.kernels.cslc import CSLCWorkload, cslc_oracle, cslc_reference
 from repro.kernels.fft import FFTPlan, radix2_radices
 from repro.kernels.signal import make_jammed_channels
 from repro.kernels.workloads import canonical_cslc
+from repro.mappings import batch
 from repro.mappings.base import functional_match, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 from repro.units import WORD_BYTES
@@ -77,8 +78,39 @@ def run(
     streamed_fft: bool = False,
 ) -> KernelRun:
     """Run the Raw CSLC; returns a :class:`KernelRun`."""
-    workload = workload or canonical_cslc()
     cal = resolve_calibration(calibration)
+    return _evaluate(
+        _structure(workload, cal, seed, balanced, streamed_fft), [cal]
+    )[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CSLCWorkload] = None,
+    seed: int = 0,
+    balanced: bool = True,
+    streamed_fft: bool = False,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (instruction census, delivery simulation, functional transforms)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("raw", cals)
+    return _evaluate(
+        _structure(workload, cals[0], seed, balanced, streamed_fft), cals
+    )
+
+
+def _structure(
+    workload: Optional[CSLCWorkload],
+    cal: Calibration,
+    seed: int,
+    balanced: bool,
+    streamed_fft: bool,
+) -> Dict:
+    """The calibration-independent pass: the instruction-category
+    censuses, capacity allocation, dynamic-network delivery simulation,
+    and the functional result."""
+    workload = workload or canonical_cslc()
     machine = RawMachine(calibration=cal.raw)
     plan = FFTPlan(workload.subband_len, radix2_radices(workload.subband_len))
 
@@ -92,10 +124,7 @@ def run(
 
     census = _set_instruction_census(workload, plan)
     butterflies = census["butterflies"]
-    addressing = butterflies * machine.cal.fft_addr_ops_per_butterfly + (
-        census["addressing"] - butterflies * 5.0
-    )
-    loop = butterflies * machine.cal.fft_loop_ops_per_butterfly
+    addr_extra = census["addressing"] - butterflies * 5.0
     loadstore = census["loadstore"]
     flops = census["flops"]
 
@@ -106,33 +135,14 @@ def run(
             workload.n_channels + workload.n_mains
         )
 
-    busy_per_set = machine.tile_cycles(flops + loadstore + addressing + loop)
-    stall_per_set = (
-        0.0 if streamed_fft else machine.cache_stall_cycles(busy_per_set)
+    # Emit the structure-cal issue/stall spans (batch-of-one tracing).
+    addressing = butterflies * machine.cal.fft_addr_ops_per_butterfly + (
+        addr_extra
     )
-    per_set = busy_per_set + stall_per_set
-
-    n_sets = workload.n_subbands
-    if balanced:
-        makespan = machine.balanced_makespan(per_set, n_sets)
-        idle = 0.0
-    else:
-        makespan = machine.imbalance_makespan(per_set, n_sets)
-        idle = makespan - machine.balanced_makespan(per_set, n_sets)
-
-    stall_total = stall_per_set * n_sets / machine.config.tiles
-
-    breakdown = CycleBreakdown(
-        {
-            "flops": flops * n_sets / machine.config.tiles,
-            "load/store": loadstore * n_sets / machine.config.tiles,
-            "addressing": addressing * n_sets / machine.config.tiles,
-            "loop overhead": loop * n_sets / machine.config.tiles,
-            "cache stalls": stall_total,
-        }
-    )
-    if not balanced:
-        breakdown.charge("load-imbalance idle", idle)
+    loop = butterflies * machine.cal.fft_loop_ops_per_butterfly
+    busy = machine.tile_cycles(flops + loadstore + addressing + loop)
+    if not streamed_fft:
+        machine.cache_stall_cycles(busy)
 
     # §2.4: MIMD-mode data reaches local memories "through cache misses"
     # over the dynamic network; event-simulate one working-set round to
@@ -140,7 +150,6 @@ def run(
     delivery = cslc_set_delivery(
         config=machine.config, words_per_set=set_words
     )
-    delivery_fraction = delivery.makespan / per_set if per_set else 0.0
 
     channels = make_jammed_channels(
         workload.samples, workload.n_mains, workload.n_aux, seed=seed
@@ -149,56 +158,135 @@ def run(
     oracle = cslc_oracle(channels, workload, result.weights)
     ok = functional_match(result.outputs, oracle)
 
-    ops = workload.op_counts(plan)
-    total = breakdown.total
     # §4.3 compares against the radix-4 operation basis ("care should be
     # given when the performance of the Raw on CSLC is compared").
-    radix4_flops = workload.op_counts(FFTPlan(workload.subband_len)).flops
+    radix4_plan = FFTPlan(workload.subband_len)
+    return {
+        "workload": workload,
+        "machine": machine,
+        "balanced": balanced,
+        "streamed_fft": streamed_fft,
+        "butterflies": butterflies,
+        "addr_extra": addr_extra,
+        "flops": flops,
+        "loadstore": loadstore,
+        "delivery_makespan": delivery.makespan,
+        "radix4_flops": workload.op_counts(radix4_plan).flops,
+        "radix2_over_radix4_ops": (
+            plan.memory_census().total / radix4_plan.memory_census().total
+        ),
+        "ops": workload.op_counts(plan),
+        "output": result.outputs,
+        "ok": ok,
+        "cancellation_db": result.cancellation_db,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: per-butterfly overhead
+    constants and the cache-stall fraction vary cell to cell."""
+    workload = s["workload"]
+    machine = s["machine"]
+    balanced = s["balanced"]
+    streamed_fft = s["streamed_fft"]
+    butterflies = s["butterflies"]
+    flops = s["flops"]
+    loadstore = s["loadstore"]
+    n_sets = workload.n_subbands
+    tiles = machine.config.tiles
+
+    addr_ops = batch.cal_vector(cals, "raw", "fft_addr_ops_per_butterfly")
+    loop_ops = batch.cal_vector(cals, "raw", "fft_loop_ops_per_butterfly")
+    stall_fraction = batch.cal_vector(cals, "raw", "cache_stall_fraction")
+
     distribution = machine.distribute(n_sets)
     imbalance_frac = (
-        1.0 - (n_sets / machine.config.tiles) / max(distribution)
+        1.0 - (n_sets / tiles) / max(distribution)
         if max(distribution)
         else 0.0
     )
-    return KernelRun(
-        kernel="cslc",
-        machine="raw",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=result.outputs,
-        functional_ok=ok,
-        metrics={
-            "cancellation_db": result.cancellation_db,
-            "balanced": balanced,
-            "streamed_fft": streamed_fft,
-            # §4.3: "Raw achieves about 31.4% of the peak" (radix-4 basis).
-            "percent_of_peak_radix4_basis": (
-                radix4_flops / (machine.spec.flops_per_cycle * total)
-                if total
-                else 0.0
-            ),
-            # §4.3: "about 26% of the cycles ... are consumed by load and
-            # store instructions".
-            "loadstore_fraction": (
-                breakdown.get("load/store") / total if total else 0.0
-            ),
-            "cache_stall_fraction": (
-                breakdown.get("cache stalls") / total if total else 0.0
-            ),
-            # Dynamic-network delivery of one working-set round relative
-            # to one set's compute time: must sit inside the calibrated
-            # stall fraction for the §4.3 "<10% stalls" claim to hold.
-            "dynamic_delivery_fraction": delivery_fraction,
-            # §4.3: "about 8% of CPU cycles are idle due to load
-            # balancing" in the unbalanced schedule.
-            "imbalance_idle_fraction": imbalance_frac,
-            # §4.3: "The number of operations (including loads and
-            # stores) in the radix-2 FFT is about 1.5 the number in the
-            # radix-4 FFT."
-            "radix2_over_radix4_ops": (
-                plan.memory_census().total
-                / FFTPlan(workload.subband_len).memory_census().total
-            ),
-        },
-    )
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        addressing = butterflies * float(addr_ops[i]) + s["addr_extra"]
+        loop = butterflies * float(loop_ops[i])
+        busy_per_set = flops + loadstore + addressing + loop
+        if streamed_fft:
+            stall_per_set = 0.0
+        else:
+            f = float(stall_fraction[i])
+            stall_per_set = busy_per_set * f / (1.0 - f)
+        per_set = busy_per_set + stall_per_set
+
+        if balanced:
+            idle = 0.0
+        else:
+            makespan = machine.imbalance_makespan(per_set, n_sets)
+            idle = makespan - machine.balanced_makespan(per_set, n_sets)
+
+        stall_total = stall_per_set * n_sets / tiles
+
+        breakdown = CycleBreakdown(
+            {
+                "flops": flops * n_sets / tiles,
+                "load/store": loadstore * n_sets / tiles,
+                "addressing": addressing * n_sets / tiles,
+                "loop overhead": loop * n_sets / tiles,
+                "cache stalls": stall_total,
+            }
+        )
+        if not balanced:
+            breakdown.charge("load-imbalance idle", idle)
+
+        delivery_fraction = (
+            s["delivery_makespan"] / per_set if per_set else 0.0
+        )
+
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="cslc",
+                machine="raw",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=s["ops"],
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "cancellation_db": s["cancellation_db"],
+                    "balanced": balanced,
+                    "streamed_fft": streamed_fft,
+                    # §4.3: "Raw achieves about 31.4% of the peak"
+                    # (radix-4 basis).
+                    "percent_of_peak_radix4_basis": (
+                        s["radix4_flops"]
+                        / (machine.spec.flops_per_cycle * total)
+                        if total
+                        else 0.0
+                    ),
+                    # §4.3: "about 26% of the cycles ... are consumed by
+                    # load and store instructions".
+                    "loadstore_fraction": (
+                        breakdown.get("load/store") / total if total else 0.0
+                    ),
+                    "cache_stall_fraction": (
+                        breakdown.get("cache stalls") / total
+                        if total
+                        else 0.0
+                    ),
+                    # Dynamic-network delivery of one working-set round
+                    # relative to one set's compute time: must sit inside
+                    # the calibrated stall fraction for the §4.3 "<10%
+                    # stalls" claim to hold.
+                    "dynamic_delivery_fraction": delivery_fraction,
+                    # §4.3: "about 8% of CPU cycles are idle due to load
+                    # balancing" in the unbalanced schedule.
+                    "imbalance_idle_fraction": imbalance_frac,
+                    # §4.3: "The number of operations (including loads
+                    # and stores) in the radix-2 FFT is about 1.5 the
+                    # number in the radix-4 FFT."
+                    "radix2_over_radix4_ops": s["radix2_over_radix4_ops"],
+                },
+            )
+        )
+    return runs

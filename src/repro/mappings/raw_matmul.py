@@ -22,7 +22,7 @@ Three execution modes share one blocked SUMMA-style algorithm (C tiled
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
 from repro.arch.raw.machine import RawMachine
@@ -34,6 +34,7 @@ from repro.kernels.matmul import (
     blocked_matmul,
     matmul_reference,
 )
+from repro.mappings import batch
 from repro.mappings.base import functional_match, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 from repro.units import WORD_BYTES
@@ -48,8 +49,32 @@ def run(
     mode: str = "mimd",
 ) -> KernelRun:
     """Run the Raw matmul in one of :data:`MODES`."""
-    workload = workload or MatmulWorkload()
     cal = resolve_calibration(calibration)
+    return _evaluate(_structure(workload, cal, seed, mode), [cal])[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[MatmulWorkload] = None,
+    seed: int = 0,
+    mode: str = "mimd",
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (instruction census, panel schedule, functional product)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("raw", cals)
+    return _evaluate(_structure(workload, cals[0], seed, mode), cals)
+
+
+def _structure(
+    workload: Optional[MatmulWorkload],
+    cal: Calibration,
+    seed: int,
+    mode: str,
+) -> Dict:
+    """The calibration-independent pass: censuses, busy time, the
+    communication schedule, and the blocked product."""
+    workload = workload or MatmulWorkload()
     machine = RawMachine(calibration=cal.raw)
     if mode not in MODES:
         raise MappingError(f"mode must be one of {MODES}, got {mode!r}")
@@ -76,13 +101,8 @@ def run(
             + workload.k * workload.m
             + workload.n * workload.m
         )
-        stalls = (
-            machine.cache_stall_cycles(busy)
-            if working_bytes > machine.config.tile_data_bytes
-            else 0.0
-        )
-        breakdown = CycleBreakdown(
-            {"compute": busy, "cache stalls": stalls}
+        stall_scale = (
+            1.0 if working_bytes > machine.config.tile_data_bytes else 0.0
         )
         comm_exposed = 0.0
     else:
@@ -104,38 +124,74 @@ def run(
         per_step = panel_words / machine.config.static_link_words_per_cycle
         if mode == "mimd":
             comm_exposed = steps * (per_step + sync)
+            stall_scale = 0.5
         else:
             comm_exposed = steps * sync  # transfers overlap the MACs
-        breakdown = CycleBreakdown(
-            {"compute": busy, "network": comm_exposed}
-        )
-        if mode == "mimd":
-            breakdown.charge(
-                "cache stalls", machine.cache_stall_cycles(busy) * 0.5
-            )
+            stall_scale = 0.0
+    if stall_scale:
+        machine.cache_stall_cycles(busy)  # emits the stall span when traced
 
     a, b = workload.make_inputs(seed)
     block = max(1, workload.n // grid)
     output = blocked_matmul(a, b, block)
     ok = functional_match(output, matmul_reference(a, b), rtol=1e-3)
 
-    ops = census
-    total = breakdown.total
-    return KernelRun(
-        kernel="matmul",
-        machine="raw",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=output,
-        functional_ok=ok,
-        metrics={
-            "mode": mode,
-            "macs": workload.macs,
-            "instructions": total_instr,
-            "comm_exposed_cycles": comm_exposed,
-        },
-    )
+    return {
+        "workload": workload,
+        "machine": machine,
+        "mode": mode,
+        "census": census,
+        "total_instr": total_instr,
+        "busy": busy,
+        "comm_exposed": comm_exposed,
+        "stall_scale": stall_scale,
+        "output": output,
+        "ok": ok,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration: only the cache-stall
+    fraction varies across cells."""
+    workload = s["workload"]
+    machine = s["machine"]
+    mode = s["mode"]
+    busy = s["busy"]
+
+    stall_fraction = batch.cal_vector(cals, "raw", "cache_stall_fraction")
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        f = float(stall_fraction[i])
+        stall = busy * f / (1.0 - f)
+        if mode == "single":
+            breakdown = CycleBreakdown(
+                {"compute": busy, "cache stalls": stall * s["stall_scale"]}
+            )
+        else:
+            breakdown = CycleBreakdown(
+                {"compute": busy, "network": s["comm_exposed"]}
+            )
+            if mode == "mimd":
+                breakdown.charge("cache stalls", stall * 0.5)
+        runs.append(
+            KernelRun(
+                kernel="matmul",
+                machine="raw",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=s["census"],
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "mode": mode,
+                    "macs": workload.macs,
+                    "instructions": s["total_instr"],
+                    "comm_exposed_cycles": s["comm_exposed"],
+                },
+            )
+        )
+    return runs
 
 
 def speedup_vs_single_tile(

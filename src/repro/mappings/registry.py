@@ -66,9 +66,43 @@ _REGISTRY: Dict[Tuple[str, str], Callable[..., KernelRun]] = {
 }
 
 
+#: Tensor-batch entry points: one call evaluates a whole list of
+#: calibrations against a shared structure pass (see
+#: :mod:`repro.mappings.batch` and :mod:`repro.perf.tensorsweep`).
+#: Every pair mirrors the scalar entry in :data:`_REGISTRY`.
+_BATCH_REGISTRY: Dict[Tuple[str, str], Callable[..., Any]] = {
+    ("corner_turn", "ppc"): ppc_corner_turn.run_scalar_batch,
+    ("corner_turn", "altivec"): ppc_corner_turn.run_altivec_batch,
+    ("corner_turn", "viram"): viram_corner_turn.run_batch,
+    ("corner_turn", "imagine"): imagine_corner_turn.run_batch,
+    ("corner_turn", "raw"): raw_corner_turn.run_batch,
+    ("cslc", "ppc"): ppc_cslc.run_scalar_batch,
+    ("cslc", "altivec"): ppc_cslc.run_altivec_batch,
+    ("cslc", "viram"): viram_cslc.run_batch,
+    ("cslc", "imagine"): imagine_cslc.run_batch,
+    ("cslc", "raw"): raw_cslc.run_batch,
+    ("beam_steering", "ppc"): ppc_beam_steering.run_scalar_batch,
+    ("beam_steering", "altivec"): ppc_beam_steering.run_altivec_batch,
+    ("beam_steering", "viram"): viram_beam_steering.run_batch,
+    ("beam_steering", "imagine"): imagine_beam_steering.run_batch,
+    ("beam_steering", "raw"): raw_beam_steering.run_batch,
+}
+
+
 def available() -> Tuple[Tuple[str, str], ...]:
     """All (kernel, machine) pairs with a mapping."""
     return tuple(sorted(_REGISTRY))
+
+
+def batch_runner(
+    kernel: str, machine: str
+) -> Optional[Callable[..., Any]]:
+    """The tensor-batch entry point for ``(kernel, machine)``, or ``None``
+    when the pair has no batch mapping.  The runner's signature is
+    ``runner(calibrations, **kwargs) -> List[KernelRun]``, one result per
+    calibration, bit-identical to the equivalent per-cell ``run`` calls.
+    """
+    return _BATCH_REGISTRY.get((kernel, machine))
 
 
 #: Optional continuous-validation hook (see :func:`set_post_run_validator`).
@@ -161,3 +195,10 @@ def run(kernel: str, machine: str, *, cache: bool = True, **kwargs) -> KernelRun
 def _post_run(result: KernelRun, kwargs: Mapping[str, Any]) -> None:
     if _POST_RUN_VALIDATOR is not None:
         _POST_RUN_VALIDATOR(result, kwargs)
+
+
+def post_run_validate(result: KernelRun, kwargs: Mapping[str, Any]) -> None:
+    """Apply the installed post-run validation hook (if any) to a freshly
+    produced run.  The tensor engine calls this once per batch cell so a
+    batched grid is validated exactly as the per-cell path would be."""
+    _post_run(result, kwargs)

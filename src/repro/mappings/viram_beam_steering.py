@@ -23,7 +23,7 @@ Model:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
 from repro.arch.viram.machine import ViramMachine
@@ -34,6 +34,7 @@ from repro.kernels.beam_steering import (
     make_tables,
 )
 from repro.kernels.workloads import canonical_beam_steering
+from repro.mappings import batch
 from repro.mappings.base import resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 
@@ -44,8 +45,30 @@ def run(
     seed: int = 0,
 ) -> KernelRun:
     """Run the VIRAM beam steering; returns a :class:`KernelRun`."""
-    workload = workload or canonical_beam_steering()
     cal = resolve_calibration(calibration)
+    return _evaluate(_structure(workload, cal, seed), [cal])[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[BeamSteeringWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (op census, issue times, reference output)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("viram", cals)
+    return _evaluate(_structure(workload, cals[0], seed), cals)
+
+
+def _structure(
+    workload: Optional[BeamSteeringWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass: op census, issue-rate times, the
+    instruction count, and the reference output."""
+    workload = workload or canonical_beam_steering()
     machine = ViramMachine(calibration=cal.viram)
 
     ops = workload.op_counts()
@@ -65,33 +88,66 @@ def run(
     instructions = machine.instruction_count(
         arith + gather_words + store_words
     )
-    startup = machine.dead_time(instructions)
-
-    hidden_memory = min(memory_issue, compute + startup)
-    exposed_memory = memory_issue - hidden_memory
-
-    breakdown = CycleBreakdown(
-        {"compute": compute, "startup": startup, "memory": exposed_memory}
-    )
+    machine.dead_time(instructions)  # emits the startup span when traced
 
     tables = make_tables(workload, seed)
     output = beam_steering_reference(workload, tables)
 
-    total = breakdown.total
-    return KernelRun(
-        kernel="beam_steering",
-        machine="viram",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=output,
-        functional_ok=True,  # reference is the definition; oracle in tests
-        metrics={
-            "outputs": workload.outputs,
-            # §4.4: "the lower bound of the computation time is 56% of
-            # the simulation time".
-            "compute_lower_bound_fraction": compute / total if total else 0.0,
-            "memory_hidden_cycles": hidden_memory,
-            "vector_instructions": instructions,
-        },
-    )
+    return {
+        "workload": workload,
+        "machine": machine,
+        "ops": ops,
+        "compute": compute,
+        "memory_issue": memory_issue,
+        "instructions": instructions,
+        "output": output,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration from the shared
+    structure; only the per-instruction dead time varies cell to cell."""
+    workload = s["workload"]
+    machine = s["machine"]
+    compute = s["compute"]
+    memory_issue = s["memory_issue"]
+
+    dead_time = batch.cal_vector(cals, "viram", "vector_dead_time")
+    startup = s["instructions"] * dead_time
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        hidden_memory = min(memory_issue, compute + float(startup[i]))
+        exposed_memory = memory_issue - hidden_memory
+
+        breakdown = CycleBreakdown(
+            {
+                "compute": compute,
+                "startup": float(startup[i]),
+                "memory": exposed_memory,
+            }
+        )
+
+        total = breakdown.total
+        runs.append(
+            KernelRun(
+                kernel="beam_steering",
+                machine="viram",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=s["ops"],
+                output=s["output"],
+                functional_ok=True,  # reference is the definition
+                metrics={
+                    "outputs": workload.outputs,
+                    # §4.4: "the lower bound of the computation time is
+                    # 56% of the simulation time".
+                    "compute_lower_bound_fraction": (
+                        compute / total if total else 0.0
+                    ),
+                    "memory_hidden_cycles": hidden_memory,
+                    "vector_instructions": s["instructions"],
+                },
+            )
+        )
+    return runs

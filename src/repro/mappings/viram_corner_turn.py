@@ -33,7 +33,7 @@ DMA interface (Table 1), which then dominates the on-chip work.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.kernels.corner_turn import (
     corner_turn_reference,
 )
 from repro.kernels.workloads import canonical_corner_turn
+from repro.mappings import batch
 from repro.mappings.base import functional_match, require, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 from repro.units import WORD_BYTES
@@ -59,8 +60,32 @@ def run(
     seed: int = 0,
 ) -> KernelRun:
     """Run the VIRAM corner turn; returns a :class:`KernelRun`."""
-    workload = workload or canonical_corner_turn()
     cal = resolve_calibration(calibration)
+    return _evaluate(_structure(workload, cal, seed), [cal])[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CornerTurnWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (addresses, activation counts, TLB walk, functional output)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("viram", cals)
+    return _evaluate(_structure(workload, cals[0], seed), cals)
+
+
+def _structure(
+    workload: Optional[CornerTurnWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass: build and cost the blocked
+    load/store address stream, walk the TLB, compute the functional
+    output.  Everything here depends only on the workload, the seed, and
+    the structural calibration fields (TLB geometry)."""
+    workload = workload or canonical_corner_turn()
     machine = ViramMachine(calibration=cal.viram)
     require(
         workload.rows % BLOCK == 0 and workload.cols % BLOCK == 0,
@@ -104,59 +129,118 @@ def run(
     strided[0::2] = True  # loads are strided, stores sequential
     cost = machine.stream_batch(addresses.reshape(-1), seg_lengths, strided)
 
-    breakdown_items = {
-        "strided loads": float(cost.issue_cycles[0::2].sum()),
-        "sequential stores": float(cost.issue_cycles[1::2].sum()),
-        "dram row activations": float(cost.activation_cycles.sum()),
-        "startup latency": n_blocks * machine.cal.exposed_load_latency,
-    }
-    activations = int(cost.activations.sum())
-
-    breakdown = CycleBreakdown(breakdown_items)
-    breakdown.charge("tlb misses", machine.tlb.stall_cycles)
-
-    if not fits_onchip:
-        # §4.6 regime: every word enters and leaves through the off-chip
-        # DMA interface (2 words/cycle).  The on-chip work overlaps with
-        # the transfer; only its excess over the DMA time is exposed.
-        dma_cycles = (
-            2.0 * workload.words / machine.config.offchip_dma_words_per_cycle
-        )
-        onchip_cycles = breakdown.total
-        exposed_onchip = max(0.0, onchip_cycles - dma_cycles)
-        breakdown = CycleBreakdown(
-            {"off-chip dma": dma_cycles, "on-chip (exposed)": exposed_onchip}
-        )
-
     matrix = workload.make_matrix(seed)
     output = blocked_corner_turn(matrix, BLOCK)
     ok = functional_match(output, corner_turn_reference(matrix))
 
-    ops = workload.op_counts()
-    total = breakdown.total
-    overhead = breakdown.get("dram row activations") + breakdown.get("tlb misses")
-    return KernelRun(
-        kernel="corner_turn",
-        machine="viram",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=output,
-        functional_ok=ok,
-        metrics={
-            "block": BLOCK,
-            "src_pitch_words": src_pitch,
-            "fits_onchip": fits_onchip,
-            "dram_activations": activations,
-            "tlb_misses": machine.tlb.misses,
-            # §4.2: "about 21% of the total cycles are overhead due to
-            # DRAM pre-charge cycles ... and TLB misses".
-            "precharge_tlb_fraction": overhead / total if total else 0.0,
-            # §4.2: "24% are due to a limitation in strided load
-            # performance imposed by the number of address generators"
-            # (strided loads take twice the sequential-rate time).
-            "strided_penalty_fraction": (
-                breakdown.get("strided loads") / 2.0 / total if total else 0.0
-            ),
-        },
-    )
+    return {
+        "workload": workload,
+        "machine": machine,
+        "fits_onchip": fits_onchip,
+        "src_pitch": src_pitch,
+        "n_blocks": n_blocks,
+        "issue_loads": float(cost.issue_cycles[0::2].sum()),
+        "issue_stores": float(cost.issue_cycles[1::2].sum()),
+        "issue_cycles": cost.issue_cycles,
+        "worst": cost.worst,
+        "activations": int(cost.activations.sum()),
+        "tlb_misses": machine.tlb.misses,
+        "output": output,
+        "ok": ok,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration from the shared
+    structure; cost terms are vectorized over the leading batch axis."""
+    workload = s["workload"]
+    machine = s["machine"]
+    n_blocks = s["n_blocks"]
+
+    row_cycle = batch.cal_vector(cals, "viram", "dram_row_cycle")
+    load_latency = batch.cal_vector(cals, "viram", "exposed_load_latency")
+    tlb_miss_cycles = batch.cal_vector(cals, "viram", "tlb_miss_cycles")
+
+    # Exposed row-activation time under the bank-parallel policy, per
+    # cell: the same max(0, worst*row_cycle - issue) expression the DRAM
+    # applies, broadcast over the batch axis and reduced per row.  The
+    # (B, S) intermediate is chunked along B to bound memory.
+    worst = s["worst"]
+    issue = s["issue_cycles"]
+    activation_cycles = np.empty(len(cals), dtype=np.float64)
+    for start, stop in batch.batch_rows(len(cals), worst.size):
+        activation_cycles[start:stop] = np.maximum(
+            0.0, worst[None, :] * row_cycle[start:stop, None] - issue[None, :]
+        ).sum(axis=1)
+
+    startup = n_blocks * load_latency
+    tlb_stall = s["tlb_misses"] * tlb_miss_cycles
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "strided loads": s["issue_loads"],
+                "sequential stores": s["issue_stores"],
+                "dram row activations": float(activation_cycles[i]),
+                "startup latency": float(startup[i]),
+            }
+        )
+        breakdown.charge("tlb misses", float(tlb_stall[i]))
+
+        if not s["fits_onchip"]:
+            # §4.6 regime: every word enters and leaves through the
+            # off-chip DMA interface (2 words/cycle).  The on-chip work
+            # overlaps with the transfer; only its excess over the DMA
+            # time is exposed.
+            dma_cycles = (
+                2.0
+                * workload.words
+                / machine.config.offchip_dma_words_per_cycle
+            )
+            onchip_cycles = breakdown.total
+            exposed_onchip = max(0.0, onchip_cycles - dma_cycles)
+            breakdown = CycleBreakdown(
+                {
+                    "off-chip dma": dma_cycles,
+                    "on-chip (exposed)": exposed_onchip,
+                }
+            )
+
+        total = breakdown.total
+        overhead = breakdown.get("dram row activations") + breakdown.get(
+            "tlb misses"
+        )
+        runs.append(
+            KernelRun(
+                kernel="corner_turn",
+                machine="viram",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=workload.op_counts(),
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "block": BLOCK,
+                    "src_pitch_words": s["src_pitch"],
+                    "fits_onchip": s["fits_onchip"],
+                    "dram_activations": s["activations"],
+                    "tlb_misses": s["tlb_misses"],
+                    # §4.2: "about 21% of the total cycles are overhead
+                    # due to DRAM pre-charge cycles ... and TLB misses".
+                    "precharge_tlb_fraction": (
+                        overhead / total if total else 0.0
+                    ),
+                    # §4.2: "24% are due to a limitation in strided load
+                    # performance imposed by the number of address
+                    # generators" (strided loads take twice the
+                    # sequential-rate time).
+                    "strided_penalty_fraction": (
+                        breakdown.get("strided loads") / 2.0 / total
+                        if total
+                        else 0.0
+                    ),
+                },
+            )
+        )
+    return runs

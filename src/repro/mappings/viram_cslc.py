@@ -30,7 +30,7 @@ outputs against an independent ``numpy.fft`` oracle.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.base import KernelRun
 from repro.arch.viram.machine import ViramMachine
@@ -39,6 +39,7 @@ from repro.kernels.cslc import CSLCWorkload, cslc_oracle, cslc_reference
 from repro.kernels.fft import FFTPlan
 from repro.kernels.signal import make_jammed_channels
 from repro.kernels.workloads import canonical_cslc
+from repro.mappings import batch
 from repro.mappings.base import functional_match, resolve_calibration
 from repro.sim.accounting import CycleBreakdown
 
@@ -49,8 +50,31 @@ def run(
     seed: int = 0,
 ) -> KernelRun:
     """Run the VIRAM CSLC; returns a :class:`KernelRun`."""
-    workload = workload or canonical_cslc()
     cal = resolve_calibration(calibration)
+    return _evaluate(_structure(workload, cal, seed), [cal])[0]
+
+
+def run_batch(
+    calibrations: Sequence[Calibration],
+    workload: Optional[CSLCWorkload] = None,
+    seed: int = 0,
+) -> List[KernelRun]:
+    """One :class:`KernelRun` per calibration, sharing one structure pass
+    (op census, FFT transforms, cancellation oracle)."""
+    cals = list(calibrations)
+    batch.require_uniform_structure("viram", cals)
+    return _evaluate(_structure(workload, cals[0], seed), cals)
+
+
+def _structure(
+    workload: Optional[CSLCWorkload],
+    cal: Calibration,
+    seed: int,
+) -> Dict:
+    """The calibration-independent pass: the arithmetic/shuffle census,
+    issue-time bases, and the functional FFT/cancellation computation.
+    ``spill_passes`` is structural (it multiplies the word traffic)."""
+    workload = workload or canonical_cslc()
     machine = ViramMachine(calibration=cal.viram)
     plan = FFTPlan(workload.subband_len)  # radix-4 stages + one radix-2
 
@@ -59,9 +83,7 @@ def run(
     permutes = plan.shuffle_census().permutes * workload.transforms
 
     compute = machine.fp_issue_cycles(flops)
-    shuffles = (
-        machine.vfu_cycles(permutes) * machine.cal.shuffle_exposed_fraction
-    )
+    shuffle_issue = machine.vfu_cycles(permutes)
 
     # Sub-band data movement: load + store once, plus spill passes.
     words_per_transform = 2 * workload.subband_len  # complex = 2 words
@@ -71,23 +93,9 @@ def run(
         * 2  # load + store
         * (1 + machine.cal.spill_passes)
     )
-    memory = (
-        memory_words
-        / machine.config.seq_words_per_cycle
-        * machine.cal.memory_exposed_fraction
-    )
 
     instructions = machine.instruction_count(flops + permutes)
-    startup = machine.dead_time(instructions)
-
-    breakdown = CycleBreakdown(
-        {
-            "compute": compute,
-            "fft shuffles": shuffles,
-            "memory": memory,
-            "startup": startup,
-        }
-    )
+    machine.dead_time(instructions)  # emits the startup span when traced
 
     channels = make_jammed_channels(
         workload.samples, workload.n_mains, workload.n_aux, seed=seed
@@ -96,28 +104,83 @@ def run(
     oracle = cslc_oracle(channels, workload, result.weights)
     ok = functional_match(result.outputs, oracle)
 
-    total = breakdown.total
-    peak16 = flops / machine.spec.flops_per_cycle  # Table 2 peak basis
-    overhead_factor = (flops + permutes) / flops
-    issue = compute + shuffles
-    alu_restriction_factor = issue / ((flops + permutes) / 16.0)
-    memory_startup_factor = total / issue if issue else 0.0
-    return KernelRun(
-        kernel="cslc",
-        machine="viram",
-        spec=machine.spec,
-        breakdown=breakdown,
-        ops=ops,
-        output=result.outputs,
-        functional_ok=ok,
-        metrics={
-            "cancellation_db": result.cancellation_db,
-            "transforms": workload.transforms,
-            # §4.3: "about 3.6 times longer than what is predicted by
-            # peak performance", decomposed 1.67 x 1.52 x 1.41.
-            "slowdown_vs_peak": total / peak16 if peak16 else 0.0,
-            "overhead_instruction_factor": overhead_factor,
-            "alu_restriction_factor": alu_restriction_factor,
-            "memory_startup_factor": memory_startup_factor,
-        },
+    return {
+        "workload": workload,
+        "machine": machine,
+        "ops": ops,
+        "flops": flops,
+        "permutes": permutes,
+        "compute": compute,
+        "shuffle_issue": shuffle_issue,
+        "memory_words": memory_words,
+        "instructions": instructions,
+        "output": result.outputs,
+        "ok": ok,
+        "cancellation_db": result.cancellation_db,
+    }
+
+
+def _evaluate(s: Dict, cals: Sequence[Calibration]) -> List[KernelRun]:
+    """Assemble one cycle ledger per calibration from the shared
+    structure; the exposed fractions and dead time vary cell to cell."""
+    workload = s["workload"]
+    machine = s["machine"]
+    flops = s["flops"]
+    permutes = s["permutes"]
+
+    shuffle_fraction = batch.cal_vector(
+        cals, "viram", "shuffle_exposed_fraction"
     )
+    memory_fraction = batch.cal_vector(
+        cals, "viram", "memory_exposed_fraction"
+    )
+    dead_time = batch.cal_vector(cals, "viram", "vector_dead_time")
+
+    shuffles = s["shuffle_issue"] * shuffle_fraction
+    memory = (
+        s["memory_words"]
+        / machine.config.seq_words_per_cycle
+        * memory_fraction
+    )
+    startup = s["instructions"] * dead_time
+
+    runs: List[KernelRun] = []
+    for i in range(len(cals)):
+        breakdown = CycleBreakdown(
+            {
+                "compute": s["compute"],
+                "fft shuffles": float(shuffles[i]),
+                "memory": float(memory[i]),
+                "startup": float(startup[i]),
+            }
+        )
+
+        total = breakdown.total
+        peak16 = flops / machine.spec.flops_per_cycle  # Table 2 peak basis
+        overhead_factor = (flops + permutes) / flops
+        issue = s["compute"] + float(shuffles[i])
+        alu_restriction_factor = issue / ((flops + permutes) / 16.0)
+        memory_startup_factor = total / issue if issue else 0.0
+        runs.append(
+            KernelRun(
+                kernel="cslc",
+                machine="viram",
+                spec=machine.spec,
+                breakdown=breakdown,
+                ops=s["ops"],
+                output=s["output"],
+                functional_ok=s["ok"],
+                metrics={
+                    "cancellation_db": s["cancellation_db"],
+                    "transforms": workload.transforms,
+                    # §4.3: "about 3.6 times longer than what is
+                    # predicted by peak performance", decomposed
+                    # 1.67 x 1.52 x 1.41.
+                    "slowdown_vs_peak": total / peak16 if peak16 else 0.0,
+                    "overhead_instruction_factor": overhead_factor,
+                    "alu_restriction_factor": alu_restriction_factor,
+                    "memory_startup_factor": memory_startup_factor,
+                },
+            )
+        )
+    return runs

@@ -137,12 +137,21 @@ class DRAMBatchCost:
     exactly what a standalone :meth:`DRAM.access` call for segment ``i``
     would have returned, given the open-row state left by segments
     ``0..i-1``.
+
+    ``worst`` is segment ``i``'s most-loaded-bank activation count — the
+    quantity the ``bank-parallel`` exposure policy multiplies by the row
+    cycle.  Exposing it lets callers re-derive ``activation_cycles`` for
+    a *different* row-cycle value (the tensorized sweep engine evaluates
+    one address run under a whole batch of calibrations) without
+    re-walking the address stream: activation counts depend only on
+    addresses and geometry, never on the timing constants.
     """
 
     words: np.ndarray
     issue_cycles: np.ndarray
     activation_cycles: np.ndarray
     activations: np.ndarray
+    worst: np.ndarray
     access_latency: float
 
     @property
@@ -170,9 +179,12 @@ def _bank_and_row(addresses: np.ndarray, config: DRAMConfig) -> Tuple[np.ndarray
     row_words = config.row_words
     banks = config.banks
     if row_words & (row_words - 1) == 0 and banks & (banks - 1) == 0:
-        dram_row = addresses >> (row_words.bit_length() - 1)
-        bank = dram_row & (banks - 1)
-        row = dram_row >> (banks.bit_length() - 1)
+        # Call the ufuncs directly: the operator form (``addresses >> k``
+        # with a Python-int scalar) takes numpy's slow scalar-promotion
+        # path and costs ~10x more on megaword address runs.
+        dram_row = np.right_shift(addresses, row_words.bit_length() - 1)
+        bank = np.bitwise_and(dram_row, banks - 1)
+        row = np.right_shift(dram_row, banks.bit_length() - 1)
         return bank, row
     dram_row = addresses // row_words
     bank = dram_row % banks
@@ -295,7 +307,12 @@ class DRAM:
         worst = np.zeros(n_seg, dtype=np.int64)
         activations = np.zeros(n_seg, dtype=np.int64)
         if addresses.size:
-            seg_ids = np.repeat(np.arange(n_seg, dtype=np.int64), seg_lengths)
+            # Segment id of an address position, recovered lazily from the
+            # segment start offsets — materialising a per-address id array
+            # with ``np.repeat`` costs more than the whole bank pass on
+            # megaword runs, and only the (few) activating positions ever
+            # need their segment resolved.
+            seg_starts = np.cumsum(seg_lengths) - seg_lengths
             bank, row = _bank_and_row(addresses, self.config)
             # Per bank, in program order: an access activates when its row
             # differs from the bank's previous access (or its open row, for
@@ -310,7 +327,10 @@ class DRAM:
                 changed[0] = self._open_rows.get(b) != int(rows_b[0])
                 changed[1:] = rows_b[1:] != rows_b[:-1]
                 per_seg = np.bincount(
-                    seg_ids[idx[changed]], minlength=n_seg
+                    np.searchsorted(
+                        seg_starts, idx[changed], side="right"
+                    ) - 1,
+                    minlength=n_seg,
                 )
                 np.maximum(worst, per_seg, out=worst)
                 activations += per_seg
@@ -362,6 +382,7 @@ class DRAM:
             issue_cycles=issue_cycles,
             activation_cycles=activation_cycles,
             activations=activations,
+            worst=worst,
             access_latency=self.config.access_latency,
         )
 

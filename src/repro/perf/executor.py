@@ -71,6 +71,27 @@ def _execute_chunk(chunk: Sequence[RunRequest]) -> List[Any]:
     return [_execute(request) for request in chunk]
 
 
+def _execute_unit(unit) -> List[Any]:
+    """Worker entry point: run one dispatch unit (top-level for
+    pickling).  A :class:`~repro.perf.tensorsweep.BatchGroup` evaluates
+    its whole calibration grid in one call; a
+    :class:`~repro.perf.tensorsweep.SingleCell` goes through
+    ``registry.run``.  Either way the worker's cache tiers apply —
+    fresh results are persisted to the shared disk tier per cell."""
+    from repro.perf import tensorsweep
+
+    return tensorsweep.execute_unit(unit)
+
+
+def _execute_unit_chunk(chunk: Sequence[Any]) -> List[List[Any]]:
+    """Worker entry point: run one chunk of dispatch units, in order."""
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.resilience import chaos
+
+        chaos.on_worker_chunk()
+    return [_execute_unit(unit) for unit in chunk]
+
+
 def chunked(
     requests: Sequence[RunRequest], n_jobs: int,
     chunk_size: Optional[int] = None,
@@ -153,6 +174,45 @@ def _run_pool(
         # results identical, but silently losing the requested
         # parallelism hides real environment problems — record the
         # classified cause where it persists.
+        cause = exc.__cause__
+        reason = (
+            f"{type(cause).__name__}: {cause}" if cause is not None
+            else str(exc)
+        )
+        RESILIENCE.note_degradation(reason)
+        timers.count("sweep.pool_fallback")
+        return None
+
+
+def _run_unit_pool(
+    units: Sequence[Any], n_jobs: int,
+    chunk_size: Optional[int] = None,
+) -> Optional[List[List[Any]]]:
+    """Evaluate dispatch units on a supervised process pool; ``None`` if
+    the pool transport cannot be used (caller falls back to serial).
+
+    Chunking counts *units*, not cells: a tensor batch of a thousand
+    calibration cells is one dispatch unit and one slot in a chunk, so
+    pool load-balancing reflects actual submissions instead of
+    inflating the chunk count by the batch width.  Failure
+    classification matches :func:`_run_pool` — crashes and deadline
+    misses propagate once the supervisor's retry budget is spent, a
+    transport-level :class:`~repro.errors.TransientError` degrades to
+    serial with the reason recorded in telemetry.
+    """
+    from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.resilience.stats import RESILIENCE
+    from repro.resilience.supervisor import Supervisor
+
+    chunks = chunked(units, n_jobs, chunk_size)
+    try:
+        with timers.timer("sweep.parallel"):
+            timers.count("sweep.pool_chunks", len(chunks))
+            batched = Supervisor(n_jobs, task=_execute_unit_chunk).run(chunks)
+        return [result for batch in batched for result in batch]
+    except (WorkerCrashError, DeadlineExceeded):
+        raise
+    except TransientError as exc:
         cause = exc.__cause__
         reason = (
             f"{type(cause).__name__}: {cause}" if cause is not None

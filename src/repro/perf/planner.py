@@ -20,21 +20,29 @@ The planner makes the request set a first-class object:
    :data:`~repro.perf.cache.RUN_CACHE`) or tier 2 (the persistent
    :data:`~repro.perf.diskcache.DISK_CACHE`, promoting hits into
    tier 1) where possible;
-4. **batch-dispatch** — only the misses go to the process pool, in
-   *chunks* (one pool submission per chunk instead of one per cell),
-   supervised by :class:`repro.resilience.Supervisor` (crashed workers
-   are retried, a poisoned cell is isolated, and only an unusable pool
-   transport degrades the batch to serial — see docs/robustness.md);
-   workers run ``registry.run``, which writes results straight into the
-   shared disk tier, so sibling workers' parents and future processes
-   hit without re-simulating;
-5. **serve** — duplicate slots are filled with independent copies, and
+4. **tensor-partition** — the misses are partitioned by
+   :func:`repro.perf.tensorsweep.plan_units` into *dispatch units*:
+   cells that differ only in float calibration constants collapse into
+   one tensor batch group (a single structure pass evaluated as numpy
+   arrays over the whole grid), everything else — traced runs,
+   non-batchable kwargs, singleton groups — stays a per-cell unit;
+5. **batch-dispatch** — units go to the process pool in *chunks* (one
+   pool submission per chunk of units; a tensor batch counts as one
+   unit regardless of its cell count), supervised by
+   :class:`repro.resilience.Supervisor` (crashed workers are retried, a
+   poisoned cell is isolated, and only an unusable pool transport
+   degrades the batch to serial — see docs/robustness.md); workers run
+   ``registry.run`` or the batch runner, writing results straight into
+   the shared disk tier per cell, so sibling workers' parents and
+   future processes hit without re-simulating;
+6. **serve** — duplicate slots are filled with independent copies, and
    drivers index results by the slots they collected.
 
 Planner activity is counted through :mod:`repro.perf.timers`
 (``planner.requests``, ``planner.duplicates``, ``planner.memory_hits``,
-``planner.disk_hits``, ``planner.executed``, ``planner.chunks``), which
-the TELEMETRY registry exposes under ``perf.timers.counters.*``.
+``planner.disk_hits``, ``planner.executed``, ``planner.units``), which
+the TELEMETRY registry exposes under ``perf.timers.counters.*``; the
+tensor engine's own counters live in the ``perf.tensor`` namespace.
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.perf import timers
+from repro.perf import tensorsweep, timers
 from repro.perf.cache import RUN_CACHE, cache_key
 from repro.perf.diskcache import DISK_CACHE
 
@@ -111,22 +119,39 @@ def execute_requests(
 
     if pending:
         timers.count("planner.executed", len(pending))
-        outcomes = None
-        if n_jobs > 1 and len(pending) > 1:
-            outcomes = executor._run_pool(
-                [request for _, request, _ in pending], n_jobs,
-                chunk_size=chunk_size,
+        # Partition the misses into dispatch units: tensor batch groups
+        # (one structure pass, whole calibration grid) and per-cell
+        # fallbacks.  A batch counts as ONE dispatch unit — chunk sizing
+        # and pool submissions see units, not the batch width.
+        units = tensorsweep.plan_units(
+            [(request, key) for _, request, key in pending]
+        )
+        timers.count("planner.units", len(units))
+        pooled = False
+        unit_outcomes = None
+        if n_jobs > 1 and len(units) > 1:
+            unit_outcomes = executor._run_unit_pool(
+                units, n_jobs, chunk_size=chunk_size
             )
-        if outcomes is None:
-            # Serial path: registry.run handles both cache tiers itself.
+            pooled = unit_outcomes is not None
+        if unit_outcomes is None:
+            # Serial path: execute_unit handles both cache tiers itself
+            # (registry.run for singles, the tensor engine's per-cell
+            # round-trip for batches).
             with timers.timer("sweep.serial"):
-                outcomes = [
-                    executor._execute(request) for _, request, _ in pending
+                unit_outcomes = [
+                    tensorsweep.execute_unit(unit) for unit in units
                 ]
-        else:
+        # Scatter unit results back to pending order.
+        outcomes: List[Any] = [None] * len(pending)
+        for unit, unit_results in zip(units, unit_outcomes):
+            for position, outcome in zip(unit.positions, unit_results):
+                outcomes[position] = outcome
+        if pooled:
             # Workers simulated in their own processes and wrote the
-            # disk tier themselves (their registry.run does); seed this
-            # process's memory tier so later calls in-session hit.
+            # disk tier themselves (their registry.run / tensor engine
+            # does); seed this process's memory tier so later calls
+            # in-session hit.
             for (_, _, key), outcome in zip(pending, outcomes):
                 if key is not None and RUN_CACHE.enabled:
                     RUN_CACHE.insert(key, outcome)

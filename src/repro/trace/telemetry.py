@@ -173,6 +173,12 @@ def _disk_cache_source() -> Dict[str, Any]:
     return dict(DISK_CACHE.stats())
 
 
+def _tensor_source() -> Dict[str, Any]:
+    from repro.perf.tensorsweep import TENSOR_STATS
+
+    return dict(TENSOR_STATS.stats())
+
+
 def _resilience_source() -> Dict[str, Any]:
     from repro.resilience.stats import RESILIENCE
 
@@ -193,5 +199,6 @@ TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
 TELEMETRY.register("perf.cache", _run_cache_source)
 TELEMETRY.register("perf.diskcache", _disk_cache_source)
+TELEMETRY.register("perf.tensor", _tensor_source)
 TELEMETRY.register("resilience", _resilience_source)
 TELEMETRY.register("trace", _trace_source)

@@ -72,10 +72,10 @@ class TestInjectorHygiene:
             assert cached.cycles == pytest.approx(2.0 * cold.cycles)
 
     def test_executor_injector_unpatches(self):
-        original = executor._run_pool
+        original = executor._run_unit_pool
         with faults.misdelivered_worker_results():
-            assert executor._run_pool is not original
-        assert executor._run_pool is original
+            assert executor._run_unit_pool is not original
+        assert executor._run_unit_pool is original
 
     def test_dram_injector_unpatches(self):
         from repro.memory.dram import DRAM

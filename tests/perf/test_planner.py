@@ -10,7 +10,7 @@ strictly fewer cold executions than its request count.
 import pytest
 
 from repro.eval import sensitivity
-from repro.perf import executor, planner
+from repro.perf import executor, planner, tensorsweep
 from repro.perf.cache import RUN_CACHE, cache_key
 from repro.perf.diskcache import DISK_CACHE
 from repro.perf.planner import SweepPlan, execute_requests
@@ -26,15 +26,23 @@ def fresh_caches():
 
 @pytest.fixture
 def count_executions(monkeypatch):
-    """Count actual mapping executions (cold runs) under the planner."""
+    """Count actual mapping executions (cold runs) under the planner —
+    per-cell runs and tensor-batched cells alike."""
     calls = []
     original = executor._execute
+    original_group = tensorsweep.run_group
 
     def counting(request):
         calls.append(request)
         return original(request)
 
+    def counting_group(group):
+        for kwargs in group.cell_kwargs:
+            calls.append((group.kernel, group.machine, kwargs))
+        return original_group(group)
+
     monkeypatch.setattr(executor, "_execute", counting)
+    monkeypatch.setattr(tensorsweep, "run_group", counting_group)
     return calls
 
 
