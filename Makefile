@@ -5,7 +5,7 @@ GOLDEN_DIR ?= tests/data/golden
 
 .PHONY: install test bench bench-cache bench-tensor report check \
 	check-inject check-chaos doctor refresh-golden figures export \
-	metrics trace clean
+	metrics trace fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -70,6 +70,12 @@ metrics:
 	  from repro.trace.export import write_metrics_manifest; \
 	  print(write_metrics_manifest('BENCH_PR3.json', run_table3()))"
 
+# Seeded scenario fuzz sweep through the pipeline invariants; writes
+# the deterministic manifest (see docs/scenarios.md).
+fuzz:
+	$(PYTHON) -m repro pipeline fuzz --seed 0 --count 200 --jobs 2 \
+	  --manifest fuzz_manifest.json
+
 # Chrome trace + utilization timeline of the canonical VIRAM corner turn.
 trace:
 	$(PYTHON) -m repro trace corner_turn viram --format chrome -o trace.json
@@ -77,5 +83,5 @@ trace:
 
 clean:
 	rm -rf figures results.json trace.json timeline.svg \
-	  .pytest_cache .benchmarks
+	  fuzz_manifest.json .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -20,7 +20,10 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
   trace-vs-ledger cross-check (a traced run's event stream must sum
   back to its cycle ledger and must not perturb the model), the
   synthetic DRAM and engine oracles, the tensor-engine batch-vs-per-cell
-  differential (``invariant.tensor.*``, :mod:`repro.check.tensor`), plus
+  differential (``invariant.tensor.*``, :mod:`repro.check.tensor`), the
+  pipeline composition invariants (``invariant.pipeline.*``,
+  :mod:`repro.check.pipeline`: stage-cost additivity, footprint
+  conservation across handoffs, batched-vs-serial bit-identity), plus
   the disk-tier differential oracle (disk-hit vs memory-hit vs cold) and
   an integrity sweep of the persisted entries.  Cheap enough that
   ``full_report`` runs it
@@ -48,6 +51,7 @@ from repro.check.oracles import (
     dram_oracle,
     executor_oracle,
 )
+from repro.check.pipeline import pipeline_checks, validate_pipeline_run
 from repro.check.report import CheckReport, CheckResult
 from repro.check.tensor import tensor_oracle
 from repro.errors import CheckError
@@ -91,6 +95,7 @@ def run_checks(
     report.extend(tensor_oracle(workloads=workloads))
     report.extend(disk_cache_oracle(workloads=workloads))
     report.extend(disk_integrity_check())
+    report.extend(pipeline_checks(workloads=workloads))
     if tier == "full":
         report.extend(cache_oracle(workloads=workloads))
         report.extend(executor_oracle(jobs=jobs))
@@ -157,8 +162,10 @@ __all__ = [
     "disk_integrity_check",
     "dram_oracle",
     "executor_oracle",
+    "pipeline_checks",
     "run_checks",
     "tensor_oracle",
+    "validate_pipeline_run",
     "validate_results",
     "validate_run",
     "validation_section",

@@ -24,23 +24,44 @@ from typing import Dict, List
 #: Fixture file names under the golden directory.
 REPORT_FIXTURE = "report.txt"
 TABLE3_CSV_FIXTURE = "table3.csv"
+PIPELINE_FIXTURE_TEMPLATE = "pipeline_{machine}.txt"
+
+
+def pipeline_fixture_names() -> Dict[str, str]:
+    """``{fixture file name: machine}`` for the pipeline snapshots."""
+    from repro.mappings.registry import MACHINES
+
+    return {
+        PIPELINE_FIXTURE_TEMPLATE.format(machine=machine): machine
+        for machine in MACHINES
+    }
 
 
 def golden_documents() -> Dict[str, str]:
     """Every golden document, keyed by fixture file name.
 
     Uses the canonical workloads — exactly what ``python -m repro
-    report`` prints and ``eval/export.write_csv`` writes.
+    report`` prints, ``eval/export.write_csv`` writes, and ``repro
+    pipeline run`` renders per machine.
     """
     from repro.eval.export import table3_csv
     from repro.eval.report import full_report
     from repro.eval.tables import run_table3
+    from repro.scenarios import (
+        canonical_scenario,
+        render_pipeline,
+        run_pipeline,
+    )
 
     results = run_table3()
-    return {
+    documents = {
         REPORT_FIXTURE: full_report() + "\n",
         TABLE3_CSV_FIXTURE: table3_csv(results),
     }
+    for name, machine in pipeline_fixture_names().items():
+        prun = run_pipeline(canonical_scenario(machine))
+        documents[name] = render_pipeline(prun) + "\n"
+    return documents
 
 
 def write_golden(directory: Path) -> List[Path]:

@@ -372,6 +372,72 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="B",
         help="prune: keep at most B bytes (default: cache's own cap)",
     )
+    pipe_p = sub.add_parser(
+        "pipeline",
+        help="compose kernels into radar-chain scenarios (run | fuzz)",
+        description=(
+            "Multi-stage radar pipelines (corner turn -> CSLC -> beam "
+            "steering) with per-machine inter-stage handoff costs "
+            "(docs/scenarios.md).  'run' executes the canonical chain; "
+            "'fuzz' sweeps a seeded deterministic scenario population "
+            "through the pipeline invariants."
+        ),
+    )
+    pipe_sub = pipe_p.add_subparsers(dest="action", required=True)
+    prun_p = pipe_sub.add_parser(
+        "run", help="run the three-stage chain and print the report"
+    )
+    prun_p.add_argument(
+        "--machine",
+        default="all",
+        help="machine to run on, or 'all' (default) for every machine",
+    )
+    prun_p.add_argument(
+        "--small",
+        action="store_true",
+        help="use the test-size workloads instead of the paper sizes",
+    )
+    prun_p.add_argument("--seed", type=int, default=0)
+    prun_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the stage sweep (default serial)",
+    )
+    prun_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable pipeline records instead of reports",
+    )
+    prun_p.add_argument("--perf", action="store_true")
+    prun_p.add_argument("--no-disk-cache", action="store_true")
+    fuzz_p = pipe_sub.add_parser(
+        "fuzz",
+        help="generate, execute, and invariant-check a scenario sweep",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--count", type=int, default=100, metavar="N")
+    fuzz_p.add_argument(
+        "--machines",
+        default=None,
+        metavar="M1,M2",
+        help="comma-separated machine subset (default: all machines)",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the scenario sweep (default serial)",
+    )
+    fuzz_p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write the deterministic scenario manifest (JSON) here",
+    )
+    fuzz_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the manifest to stdout instead of the summary line",
+    )
+    fuzz_p.add_argument("--perf", action="store_true")
+    fuzz_p.add_argument("--no-disk-cache", action="store_true")
     sub.add_parser(
         "doctor",
         help="probe the execution runtime's health",
@@ -499,11 +565,13 @@ def _print_perf_stats() -> None:
     from repro.perf import DISK_CACHE, RUN_CACHE, timers
     from repro.perf.tensorsweep import TENSOR_STATS
     from repro.resilience.stats import RESILIENCE
+    from repro.scenarios.stats import SCENARIO_STATS
 
     print(timers.render(), file=sys.stderr)
     print(RUN_CACHE.format_stats(), file=sys.stderr)
     print(DISK_CACHE.format_stats(), file=sys.stderr)
     print(TENSOR_STATS.format_stats(), file=sys.stderr)
+    print(SCENARIO_STATS.format_stats(), file=sys.stderr)
     print(RESILIENCE.render(), file=sys.stderr)
 
 
@@ -572,6 +640,105 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    if args.no_disk_cache:
+        from repro.perf.diskcache import DISK_CACHE
+
+        DISK_CACHE.disable()
+    if args.action == "run":
+        return _pipeline_run(args)
+    return _pipeline_fuzz(args)
+
+
+def _pipeline_run(args) -> int:
+    import json
+
+    from repro.mappings.registry import MACHINES
+    from repro.scenarios import (
+        canonical_scenario,
+        pipeline_record,
+        render_pipeline,
+        run_scenarios,
+        small_scenario,
+    )
+
+    if args.machine == "all":
+        machines = list(MACHINES)
+    elif args.machine in MACHINES:
+        machines = [args.machine]
+    else:
+        raise ReproError(
+            f"unknown machine {args.machine!r}; "
+            f"expected one of {MACHINES} or 'all'"
+        )
+    build = small_scenario if args.small else canonical_scenario
+    scenarios = [build(machine) for machine in machines]
+    if args.seed:
+        import dataclasses
+
+        scenarios = [
+            dataclasses.replace(s, seed=args.seed) for s in scenarios
+        ]
+    pruns = run_scenarios(scenarios, jobs=args.jobs)
+    if args.json:
+        records = [pipeline_record(prun) for prun in pruns]
+        print(json.dumps(records, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(render_pipeline(prun) for prun in pruns))
+    if args.perf:
+        _print_perf_stats()
+    return 0
+
+
+def _pipeline_fuzz(args) -> int:
+    from repro.scenarios import (
+        fuzz_manifest,
+        generate_scenarios,
+        manifest_json,
+        run_scenarios,
+        validate_pipelines,
+    )
+
+    machines = (
+        tuple(m.strip() for m in args.machines.split(",") if m.strip())
+        if args.machines
+        else None
+    )
+    scenarios = generate_scenarios(args.seed, args.count, machines)
+    pruns = run_scenarios(scenarios, jobs=args.jobs)
+    violations = validate_pipelines(pruns)
+    from repro.mappings.registry import MACHINES
+
+    manifest = fuzz_manifest(
+        args.seed,
+        args.count,
+        machines or tuple(MACHINES),
+        pruns,
+        violations,
+    )
+    text = manifest_json(manifest)
+    if args.manifest:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(args.manifest, text)
+        print(f"manifest -> {args.manifest}", file=sys.stderr)
+    if args.json:
+        print(text, end="")
+    else:
+        n_violating = len(violations)
+        print(
+            f"pipeline fuzz: {len(pruns)} scenarios (seed {args.seed}), "
+            f"{manifest['violation_count']} invariant violations in "
+            f"{n_violating} scenarios"
+        )
+        for scenario_id in sorted(violations):
+            for failure in violations[scenario_id]:
+                print(f"  {scenario_id}: {failure}")
+    if args.perf:
+        _print_perf_stats()
+    return 1 if violations else 0
+
+
 def _cmd_doctor(_args) -> int:
     from repro.resilience import doctor
 
@@ -611,6 +778,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "check": _cmd_check,
     "cache": _cmd_cache,
+    "pipeline": _cmd_pipeline,
     "doctor": _cmd_doctor,
     "experiments": _cmd_experiments,
     "list": _cmd_list,

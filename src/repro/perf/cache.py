@@ -142,6 +142,23 @@ def cache_key(
     return hashlib.sha256(b"".join(parts)).hexdigest()
 
 
+def content_digest(obj: Any) -> Optional[str]:
+    """Stable content hash of any cache-encodable value, or ``None``.
+
+    Uses the same canonical encoding as :func:`cache_key` but *without*
+    the model version stamp: the digest names the value itself (a
+    scenario, a workload bundle), not a memoized model output, so it
+    must survive calibration retunes and version bumps.  Scenario IDs
+    (:mod:`repro.scenarios`) are built on this.
+    """
+    parts: List[bytes] = [b"content|"]
+    try:
+        _encode(obj, parts)
+    except _Uncacheable:
+        return None
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
 class RunCache:
     """Keyed store of completed runs with hit/miss/bypass counters.
 

@@ -1,0 +1,75 @@
+"""Radar pipeline scenarios: composed kernel chains + seeded fuzzing.
+
+The paper's three kernels — corner turn, CSLC, beam steering — are
+stages of one real radar chain.  This package composes the existing
+per-machine kernel mappings into end-to-end pipelines with explicit
+inter-stage data-movement costs (:mod:`.handoff`), executes scenario
+populations through the dedup-aware tensor planner (:mod:`.pipeline`),
+and generates seeded deterministic scenario sweeps (:mod:`.fuzz`) that
+the ``invariant.pipeline.*`` checks and the chaos harness keep honest.
+
+CLI: ``repro pipeline run`` / ``repro pipeline fuzz``; docs:
+docs/scenarios.md.
+"""
+
+from repro.scenarios.fuzz import (
+    fuzz_manifest,
+    generate_scenarios,
+    manifest_json,
+    shrink,
+    validate_pipelines,
+)
+from repro.scenarios.handoff import (
+    Handoff,
+    HandoffLevel,
+    floor_cycles,
+    handoff_levels,
+    plan_handoff,
+)
+from repro.scenarios.model import (
+    STAGE_ORDER,
+    Scenario,
+    StageSpec,
+    canonical_scenario,
+    scenario_for_workloads,
+    small_scenario,
+    stage,
+)
+from repro.scenarios.pipeline import (
+    PipelineRun,
+    StageResult,
+    pipeline_record,
+    render_pipeline,
+    run_pipeline,
+    run_scenarios,
+    stage_requests,
+)
+from repro.scenarios.stats import SCENARIO_STATS
+
+__all__ = [
+    "Handoff",
+    "HandoffLevel",
+    "PipelineRun",
+    "SCENARIO_STATS",
+    "STAGE_ORDER",
+    "Scenario",
+    "StageResult",
+    "StageSpec",
+    "canonical_scenario",
+    "floor_cycles",
+    "fuzz_manifest",
+    "generate_scenarios",
+    "handoff_levels",
+    "manifest_json",
+    "pipeline_record",
+    "plan_handoff",
+    "render_pipeline",
+    "run_pipeline",
+    "run_scenarios",
+    "scenario_for_workloads",
+    "shrink",
+    "small_scenario",
+    "stage",
+    "stage_requests",
+    "validate_pipelines",
+]

@@ -1,0 +1,193 @@
+"""Inter-stage data-movement cost model, per machine.
+
+Between two pipeline stages the producer's output must reach the
+consumer's input space.  Where that handoff lands — and what it costs —
+depends on each architecture's memory hierarchy (§2):
+
+* **VIRAM** keeps working sets in its 13 MB on-chip DRAM; a payload
+  that fits streams at the 8 words/cycle sequential rate in one pass.
+  Anything larger round-trips through off-chip memory over the 2
+  words/cycle DMA port — out on production, back on consumption (two
+  passes).
+* **Imagine** stages streams through the 128 KB SRF at 16 words/cycle;
+  a payload the SRF cannot hold is spilled to SDRAM and refilled, two
+  passes at the 2 words/cycle aggregate memory-controller rate.
+* **Raw** holds streams in the tiles' 32 KB data SRAMs (512 KB
+  aggregate, 16 words/cycle — one load/store port per tile); larger
+  payloads go out and back through the peripheral DRAM ports at the 28
+  words/cycle aggregate off-chip rate.
+* **PPC/AltiVec** (same G4 memory system) hand off through the cache
+  hierarchy: L1 at 1 word/cycle, L2 at one 8-word line per
+  ``l2_hit_cycles``, DRAM at one line per ``dram_latency_cycles`` —
+  the cache levels' costs come from the same default calibration
+  constants the kernel models use.
+
+The model is deliberately first-order — capacity selects the level, a
+flat per-level ``words/cycle`` rate and a pass count (1 for "stays
+resident", 2 for "write out + read back") price the movement — and it
+is *fixed per machine*: scenario calibrations retune kernel interiors,
+not the handoff fabric, so a scenario's handoff cost depends only on
+(machine, payload words).  The ``invariant.pipeline.*`` checks recompute
+it independently from this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HandoffLevel:
+    """One rung of a machine's handoff hierarchy.
+
+    ``capacity_words`` ``None`` means unbounded (the backstop level);
+    ``passes`` is how many times the payload crosses the level's port
+    (1: produced in place; 2: written out then read back).
+    """
+
+    name: str
+    capacity_words: Optional[int]
+    words_per_cycle: float
+    passes: int
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """A priced inter-stage transfer."""
+
+    machine: str
+    level: str
+    words: int
+    words_per_cycle: float
+    passes: int
+
+    @property
+    def cycles(self) -> float:
+        return self.words * self.passes / self.words_per_cycle
+
+
+def _viram_levels() -> Tuple[HandoffLevel, ...]:
+    from repro.arch.viram.config import ViramConfig
+
+    cfg = ViramConfig()
+    return (
+        HandoffLevel(
+            "onchip-dram",
+            cfg.onchip_dram_words,
+            float(cfg.seq_words_per_cycle),
+            1,
+        ),
+        HandoffLevel(
+            "offchip-dma", None, float(cfg.offchip_dma_words_per_cycle), 2
+        ),
+    )
+
+
+def _imagine_levels() -> Tuple[HandoffLevel, ...]:
+    from repro.arch.imagine.config import ImagineConfig
+
+    cfg = ImagineConfig()
+    return (
+        HandoffLevel(
+            "srf", cfg.srf_words, float(cfg.srf_words_per_cycle), 1
+        ),
+        HandoffLevel("sdram", None, float(cfg.memory_words_per_cycle), 2),
+    )
+
+
+def _raw_levels() -> Tuple[HandoffLevel, ...]:
+    from repro.arch.raw.config import RawConfig
+
+    cfg = RawConfig()
+    tiles = cfg.mesh_rows * cfg.mesh_cols
+    return (
+        HandoffLevel(
+            "tile-sram",
+            tiles * cfg.tile_data_bytes // 4,
+            float(cfg.onchip_words_per_cycle),
+            1,
+        ),
+        HandoffLevel(
+            "offchip-dram", None, float(cfg.offchip_words_per_cycle), 2
+        ),
+    )
+
+
+def _ppc_levels() -> Tuple[HandoffLevel, ...]:
+    from repro.arch.ppc.config import PpcConfig
+    from repro.calibration import DEFAULT_CALIBRATION
+
+    cfg = PpcConfig()
+    cal = DEFAULT_CALIBRATION.ppc
+    line_words = cfg.l1_line_bytes // 4
+    return (
+        HandoffLevel("l1", cfg.l1_size_bytes // 4, 1.0, 1),
+        HandoffLevel(
+            "l2", cfg.l2_size_bytes // 4, line_words / cal.l2_hit_cycles, 2
+        ),
+        HandoffLevel(
+            "dram", None, line_words / cal.dram_latency_cycles, 2
+        ),
+    )
+
+
+_BUILDERS = {
+    "viram": _viram_levels,
+    "imagine": _imagine_levels,
+    "raw": _raw_levels,
+    "ppc": _ppc_levels,
+    "altivec": _ppc_levels,  # same G4 memory system
+}
+
+_LEVELS: Dict[str, Tuple[HandoffLevel, ...]] = {}
+
+
+def handoff_levels(machine: str) -> Tuple[HandoffLevel, ...]:
+    """The machine's handoff hierarchy, fastest/smallest first."""
+    try:
+        builder = _BUILDERS[machine]
+    except KeyError:
+        raise ConfigError(
+            f"no handoff model for machine {machine!r}; "
+            f"expected one of {tuple(_BUILDERS)}"
+        ) from None
+    if machine not in _LEVELS:
+        _LEVELS[machine] = builder()
+    return _LEVELS[machine]
+
+
+def plan_handoff(machine: str, words: int) -> Handoff:
+    """Price moving ``words`` between stages on ``machine``.
+
+    The payload lands in the first (fastest) level that can hold it;
+    the backstop level is unbounded, so planning always succeeds.
+    """
+    if words <= 0:
+        raise ConfigError(f"handoff payload must be positive, got {words}")
+    for level in handoff_levels(machine):
+        if level.capacity_words is None or words <= level.capacity_words:
+            return Handoff(
+                machine=machine,
+                level=level.name,
+                words=words,
+                words_per_cycle=level.words_per_cycle,
+                passes=level.passes,
+            )
+    raise ConfigError(  # pragma: no cover - last level is unbounded
+        f"no handoff level can hold {words} words on {machine}"
+    )
+
+
+def floor_cycles(machine: str, words: int) -> float:
+    """The cheapest conceivable handoff of ``words`` on ``machine`` —
+    one pass at the fastest level's rate.  The footprint-conservation
+    invariant uses this as its lower bound: no priced handoff may beat
+    the machine's best port."""
+    best = max(
+        level.words_per_cycle / level.passes
+        for level in handoff_levels(machine)
+    )
+    return words / best

@@ -1,0 +1,241 @@
+"""Scenario model: multi-stage radar chains as frozen value objects.
+
+The paper evaluates corner turn, CSLC, and beam steering as isolated
+kernels; a real radar chain runs them back to back — the corner turn
+reorganises the sample matrix, the CSLC cancels jammers in the
+reorganised data, and beam steering phases the array for the next
+dwell.  A :class:`Scenario` captures one such chain: a machine, an
+ordered tuple of :class:`StageSpec` records (kernel + workload +
+mapping options + optional per-stage calibration), a functional seed,
+and an optional chain-wide calibration.
+
+Everything is a frozen dataclass, for the same reason the workloads
+are: the scenario *is* its content.  :attr:`Scenario.scenario_id` is a
+content digest over the whole record
+(:func:`repro.perf.cache.content_digest`), so two processes that build
+the same scenario agree on its name, and the planner/cache layers see
+per-stage requests whose :func:`~repro.perf.cache.cache_key` is exactly
+the key a standalone ``registry.run`` of the same cell would mint —
+scenario execution reuses every cache tier unchanged.
+
+To keep that key equality, :meth:`Scenario.stage_kwargs` *omits*
+defaulted arguments: a canonical stage contributes ``{}`` (the very
+kwargs ``run_table3`` uses), a small-workload stage contributes
+``{"workload": wl}`` (the fast check tier's kwargs), and only explicit
+seeds, calibrations, and options appear at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.errors import ConfigError
+from repro.kernels.beam_steering import BeamSteeringWorkload
+from repro.kernels.corner_turn import CornerTurnWorkload
+from repro.kernels.cslc import CSLCWorkload
+
+#: The canonical radar chain, in dataflow order (§3: the corner turn
+#: reorganises the interval's samples, the CSLC filters them, beam
+#: steering phases the array for the next dwell).
+STAGE_ORDER: Tuple[str, ...] = ("corner_turn", "cslc", "beam_steering")
+
+#: Workload record type each stage kernel takes.
+WORKLOAD_TYPES: Dict[str, type] = {
+    "corner_turn": CornerTurnWorkload,
+    "cslc": CSLCWorkload,
+    "beam_steering": BeamSteeringWorkload,
+}
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: a kernel invocation's full configuration.
+
+    ``workload`` ``None`` means the canonical (paper-size) workload;
+    ``options`` is a sorted tuple of ``(name, value)`` mapping options
+    (use :func:`stage` to build one from keywords); ``calibration``
+    overrides the scenario-wide calibration for this stage only.
+    """
+
+    kernel: str
+    workload: Optional[Any] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+    calibration: Optional[Calibration] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel not in WORKLOAD_TYPES:
+            raise ConfigError(
+                f"unknown stage kernel {self.kernel!r}; "
+                f"expected one of {STAGE_ORDER}"
+            )
+        if self.workload is not None and not isinstance(
+            self.workload, WORKLOAD_TYPES[self.kernel]
+        ):
+            raise ConfigError(
+                f"stage {self.kernel!r} takes a "
+                f"{WORKLOAD_TYPES[self.kernel].__name__}, "
+                f"got {type(self.workload).__name__}"
+            )
+        if tuple(sorted(self.options)) != self.options:
+            raise ConfigError(
+                f"stage options must be a sorted tuple of (name, value) "
+                f"pairs, got {self.options!r}"
+            )
+
+    def resolved_workload(self) -> Any:
+        """The workload this stage runs (canonical when unset)."""
+        if self.workload is not None:
+            return self.workload
+        from repro.kernels import workloads
+
+        return getattr(workloads, f"canonical_{self.kernel}")()
+
+    def output_words(self) -> int:
+        """32-bit words this stage hands to its successor.
+
+        Corner turn: the transposed matrix.  CSLC: the cancelled main
+        channels, one complex (2-word) sample per sub-band bin.  Beam
+        steering: one phase word per output.
+        """
+        wl = self.resolved_workload()
+        if self.kernel == "corner_turn":
+            return int(wl.words)
+        if self.kernel == "cslc":
+            return int(wl.n_mains * wl.n_subbands * wl.subband_len * 2)
+        return int(wl.outputs)
+
+
+def stage(
+    kernel: str,
+    workload: Optional[Any] = None,
+    calibration: Optional[Calibration] = None,
+    **options: Any,
+) -> StageSpec:
+    """Build a :class:`StageSpec` from keyword mapping options."""
+    return StageSpec(
+        kernel=kernel,
+        workload=workload,
+        options=tuple(sorted(options.items())),
+        calibration=calibration,
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One end-to-end radar chain on one machine.
+
+    ``seed`` feeds the functional data generators of every stage (0 is
+    the library default and is omitted from the stage kwargs);
+    ``calibration`` applies to every stage that does not carry its own.
+    """
+
+    machine: str
+    stages: Tuple[StageSpec, ...] = field(
+        default_factory=lambda: tuple(StageSpec(k) for k in STAGE_ORDER)
+    )
+    seed: int = 0
+    calibration: Optional[Calibration] = None
+
+    def __post_init__(self) -> None:
+        from repro.mappings import registry
+
+        if self.machine not in registry.MACHINES:
+            raise ConfigError(
+                f"unknown machine {self.machine!r}; "
+                f"expected one of {registry.MACHINES}"
+            )
+        if not self.stages:
+            raise ConfigError("a scenario needs at least one stage")
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+        available = set(registry.available())
+        for spec in self.stages:
+            if (spec.kernel, self.machine) not in available:
+                raise ConfigError(
+                    f"no mapping registered for "
+                    f"{spec.kernel}/{self.machine}"
+                )
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable content-addressed identity (16 hex chars).
+
+        A pure function of the scenario's content — same fields, same
+        ID, in any process — and independent of the model version stamp
+        (IDs name the *request*, cache keys name the *response*).
+        """
+        from repro.perf.cache import content_digest
+
+        digest = content_digest(self)
+        if digest is None:  # pragma: no cover - all fields are encodable
+            raise ConfigError(f"scenario is not content-addressable: {self}")
+        return digest[:16]
+
+    def stage_kwargs(self, spec: StageSpec) -> Dict[str, Any]:
+        """The ``registry.run`` kwargs for one stage.
+
+        Defaults are *omitted* (no ``workload`` key for canonical, no
+        ``seed`` for 0, no ``calibration`` when unset) so the cache key
+        equals a standalone run's key for the same cell.
+        """
+        kwargs: Dict[str, Any] = {}
+        if spec.workload is not None:
+            kwargs["workload"] = spec.workload
+        calibration = spec.calibration or self.calibration
+        if calibration is not None:
+            kwargs["calibration"] = calibration
+        if self.seed:
+            kwargs["seed"] = self.seed
+        kwargs.update(dict(spec.options))
+        return kwargs
+
+
+def canonical_scenario(
+    machine: str, calibration: Optional[Calibration] = None
+) -> Scenario:
+    """The paper-size three-stage chain on ``machine``."""
+    return Scenario(machine=machine, calibration=calibration)
+
+
+def scenario_for_workloads(
+    machine: str,
+    workloads: Optional[Mapping[str, Any]] = None,
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+) -> Scenario:
+    """A three-stage chain using per-kernel workload overrides (the
+    mapping ``run_checks`` and ``full_report`` take; missing kernels run
+    canonical)."""
+    workloads = workloads or {}
+    return Scenario(
+        machine=machine,
+        stages=tuple(
+            StageSpec(kernel, workload=workloads.get(kernel))
+            for kernel in STAGE_ORDER
+        ),
+        seed=seed,
+        calibration=calibration,
+    )
+
+
+def small_scenario(
+    machine: str, calibration: Optional[Calibration] = None
+) -> Scenario:
+    """The test-size three-stage chain on ``machine``."""
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return scenario_for_workloads(
+        machine,
+        {
+            "corner_turn": small_corner_turn(),
+            "cslc": small_cslc(),
+            "beam_steering": small_beam_steering(),
+        },
+        calibration=calibration,
+    )

@@ -21,6 +21,9 @@ The process-wide :data:`TELEMETRY` registry starts with five sources:
 * ``resilience`` — the supervised executor's recovery ledger (retries,
   degradations, worker crashes, pool restarts, quarantines, broken
   locks — see :mod:`repro.resilience.stats`);
+* ``scenario`` — pipeline composition and fuzzing counters (stages run
+  per kernel, handoff words/cycles per level, scenarios generated and
+  validated — see :mod:`repro.scenarios.stats`);
 * ``trace`` — the active tracer's counters and event census (empty when
   tracing is off).
 
@@ -185,6 +188,12 @@ def _resilience_source() -> Dict[str, Any]:
     return dict(RESILIENCE.snapshot())
 
 
+def _scenario_source() -> Dict[str, Any]:
+    from repro.scenarios.stats import SCENARIO_STATS
+
+    return dict(SCENARIO_STATS.snapshot())
+
+
 def _trace_source() -> Dict[str, Any]:
     tracer = active_tracer()
     if tracer is None:
@@ -201,4 +210,5 @@ TELEMETRY.register("perf.cache", _run_cache_source)
 TELEMETRY.register("perf.diskcache", _disk_cache_source)
 TELEMETRY.register("perf.tensor", _tensor_source)
 TELEMETRY.register("resilience", _resilience_source)
+TELEMETRY.register("scenario", _scenario_source)
 TELEMETRY.register("trace", _trace_source)

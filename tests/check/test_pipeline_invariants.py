@@ -1,0 +1,135 @@
+"""Tests for :mod:`repro.check.pipeline`.
+
+Same doctrine as ``test_invariants``: every real pipeline must pass
+every pipeline invariant, and every invariant must reject the precise
+corruption it exists to catch — additivity must see a cooked total,
+footprint must see shrunk or teleported words, batch-vs-serial must be
+wired into the fast tier where it can actually veto a release.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check.pipeline import (
+    pipeline_checks,
+    validate_pipeline_run,
+)
+from repro.check.report import FAIL, PASS
+from repro.kernels.workloads import (
+    small_beam_steering,
+    small_corner_turn,
+    small_cslc,
+)
+from repro.mappings import registry
+from repro.scenarios import run_pipeline, small_scenario
+
+SMALL_WORKLOADS = {
+    "corner_turn": small_corner_turn(),
+    "cslc": small_cslc(),
+    "beam_steering": small_beam_steering(),
+}
+
+
+@pytest.fixture(scope="module")
+def small_pruns():
+    return {
+        machine: run_pipeline(small_scenario(machine))
+        for machine in registry.MACHINES
+    }
+
+
+def _tamper_stage(prun, index, **changes):
+    stages = list(prun.stages)
+    stages[index] = dataclasses.replace(stages[index], **changes)
+    return dataclasses.replace(prun, stages=tuple(stages))
+
+
+class TestRealPipelinesPass:
+    def test_every_machine_passes_both_run_invariants(self, small_pruns):
+        for machine, prun in small_pruns.items():
+            results = validate_pipeline_run(prun)
+            assert [r.name for r in results] == [
+                f"invariant.pipeline.additivity.{machine}",
+                f"invariant.pipeline.footprint.{machine}",
+            ]
+            for result in results:
+                assert result.status == PASS, result.format()
+
+    def test_pipeline_checks_suite_is_all_green(self):
+        results = pipeline_checks(workloads=SMALL_WORKLOADS)
+        # 2 per machine + the batch-vs-serial differential.
+        assert len(results) == 2 * len(registry.MACHINES) + 1
+        for result in results:
+            assert result.status == PASS, result.format()
+        assert results[-1].name == "invariant.pipeline.batch-vs-serial"
+
+
+class TestAdditivityRejectsCorruption:
+    def test_dropped_handoff_fails(self, small_pruns):
+        tampered = _tamper_stage(small_pruns["viram"], 0, handoff=None)
+        additivity = validate_pipeline_run(tampered)[0]
+        assert additivity.status == FAIL
+        assert "missing its handoff" in additivity.detail
+
+    def test_repriced_handoff_fails(self, small_pruns):
+        prun = small_pruns["imagine"]
+        # Halve the port rate: cycles (a derived property) double while
+        # words stay honest, so only additivity's re-pricing sees it.
+        cooked = dataclasses.replace(
+            prun.stages[0].handoff,
+            words_per_cycle=prun.stages[0].handoff.words_per_cycle / 2,
+        )
+        tampered = _tamper_stage(prun, 0, handoff=cooked)
+        additivity = validate_pipeline_run(tampered)[0]
+        assert additivity.status == FAIL
+        assert "drifted" in additivity.detail
+
+    def test_handoff_on_the_last_stage_fails(self, small_pruns):
+        prun = small_pruns["raw"]
+        tampered = _tamper_stage(
+            prun, len(prun.stages) - 1, handoff=prun.stages[0].handoff
+        )
+        additivity = validate_pipeline_run(tampered)[0]
+        assert additivity.status == FAIL
+        assert "last stage" in additivity.detail
+
+
+class TestFootprintRejectsCorruption:
+    def test_shrunk_payload_fails(self, small_pruns):
+        prun = small_pruns["viram"]
+        stored = prun.stages[0].handoff
+        # Shrink the payload; cycles re-derive consistently, so only
+        # footprint conservation can catch the lost words.
+        shrunk = dataclasses.replace(stored, words=stored.words // 2)
+        tampered = _tamper_stage(prun, 0, handoff=shrunk)
+        footprint = validate_pipeline_run(tampered)[1]
+        assert footprint.status == FAIL
+        assert "declares" in footprint.detail
+
+    def test_below_floor_pricing_fails(self, small_pruns):
+        prun = small_pruns["ppc"]
+        stored = prun.stages[0].handoff
+        # An absurdly fast port prices the move below the best-port
+        # floor — data teleported.
+        teleported = dataclasses.replace(
+            stored, words_per_cycle=stored.words_per_cycle * 1e6
+        )
+        tampered = _tamper_stage(prun, 0, handoff=teleported)
+        results = validate_pipeline_run(tampered)
+        footprint = results[1]
+        assert footprint.status == FAIL
+        assert "best-port floor" in footprint.detail
+
+
+class TestFastTierWiring:
+    def test_fast_report_contains_the_pipeline_invariants(self):
+        from repro.check import run_checks
+
+        report = run_checks("fast", workloads=SMALL_WORKLOADS)
+        names = {r.name for r in report.results}
+        for machine in registry.MACHINES:
+            assert f"invariant.pipeline.additivity.{machine}" in names
+            assert f"invariant.pipeline.footprint.{machine}" in names
+        assert "invariant.pipeline.batch-vs-serial" in names
+        assert all(r.status != FAIL for r in report.results)

@@ -20,6 +20,7 @@ from repro.check.golden import (
     TABLE3_CSV_FIXTURE,
     diff_against_golden,
     golden_documents,
+    pipeline_fixture_names,
     write_golden,
 )
 from repro.eval.export import CSV_COLUMNS
@@ -44,6 +45,23 @@ class TestSnapshots:
             TABLE3_CSV_FIXTURE, documents[TABLE3_CSV_FIXTURE], GOLDEN_DIR
         )
         assert not diff, diff
+
+    def test_pipeline_reports_match_golden(self, documents):
+        # One canonical three-stage pipeline snapshot per machine.
+        names = pipeline_fixture_names()
+        assert len(names) == 5
+        for name in names:
+            diff = diff_against_golden(name, documents[name], GOLDEN_DIR)
+            assert not diff, diff
+
+    def test_pipeline_fixture_content(self, documents):
+        for name, machine in pipeline_fixture_names().items():
+            text = documents[name]
+            assert "== radar pipeline on " in text
+            assert "pipeline total:" in text
+            # Three stages, two priced handoffs between them.
+            assert text.count("stage ") == 3
+            assert text.count("handoff:") == 2
 
     def test_report_command_prints_the_fixture(self, documents, tmp_path):
         # The fixture pins what the user-facing command actually emits.
@@ -105,6 +123,8 @@ class TestDiffMachinery:
 
     def test_write_golden_round_trips(self, documents, tmp_path):
         paths = write_golden(tmp_path)
-        assert {p.name for p in paths} == {REPORT_FIXTURE, TABLE3_CSV_FIXTURE}
-        for name in (REPORT_FIXTURE, TABLE3_CSV_FIXTURE):
+        expected = {REPORT_FIXTURE, TABLE3_CSV_FIXTURE}
+        expected.update(pipeline_fixture_names())
+        assert {p.name for p in paths} == expected
+        for name in sorted(expected):
             assert diff_against_golden(name, documents[name], tmp_path) == ""

@@ -1,0 +1,207 @@
+"""Property suite for the scenario fuzzer itself (Hypothesis).
+
+Three contracts, fuzzed over the fuzzer's own input space:
+
+* generation is a pure function of the seed — same ``(seed, count)``
+  gives byte-identical scenario lists, and a shorter run is a prefix
+  of a longer one;
+* every generated scenario satisfies the mappings' structural
+  preconditions by construction (blocking divisibility, sub-band
+  tiling, precision ordering) and mints cacheable stage kwargs;
+* ``shrink`` drives a failing scenario to a per-dimension minimum for
+  monotone predicates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.perf.cache import cache_key, content_digest
+from repro.scenarios import Scenario, generate_scenarios, shrink
+from repro.scenarios.fuzz import (
+    ACCUMULATOR_BITS,
+    CT_DIMS,
+    SUBBAND_LENS,
+    TLB_ENTRY_CHOICES,
+)
+
+COMMON = dict(max_examples=150, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+counts = st.integers(min_value=0, max_value=12)
+
+
+class TestDeterminism:
+    @settings(**COMMON)
+    @given(seed=seeds, count=counts)
+    def test_same_seed_same_scenarios(self, seed, count):
+        first = generate_scenarios(seed, count)
+        second = generate_scenarios(seed, count)
+        assert first == second
+        assert [s.scenario_id for s in first] == [
+            s.scenario_id for s in second
+        ]
+
+    @settings(**COMMON)
+    @given(seed=seeds, count=counts, extra=st.integers(0, 8))
+    def test_prefix_stability(self, seed, count, extra):
+        short = generate_scenarios(seed, count)
+        long = generate_scenarios(seed, count + extra)
+        assert long[:count] == short
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_scenario_ids_name_content(self, seed):
+        # The id is a digest of the scenario value, nothing ambient.
+        for scenario in generate_scenarios(seed, 4):
+            assert scenario.scenario_id == content_digest(scenario)[:16]
+
+
+class TestStructuralPreconditions:
+    @settings(**COMMON)
+    @given(seed=seeds, count=st.integers(1, 10))
+    def test_generated_shapes_satisfy_every_mapping(self, seed, count):
+        for scenario in generate_scenarios(seed, count):
+            ct, cslc, bs = (s.workload for s in scenario.stages)
+
+            # Corner turn: multiples of 64 divide by VIRAM's 16-block,
+            # Raw's 64-block, and Imagine's 8-row strips alike.
+            assert ct.rows % 64 == 0 and ct.cols % 64 == 0
+            assert ct.rows in CT_DIMS and ct.cols in CT_DIMS
+
+            # CSLC: power-of-two FFTs, sub-bands exactly tile samples.
+            assert cslc.subband_len in SUBBAND_LENS
+            assert cslc.subband_len & (cslc.subband_len - 1) == 0
+            if cslc.n_subbands == 1:
+                assert cslc.samples == cslc.subband_len
+            else:
+                span = cslc.samples - cslc.subband_len
+                hop, rem = divmod(span, cslc.n_subbands - 1)
+                assert rem == 0
+                assert cslc.subband_len // 2 <= hop <= cslc.subband_len
+
+            # Beam steering: phase fits in the accumulator.
+            assert bs.accumulator_bits in ACCUMULATOR_BITS
+            assert 0 < bs.phase_bits <= bs.accumulator_bits
+            assert 16 <= bs.elements <= 256
+
+    @settings(**COMMON)
+    @given(seed=seeds, count=st.integers(1, 6))
+    def test_stage_kwargs_are_always_cacheable(self, seed, count):
+        for scenario in generate_scenarios(seed, count):
+            for spec in scenario.stages:
+                key = cache_key(
+                    spec.kernel,
+                    scenario.machine,
+                    scenario.stage_kwargs(spec),
+                )
+                assert key is not None
+
+    @settings(**COMMON)
+    @given(seed=seeds, count=st.integers(1, 10))
+    def test_structural_overrides_only_touch_viram_tlb(self, seed, count):
+        for scenario in generate_scenarios(seed, count):
+            for spec in scenario.stages:
+                if spec.calibration is None:
+                    continue
+                assert scenario.machine == "viram"
+                assert (
+                    spec.calibration.viram.tlb_entries in TLB_ENTRY_CHOICES
+                )
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_restricting_machines_is_honoured(self, seed):
+        for scenario in generate_scenarios(seed, 6, machines=("raw", "ppc")):
+            assert scenario.machine in ("raw", "ppc")
+
+
+class TestShrinking:
+    def _fuzzed(self, seed=0, index=0):
+        return generate_scenarios(seed, index + 1)[index]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200), index=st.integers(0, 5))
+    def test_trivial_predicate_shrinks_to_the_floor(self, seed, index):
+        # Predicate only looks at the machine, so every dimension is
+        # free to fall: the minimum is fully determined.
+        scenario = self._fuzzed(seed, index)
+        minimal = shrink(scenario, lambda s: s.machine == scenario.machine)
+
+        assert minimal.machine == scenario.machine
+        assert minimal.seed == 0
+        assert minimal.calibration is None
+        ct, cslc, bs = minimal.stages
+        assert all(s.calibration is None for s in minimal.stages)
+        assert all(s.options == () for s in minimal.stages)
+        assert (ct.workload.rows, ct.workload.cols) == (64, 64)
+        assert (
+            cslc.workload.n_mains,
+            cslc.workload.n_aux,
+            cslc.workload.n_subbands,
+            cslc.workload.subband_len,
+            cslc.workload.samples,
+        ) == (1, 1, 1, 16, 16)
+        assert (
+            bs.workload.elements,
+            bs.workload.directions,
+            bs.workload.dwells,
+            bs.workload.phase_bits,
+            bs.workload.accumulator_bits,
+        ) == (16, 1, 1, 8, 16)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_monotone_predicate_keeps_only_what_it_pins(self, seed):
+        scenario = self._fuzzed(seed)
+        threshold = scenario.stages[1].workload.subband_len
+
+        def predicate(s: Scenario) -> bool:
+            return s.stages[1].workload.subband_len >= threshold
+
+        minimal = shrink(scenario, predicate)
+        # The pinned dimension sits exactly at the threshold; everything
+        # orthogonal to it fell to its floor.
+        assert minimal.stages[1].workload.subband_len == threshold
+        assert minimal.seed == 0
+        assert minimal.calibration is None
+        assert minimal.stages[0].workload.rows == 64
+        assert minimal.stages[2].workload.elements == 16
+
+    def test_result_still_satisfies_the_predicate(self):
+        scenario = self._fuzzed(3)
+
+        def predicate(s: Scenario) -> bool:
+            return s.stages[0].workload.rows * s.stages[0].workload.cols >= (
+                scenario.stages[0].workload.rows
+                * scenario.stages[0].workload.cols
+            )
+
+        minimal = shrink(scenario, predicate)
+        assert predicate(minimal)
+
+    def test_no_single_step_reduces_further(self):
+        from repro.scenarios.fuzz import _shrink_candidates
+
+        scenario = self._fuzzed(1)
+        minimal = shrink(scenario, lambda s: True)
+        assert not list(_shrink_candidates(minimal))
+
+    def test_rejects_a_passing_scenario(self):
+        with pytest.raises(ConfigError, match="failing scenario"):
+            shrink(self._fuzzed(0), lambda s: False)
+
+
+class TestInputValidation:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigError, match="seed"):
+            generate_scenarios(-1, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError, match="count"):
+            generate_scenarios(0, -1)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            generate_scenarios(0, 1, machines=("upmem",))

@@ -1,0 +1,77 @@
+"""Handoff model: level selection, pricing, and hierarchy shape."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios import (
+    floor_cycles,
+    handoff_levels,
+    plan_handoff,
+)
+
+
+class TestHierarchies:
+    def test_every_machine_has_an_unbounded_backstop(self):
+        for machine in ("ppc", "altivec", "viram", "imagine", "raw"):
+            levels = handoff_levels(machine)
+            assert levels[-1].capacity_words is None
+            assert all(
+                level.capacity_words is not None for level in levels[:-1]
+            )
+
+    def test_levels_are_fastest_first(self):
+        for machine in ("ppc", "altivec", "viram", "imagine", "raw"):
+            rates = [
+                level.words_per_cycle / level.passes
+                for level in handoff_levels(machine)
+            ]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_ppc_and_altivec_share_the_g4_memory_system(self):
+        assert handoff_levels("ppc") == handoff_levels("altivec")
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigError, match="no handoff model"):
+            handoff_levels("upmem")
+
+
+class TestPlanning:
+    def test_payload_lands_in_first_fitting_level(self):
+        # Imagine SRF holds 32 K words: a 1 K-word stream stays
+        # resident, a 1 M-word stream spills to SDRAM both ways.
+        small = plan_handoff("imagine", 1024)
+        assert small.level == "srf"
+        assert small.passes == 1
+        big = plan_handoff("imagine", 1 << 20)
+        assert big.level == "sdram"
+        assert big.passes == 2
+
+    def test_capacity_boundary_is_inclusive(self):
+        from repro.arch.imagine.config import ImagineConfig
+
+        srf_words = ImagineConfig().srf_words
+        assert plan_handoff("imagine", srf_words).level == "srf"
+        assert plan_handoff("imagine", srf_words + 1).level == "sdram"
+
+    def test_viram_canonical_matrix_stays_on_chip(self):
+        # The paper sized the 4 MB corner turn *under* VIRAM's 13 MB
+        # on-chip DRAM; the handoff model must agree.
+        handoff = plan_handoff("viram", 1024 * 1024)
+        assert handoff.level == "onchip-dram"
+
+    def test_cycles_arithmetic(self):
+        handoff = plan_handoff("raw", 1 << 20)
+        assert handoff.level == "offchip-dram"
+        assert handoff.cycles == (1 << 20) * 2 / 28.0
+
+    def test_rejects_nonpositive_payload(self):
+        with pytest.raises(ConfigError, match="positive"):
+            plan_handoff("viram", 0)
+
+
+class TestFloor:
+    def test_no_priced_handoff_beats_the_floor(self):
+        for machine in ("ppc", "altivec", "viram", "imagine", "raw"):
+            for words in (1, 1000, 10**6, 10**8):
+                handoff = plan_handoff(machine, words)
+                assert handoff.cycles >= floor_cycles(machine, words)

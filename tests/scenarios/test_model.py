@@ -1,0 +1,172 @@
+"""Scenario model: validation, identity, and cache-key transparency."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.workloads import (
+    canonical_corner_turn,
+    small_beam_steering,
+    small_corner_turn,
+    small_cslc,
+)
+from repro.perf.cache import cache_key
+from repro.scenarios import (
+    STAGE_ORDER,
+    Scenario,
+    StageSpec,
+    canonical_scenario,
+    scenario_for_workloads,
+    small_scenario,
+    stage,
+)
+
+
+class TestStageSpec:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigError, match="unknown stage kernel"):
+            StageSpec("matmul")
+
+    def test_rejects_wrong_workload_type(self):
+        with pytest.raises(ConfigError, match="takes a CSLCWorkload"):
+            StageSpec("cslc", workload=small_corner_turn())
+
+    def test_rejects_unsorted_options(self):
+        with pytest.raises(ConfigError, match="sorted tuple"):
+            StageSpec(
+                "cslc", options=(("streamed_fft", True), ("balanced", False))
+            )
+
+    def test_stage_helper_sorts_options(self):
+        spec = stage("cslc", streamed_fft=True, balanced=False)
+        assert spec.options == (
+            ("balanced", False),
+            ("streamed_fft", True),
+        )
+
+    def test_resolved_workload_defaults_to_canonical(self):
+        assert (
+            StageSpec("corner_turn").resolved_workload()
+            == canonical_corner_turn()
+        )
+
+    def test_output_words(self):
+        assert StageSpec(
+            "corner_turn", workload=small_corner_turn()
+        ).output_words() == 128 * 128
+        cslc = small_cslc()
+        assert StageSpec("cslc", workload=cslc).output_words() == (
+            cslc.n_mains * cslc.n_subbands * cslc.subband_len * 2
+        )
+        bs = small_beam_steering()
+        assert (
+            StageSpec("beam_steering", workload=bs).output_words()
+            == bs.outputs
+        )
+
+
+class TestScenario:
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            Scenario(machine="upmem")
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ConfigError, match="at least one stage"):
+            Scenario(machine="viram", stages=())
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigError, match="seed"):
+            Scenario(machine="viram", seed=-1)
+
+    def test_default_stages_are_the_canonical_chain(self):
+        scenario = canonical_scenario("raw")
+        assert tuple(s.kernel for s in scenario.stages) == STAGE_ORDER
+
+
+class TestScenarioId:
+    def test_equal_content_equal_id(self):
+        assert (
+            small_scenario("viram").scenario_id
+            == small_scenario("viram").scenario_id
+        )
+
+    def test_every_field_perturbs_the_id(self):
+        base = small_scenario("viram")
+        variants = [
+            small_scenario("raw"),
+            dataclasses.replace(base, seed=1),
+            dataclasses.replace(base, stages=base.stages[:2]),
+            scenario_for_workloads(
+                "viram", {"corner_turn": canonical_corner_turn()}
+            ),
+        ]
+        ids = {base.scenario_id} | {v.scenario_id for v in variants}
+        assert len(ids) == len(variants) + 1
+
+    def test_id_shape(self):
+        scenario_id = canonical_scenario("imagine").scenario_id
+        assert len(scenario_id) == 16
+        assert set(scenario_id) <= set("0123456789abcdef")
+
+
+class TestStageKwargs:
+    def test_canonical_stage_contributes_empty_kwargs(self):
+        # The key property behind cache reuse: a canonical pipeline
+        # stage mints exactly the cache key run_table3's cell minted.
+        scenario = canonical_scenario("viram")
+        for spec in scenario.stages:
+            assert scenario.stage_kwargs(spec) == {}
+
+    def test_small_stage_contributes_workload_only(self):
+        scenario = small_scenario("ppc")
+        for spec in scenario.stages:
+            assert scenario.stage_kwargs(spec) == {"workload": spec.workload}
+
+    def test_options_seed_and_calibration_appear(self):
+        from repro.eval.sensitivity import perturbed_calibration
+
+        cal = perturbed_calibration("raw", "cache_stall_fraction", 1.1)
+        scenario = Scenario(
+            machine="raw",
+            stages=(stage("cslc", workload=small_cslc(), balanced=False),),
+            seed=3,
+            calibration=cal,
+        )
+        kwargs = scenario.stage_kwargs(scenario.stages[0])
+        assert kwargs == {
+            "workload": small_cslc(),
+            "calibration": cal,
+            "seed": 3,
+            "balanced": False,
+        }
+
+    def test_stage_calibration_overrides_scenario(self):
+        from repro.eval.sensitivity import perturbed_calibration
+
+        scenario_cal = perturbed_calibration("viram", "dram_row_cycle", 1.1)
+        stage_cal = perturbed_calibration("viram", "dram_row_cycle", 1.2)
+        scenario = Scenario(
+            machine="viram",
+            stages=(
+                StageSpec("corner_turn", calibration=stage_cal),
+                StageSpec("cslc"),
+            ),
+            calibration=scenario_cal,
+        )
+        assert (
+            scenario.stage_kwargs(scenario.stages[0])["calibration"]
+            is stage_cal
+        )
+        assert (
+            scenario.stage_kwargs(scenario.stages[1])["calibration"]
+            is scenario_cal
+        )
+
+    def test_stage_kwargs_are_cacheable(self):
+        scenario = small_scenario("altivec")
+        for spec in scenario.stages:
+            key = cache_key(
+                spec.kernel, scenario.machine, scenario.stage_kwargs(spec)
+            )
+            assert key is not None
