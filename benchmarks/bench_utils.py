@@ -2,6 +2,24 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
+
+def write_bench(path, payload) -> Path:
+    """Write a ``BENCH_*.json`` guard in the versioned envelope.
+
+    Wraps :func:`repro.obs.bench.write_bench_document`: the payload
+    lands under ``metrics`` with ``schema_version``, per-metric
+    ``units``, and the git sha (``REPRO_GIT_SHA``, set by CI) alongside.
+    The regression gate reads these and the legacy flat files alike.
+    """
+    from repro.obs.bench import write_bench_document
+
+    return write_bench_document(
+        Path(path), payload, git_sha=os.environ.get("REPRO_GIT_SHA") or None
+    )
+
 
 def record_checks(benchmark, outcome) -> None:
     """Attach an experiment's model-vs-paper checks to the benchmark."""

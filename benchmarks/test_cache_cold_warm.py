@@ -25,7 +25,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.ioutil import atomic_write_json
+from bench_utils import write_bench
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 GOLDEN_REPORT = REPO_ROOT / "tests" / "data" / "golden" / "report.txt"
@@ -145,5 +145,5 @@ def test_disk_tier_cold_vs_warm_report(benchmark, tmp_path):
         "cold_disk_stats": cold["disk"],
         "warm_disk_stats": warm["disk"],
     }
-    atomic_write_json(REPO_ROOT / "BENCH_PR4.json", payload)
+    write_bench(REPO_ROOT / "BENCH_PR4.json", payload)
     benchmark.extra_info.update(payload)

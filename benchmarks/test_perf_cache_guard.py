@@ -10,8 +10,8 @@ wall-times are tracked alongside the model-accuracy benchmarks.
 import time
 from pathlib import Path
 
+from bench_utils import write_bench
 from repro.eval.report import full_report
-from repro.ioutil import atomic_write_json
 from repro.eval.tables import run_table3
 from repro.perf.cache import RUN_CACHE
 from repro.perf.diskcache import DISK_CACHE
@@ -53,5 +53,5 @@ def test_cached_table3_at_least_10x_faster(benchmark):
         "report_lines": report_text.count("\n") + 1,
         "run_cache": RUN_CACHE.stats(),
     }
-    atomic_write_json(REPO_ROOT / "BENCH_PR1.json", payload)
+    write_bench(REPO_ROOT / "BENCH_PR1.json", payload)
     benchmark.extra_info.update(payload)

@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 
 from repro.eval import sensitivity
-from repro.ioutil import atomic_write_json
+from bench_utils import write_bench
 from repro.mappings import registry
 from repro.perf.cache import RUN_CACHE
 from repro.perf.diskcache import DISK_CACHE
@@ -151,5 +151,5 @@ def test_tensor_engine_cold_report_and_dense_sweep(benchmark, tmp_path):
         "batch_speedup": speedup,
         "rows_identical": batched_rows == single_rows,
     }
-    atomic_write_json(REPO_ROOT / "BENCH_PR6.json", payload)
+    write_bench(REPO_ROOT / "BENCH_PR6.json", payload)
     benchmark.extra_info.update(payload)

@@ -23,7 +23,10 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
   differential (``invariant.tensor.*``, :mod:`repro.check.tensor`), the
   pipeline composition invariants (``invariant.pipeline.*``,
   :mod:`repro.check.pipeline`: stage-cost additivity, footprint
-  conservation across handoffs, batched-vs-serial bit-identity), plus
+  conservation across handoffs, batched-vs-serial bit-identity), the
+  observability reconciliation (``invariant.obs.*``,
+  :mod:`repro.check.obs`: flight-recorder events vs planner counters vs
+  supervisor incident payloads), plus
   the disk-tier differential oracle (disk-hit vs memory-hit vs cold) and
   an integrity sweep of the persisted entries.  Cheap enough that
   ``full_report`` runs it
@@ -51,6 +54,7 @@ from repro.check.oracles import (
     dram_oracle,
     executor_oracle,
 )
+from repro.check.obs import obs_checks
 from repro.check.pipeline import pipeline_checks, validate_pipeline_run
 from repro.check.report import CheckReport, CheckResult
 from repro.check.tensor import tensor_oracle
@@ -96,6 +100,7 @@ def run_checks(
     report.extend(disk_cache_oracle(workloads=workloads))
     report.extend(disk_integrity_check())
     report.extend(pipeline_checks(workloads=workloads))
+    report.extend(obs_checks(workloads=workloads))
     if tier == "full":
         report.extend(cache_oracle(workloads=workloads))
         report.extend(executor_oracle(jobs=jobs))
@@ -162,6 +167,7 @@ __all__ = [
     "disk_integrity_check",
     "dram_oracle",
     "executor_oracle",
+    "obs_checks",
     "pipeline_checks",
     "run_checks",
     "tensor_oracle",

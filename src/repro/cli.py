@@ -48,6 +48,18 @@ Commands
     docs/performance.md).  ``stats`` prints counters and footprint,
     ``clear`` removes every persisted entry, ``prune`` evicts oldest
     entries beyond ``--max-entries`` / ``--max-bytes``.
+``metrics ACTION``
+    The metrics history and its regression gate (docs/observability.md).
+    ``history`` lists the records in ``.repro/obs/history.jsonl``
+    (``--heal`` quarantines corrupt lines); ``regress`` compares the
+    latest record against prior history and the committed
+    ``BENCH_*.json`` baselines with per-metric tolerance bands, exiting
+    non-zero on regression.
+``analyze ACTION``
+    Derived analyses.  ``roofline`` prints per kernel×machine
+    arithmetic intensity and memory-bound fraction (``--json`` for
+    records, ``--html PATH`` writes the self-contained observability
+    dashboard, ``--traced`` adds the trace-track cross-check).
 ``experiments``
     List the experiment registry.
 ``list``
@@ -56,6 +68,14 @@ Commands
 ``run``, ``report``, and ``sensitivity`` accept ``--no-disk-cache`` to
 skip the disk tier for one invocation; setting ``REPRO_DISK_CACHE=0``
 disables it globally.
+
+Model-running commands open a *flight-recorder session* (an append-only
+event ledger under ``.repro/obs/ledger/``) and append one record to the
+metrics history on success; ``REPRO_OBS=0`` disables the whole layer.
+``report``, ``sensitivity``, and ``pipeline`` accept ``--progress
+{auto,tty,jsonl,off}`` for live sweep progress on stderr (default
+``auto``: a status line when stderr is a terminal, silence otherwise —
+stdout is never touched).
 
 Examples
 --------
@@ -81,6 +101,11 @@ Examples
     python -m repro doctor
     python -m repro cache stats
     python -m repro cache prune --max-entries 1024
+    python -m repro report --progress jsonl
+    python -m repro metrics history
+    python -m repro metrics regress
+    python -m repro analyze roofline
+    python -m repro analyze roofline --html dashboard.html
 """
 
 from __future__ import annotations
@@ -111,6 +136,20 @@ def _parse_option(text: str):
     except ValueError:
         pass
     return key, value
+
+
+def _add_progress(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        choices=("auto", "tty", "jsonl", "off"),
+        default=None,
+        metavar="MODE",
+        help=(
+            "live sweep progress on stderr: tty (status line), jsonl "
+            "(machine-readable lines), off, or auto (tty iff stderr is "
+            "a terminal; default: $REPRO_PROGRESS or auto)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -236,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
             "batches; default: no sensitivity section)"
         ),
     )
+    _add_progress(report_p)
 
     sens_p = sub.add_parser(
         "sensitivity",
@@ -285,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent disk tier for this invocation",
     )
+    _add_progress(sens_p)
 
     check_p = sub.add_parser(
         "check",
@@ -409,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prun_p.add_argument("--perf", action="store_true")
     prun_p.add_argument("--no-disk-cache", action="store_true")
+    _add_progress(prun_p)
     fuzz_p = pipe_sub.add_parser(
         "fuzz",
         help="generate, execute, and invariant-check a scenario sweep",
@@ -438,13 +480,110 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_p.add_argument("--perf", action="store_true")
     fuzz_p.add_argument("--no-disk-cache", action="store_true")
+    _add_progress(fuzz_p)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="metrics history and the perf-regression gate",
+        description=(
+            "Model-running commands append one record per invocation to "
+            ".repro/obs/history.jsonl (docs/observability.md).  "
+            "'history' lists those records; 'regress' holds the newest "
+            "one against prior history and the committed BENCH_*.json "
+            "baselines with per-metric tolerance bands, exiting "
+            "non-zero on regression."
+        ),
+    )
+    metrics_sub = metrics_p.add_subparsers(dest="action", required=True)
+    regress_p = metrics_sub.add_parser(
+        "regress",
+        help="compare the latest history record against the baselines",
+    )
+    regress_p.add_argument(
+        "--command",
+        dest="only_command",
+        default=None,
+        metavar="CMD",
+        help="compare only records of this command (default: any)",
+    )
+    regress_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the comparison records as JSON instead of the table",
+    )
+    mhist_p = metrics_sub.add_parser(
+        "history", help="list the recorded metrics-history entries"
+    )
+    mhist_p.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the newest N records (default 10; 0 = all)",
+    )
+    mhist_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw records as JSON lines",
+    )
+    mhist_p.add_argument(
+        "--heal",
+        action="store_true",
+        help="quarantine corrupt history lines before listing",
+    )
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="derived analyses (roofline attribution)",
+        description=(
+            "Derived analyses over the model.  'roofline' computes "
+            "per kernel x machine arithmetic intensity, the Table 1/2 "
+            "roofs, and the memory-bound cycle fraction of each run's "
+            "ledger (docs/observability.md)."
+        ),
+    )
+    analyze_sub = analyze_p.add_subparsers(dest="action", required=True)
+    roof_p = analyze_sub.add_parser(
+        "roofline",
+        help="arithmetic intensity + memory-bound fraction per pair",
+    )
+    roof_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print JSON records instead of the text table",
+    )
+    roof_p.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the self-contained observability dashboard "
+            "(roofline chart, metric-history sparklines, cache hit "
+            "rates, utilization timeline) here"
+        ),
+    )
+    roof_p.add_argument(
+        "--traced",
+        action="store_true",
+        help=(
+            "re-run each pair under the tracer and add the event-level "
+            "memory-busy cross-check column (slower)"
+        ),
+    )
+    roof_p.add_argument(
+        "--small",
+        action="store_true",
+        help="use the test-size workloads instead of the paper sizes",
+    )
+
     sub.add_parser(
         "doctor",
         help="probe the execution runtime's health",
         description=(
             "Run the health-probe battery (process-pool spawn, disk-cache "
             "write/read/verify, interprocess lock, quarantine census, "
-            "telemetry registry) and print a pass/warn/fail table.  "
+            "telemetry registry, observability ledger/history) and print "
+            "a pass/warn/fail table.  "
             "Exits 0 when healthy, 2 naming the failing probe otherwise."
         ),
     )
@@ -542,20 +681,21 @@ def _cmd_figure(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.eval.report import full_report
+    from repro.obs.progress import progress_reporting
 
     if args.no_disk_cache:
         from repro.perf.diskcache import DISK_CACHE
 
         DISK_CACHE.disable()
-    # Perf output goes to stderr so the report on stdout stays
-    # byte-identical whether or not instrumentation is requested.
-    print(
-        full_report(
+    # Perf and progress output go to stderr so the report on stdout
+    # stays byte-identical whether or not instrumentation is requested.
+    with progress_reporting(args.progress):
+        text = full_report(
             jobs=args.jobs,
             metrics_path=args.metrics,
             sensitivity_points=args.density,
         )
-    )
+    print(text)
     if args.perf:
         _print_perf_stats()
     return 0
@@ -577,14 +717,16 @@ def _print_perf_stats() -> None:
 
 def _cmd_sensitivity(args) -> int:
     from repro.eval import sensitivity
+    from repro.obs.progress import progress_reporting
 
     if args.no_disk_cache:
         from repro.perf.diskcache import DISK_CACHE
 
         DISK_CACHE.disable()
-    rows = sensitivity.sweep(
-        delta=args.delta, jobs=args.jobs, points=args.points
-    )
+    with progress_reporting(args.progress):
+        rows = sensitivity.sweep(
+            delta=args.delta, jobs=args.jobs, points=args.points
+        )
     print(sensitivity.render(rows))
     if args.perf:
         _print_perf_stats()
@@ -641,13 +783,16 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_pipeline(args) -> int:
+    from repro.obs.progress import progress_reporting
+
     if args.no_disk_cache:
         from repro.perf.diskcache import DISK_CACHE
 
         DISK_CACHE.disable()
-    if args.action == "run":
-        return _pipeline_run(args)
-    return _pipeline_fuzz(args)
+    with progress_reporting(args.progress):
+        if args.action == "run":
+            return _pipeline_run(args)
+        return _pipeline_fuzz(args)
 
 
 def _pipeline_run(args) -> int:
@@ -739,6 +884,119 @@ def _pipeline_fuzz(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_metrics(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs import history as obs_history
+
+    if args.action == "regress":
+        from repro.obs.regress import render_regress, run_regress
+
+        report = run_regress(command=args.only_command)
+        if args.json:
+            payload = {
+                "current_session": report.current_session,
+                "current_command": report.current_command,
+                "notes": report.notes,
+                "ok": report.ok,
+                "comparisons": [
+                    dataclasses.asdict(c) for c in report.comparisons
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(render_regress(report))
+        return report.exit_code
+
+    # metrics history
+    if args.heal:
+        healed = obs_history.quarantine_corrupt()
+        if healed:
+            print(
+                f"history: quarantined {healed} corrupt line(s)",
+                file=sys.stderr,
+            )
+    records, corrupt = obs_history.read_history()
+    if args.limit and args.limit > 0:
+        records = records[-args.limit:]
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    path = obs_history.history_path()
+    print(f"metrics history: {path}")
+    if corrupt:
+        print(
+            f"  ({len(corrupt)} corrupt line(s); "
+            "heal with `repro metrics history --heal`)"
+        )
+    if not records:
+        print("  (no records; model-running commands append one each)")
+        return 0
+    for record in records:
+        metrics = record.get("metrics") or {}
+        print(
+            f"  {record.get('session', '?'):>12s}  "
+            f"{record.get('command', '?'):<12s} "
+            f"exit={record.get('exit_code', '?')} "
+            f"wall={record.get('wall_seconds', 0.0):.3f}s "
+            f"metrics={len(metrics)} "
+            f"model={record.get('model_version', '?')}"
+        )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.obs.roofline import (
+        analyze_roofline,
+        render_roofline,
+        roofline_json,
+        roofline_records,
+    )
+
+    workloads = None
+    if args.small:
+        from repro.kernels.workloads import (
+            small_beam_steering,
+            small_corner_turn,
+            small_cslc,
+        )
+
+        workloads = {
+            "corner_turn": small_corner_turn(),
+            "cslc": small_cslc(),
+            "beam_steering": small_beam_steering(),
+        }
+    points = analyze_roofline(workloads, traced=args.traced)
+    if args.json:
+        print(roofline_json(points))
+    else:
+        print(render_roofline(points))
+    if args.html:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.history import read_history
+
+        history_records, _ = read_history()
+        timeline = None
+        try:
+            from repro.trace import timeline_svg, trace_run
+
+            kwargs = (
+                {"workload": workloads["corner_turn"]} if workloads else {}
+            )
+            _, tracer = trace_run("corner_turn", "viram", **kwargs)
+            timeline = timeline_svg(tracer)
+        except Exception:  # noqa: BLE001 - dashboard extra, never fatal
+            timeline = None
+        write_dashboard(
+            args.html, history_records, roofline_records(points),
+            timeline=timeline,
+        )
+        print(f"dashboard -> {args.html}", file=sys.stderr)
+    return 0
+
+
 def _cmd_doctor(_args) -> int:
     from repro.resilience import doctor
 
@@ -779,21 +1037,98 @@ _COMMANDS = {
     "check": _cmd_check,
     "cache": _cmd_cache,
     "pipeline": _cmd_pipeline,
+    "metrics": _cmd_metrics,
+    "analyze": _cmd_analyze,
     "doctor": _cmd_doctor,
     "experiments": _cmd_experiments,
     "list": _cmd_list,
 }
 
+#: Commands that run the model (or its checks): these open a
+#: flight-recorder session and append a metrics-history record.
+#: Read-only browsers (table/figure/list/experiments/cache) and the obs
+#: layer's own commands (metrics/analyze/doctor) stay out so the gate's
+#: "current" record is always real model-running evidence.
+_SESSION_COMMANDS = (
+    "run", "trace", "report", "sensitivity", "check", "pipeline",
+)
+
+#: Session commands whose sweep leaves every registered pair in the run
+#: cache, making the deterministic per-pair metrics free to read back.
+_METRIC_COMMANDS = ("report",)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Commands in :data:`_SESSION_COMMANDS` run inside a flight-recorder
+    session (an append-only event ledger, see docs/observability.md)
+    and, on success, append one record to the metrics history.  The obs
+    layer is observation-only: any failure inside it is swallowed and
+    the command's stdout and exit code are exactly what they would have
+    been with ``REPRO_OBS=0``.
+    """
+    import time as _time
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    if args.command not in _SESSION_COMMANDS:
+        try:
+            return handler(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    started = _time.monotonic()
+    recorder = None
     try:
-        return _COMMANDS[args.command](args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        from repro.obs.ledger import end_session, start_session
+
+        recorder = start_session(args.command, raw_argv)
+    except Exception:  # noqa: BLE001 - observation only
+        recorder = None
+    code = 1
+    try:
+        try:
+            code = handler(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            code = 1
+        return code
+    finally:
+        if recorder is not None:
+            wall = _time.monotonic() - started
+            try:
+                end_session(code)
+            except Exception:  # noqa: BLE001 - observation only
+                pass
+            if code == 0:
+                try:
+                    from repro.obs.history import (
+                        append_history,
+                        build_record,
+                        deterministic_run_metrics,
+                    )
+
+                    metrics = (
+                        deterministic_run_metrics()
+                        if args.command in _METRIC_COMMANDS
+                        else None
+                    )
+                    append_history(
+                        build_record(
+                            args.command,
+                            raw_argv,
+                            session=recorder.session,
+                            exit_code=code,
+                            wall_seconds=wall,
+                            metrics=metrics,
+                        )
+                    )
+                except Exception:  # noqa: BLE001 - observation only
+                    pass
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -78,3 +78,28 @@ def atomic_write_json(
     (trailing newline included); returns the path."""
     text = json.dumps(obj, indent=indent, **dumps_kwargs) + "\n"
     return atomic_write_text(path, text)
+
+
+def append_jsonl(
+    path: Union[str, Path], obj: Any, *, fsync: bool = False
+) -> Path:
+    """Append ``obj`` as one JSON line to ``path``; returns the path.
+
+    The line (record plus trailing newline) is written with a single
+    ``os.write`` on an ``O_APPEND`` descriptor: POSIX appends are atomic
+    with respect to concurrent appenders for writes of this size, so two
+    processes sharing a ledger can never interleave *within* a line —
+    the worst a crash can leave is one torn line at the tail, which the
+    line-by-line readers quarantine rather than trust.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    return path

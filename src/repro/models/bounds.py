@@ -66,6 +66,15 @@ def _rates(machine: str) -> Dict[str, float]:
     raise ConfigError(f"unknown machine {machine!r}")
 
 
+def machine_word_rates(machine: str) -> Dict[str, float]:
+    """The machine's Table 1 word rates (``onchip``/``offchip``/
+    ``computation`` words per cycle), with the PPC baseline's modelled
+    values filled in.  The public face of :func:`_rates` — the roofline
+    attribution (:mod:`repro.obs.roofline`) derives its memory roofs
+    from the same rates the §2.5 bounds use."""
+    return dict(_rates(machine))
+
+
 def corner_turn_bound(
     machine: str, workload: Optional[CornerTurnWorkload] = None
 ) -> KernelBound:

@@ -1,0 +1,172 @@
+"""Versioned ``BENCH_*.json`` schema and the legacy-tolerant loader.
+
+The repo accumulated one hand-shaped benchmark guard file per perf PR
+(``BENCH_PR1.json``, ``BENCH_PR4.json``, ``BENCH_PR6.json``...), each a
+bare dict of whatever that PR measured.  This module gives new files a
+versioned envelope::
+
+    {"schema_version": 1,
+     "git_sha": "abc123..." | null,
+     "units": {"cold_report_seconds": "s", ...},
+     "metrics": {"cold_report_seconds": 4.85, ...}}
+
+and reads the *legacy* flat files as schema version 0: every numeric
+top-level value (recursing one level into nested dicts with dotted
+names) becomes a metric, units are inferred from the metric name.  The
+regression gate (:mod:`repro.obs.regress`) therefore treats committed
+legacy baselines and freshly written versioned ones identically.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.ioutil import atomic_write_json
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_document",
+    "discover_bench_files",
+    "infer_unit",
+    "load_bench_metrics",
+    "write_bench_document",
+]
+
+#: Current BENCH document schema version (legacy flat files read as 0).
+BENCH_SCHEMA = 1
+
+#: File-name pattern the baseline discovery accepts.
+_BENCH_NAME = re.compile(r"^BENCH_[A-Za-z0-9_.-]+\.json$")
+
+
+def infer_unit(name: str) -> str:
+    """Unit string for a metric, inferred from its name."""
+    if name.endswith("_seconds") or name.endswith(".seconds"):
+        return "s"
+    if "bytes" in name:
+        return "bytes"
+    if "speedup" in name or "ratio" in name:
+        return "x"
+    if "cycles" in name:
+        return "cycles"
+    return "count"
+
+
+def bench_document(
+    metrics: Mapping[str, Any],
+    *,
+    git_sha: Optional[str] = None,
+    units: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Wrap flat benchmark metrics in the versioned envelope.
+
+    Non-numeric values (nested stat dicts, booleans) are carried
+    verbatim — they flatten on read exactly like the legacy files do.
+    """
+    metrics = dict(metrics)
+    resolved_units = {
+        name: infer_unit(name)
+        for name, value in metrics.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    if units:
+        resolved_units.update(units)
+    return {
+        "schema_version": BENCH_SCHEMA,
+        "git_sha": git_sha,
+        "units": resolved_units,
+        "metrics": metrics,
+    }
+
+
+def write_bench_document(
+    path: Path,
+    metrics: Mapping[str, Any],
+    *,
+    git_sha: Optional[str] = None,
+    units: Optional[Mapping[str, str]] = None,
+) -> Path:
+    """Atomically write a versioned BENCH document; returns the path."""
+    return atomic_write_json(
+        path, bench_document(metrics, git_sha=git_sha, units=units),
+        sort_keys=True,
+    )
+
+
+def _flatten(prefix: str, obj: Any, out: Dict[str, float]) -> None:
+    if isinstance(obj, bool):
+        out[prefix] = float(obj)
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    elif isinstance(obj, Mapping):
+        for key, value in obj.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value, out)
+    # strings, lists, nulls: not comparable metrics — dropped.
+
+
+def _per_run_metrics(lines: List[str], path: Path) -> Dict[str, float]:
+    """Flat metrics from a JSON-*lines* BENCH file of per-run records.
+
+    ``BENCH_PR3.json`` is one ``repro-metrics/1`` record per line; each
+    line's kernel×machine identity keys its deterministic model metrics
+    as ``run.<kernel>.<machine>.cycles`` / ``.percent_of_peak`` — the
+    same names :func:`repro.obs.history.deterministic_run_metrics`
+    emits, so the regression gate compares them directly.
+    """
+    out: Dict[str, float] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: BENCH line is not a JSON object")
+        kernel, machine = record.get("kernel"), record.get("machine")
+        if not kernel or not machine:
+            continue
+        prefix = f"run.{kernel}.{machine}"
+        for name in ("cycles", "percent_of_peak"):
+            value = record.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"{prefix}.{name}"] = float(value)
+    return out
+
+
+def load_bench_metrics(path: Path) -> Tuple[Dict[str, float], int]:
+    """Flat ``{metric: value}`` from a BENCH file plus its schema version.
+
+    Versioned files (``schema_version >= 1``) flatten their ``metrics``
+    block; legacy flat files (version 0) flatten the whole document;
+    legacy JSON-*lines* files (one per-run record per line) contribute
+    their ``run.<kernel>.<machine>.*`` model metrics.  Raises
+    ``OSError``/``json.JSONDecodeError``/``ValueError`` on unreadable
+    files — a committed baseline that does not parse *is* a failure.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        # More than one top-level JSON value: a JSON-lines record dump.
+        return _per_run_metrics(text.splitlines(), Path(path)), 0
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: BENCH document must be a JSON object")
+    version = int(document.get("schema_version", 0))
+    source = document.get("metrics", {}) if version >= 1 else document
+    out: Dict[str, float] = {}
+    _flatten("", source, out)
+    out.pop("schema_version", None)
+    return out, version
+
+
+def discover_bench_files(root: Path) -> List[Path]:
+    """The ``BENCH_*.json`` files under ``root``, sorted by name."""
+    try:
+        candidates = sorted(Path(root).iterdir())
+    except OSError:
+        return []
+    return [
+        p for p in candidates
+        if p.is_file() and _BENCH_NAME.match(p.name)
+    ]

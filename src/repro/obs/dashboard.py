@@ -1,0 +1,306 @@
+"""Self-contained HTML dashboard over the obs layer's evidence.
+
+One file, no external assets, no JavaScript dependencies: the SVG is
+hand-assembled exactly like :mod:`repro.eval.svg` (whose utilization
+timeline it embeds verbatim).  Sections:
+
+* **metric sparklines** — each numeric history metric plotted over the
+  records in ``.repro/obs/history.jsonl``, newest value printed next to
+  the line (the longitudinal view the regression gate takes bands
+  over);
+* **cache hit rates** — every ``hits``/``misses`` counter pair found in
+  the latest record's TELEMETRY snapshot, rendered with its computed
+  hit rate;
+* **roofline chart** — the log-log intensity × throughput plane from
+  :mod:`repro.obs.roofline`, one roof pair per machine, one point per
+  kernel×machine, memory-bound points left of their ridge;
+* **utilization timeline** — the per-resource busy/idle Gantt of a
+  traced run (:func:`repro.trace.export.timeline_svg`), giving the
+  event-level view behind the roofline's memory-bound fractions.
+
+``repro analyze roofline --html out.html`` writes it; CI uploads it as
+a build artifact.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.ioutil import atomic_write_text
+
+__all__ = [
+    "build_dashboard",
+    "cache_hit_rates",
+    "history_series",
+    "roofline_svg",
+    "sparkline_svg",
+    "write_dashboard",
+]
+
+#: Machine colors shared with the figure SVGs.
+from repro.eval.svg import DEFAULT_COLOR, MACHINE_COLORS
+
+SPARK_W, SPARK_H = 180, 36
+ROOF_W, ROOF_H = 560, 360
+ROOF_MARGIN = 48
+
+
+def history_series(
+    records: Sequence[Mapping[str, Any]], limit: int = 24
+) -> Dict[str, List[float]]:
+    """Per-metric value series over the history records (oldest first),
+    restricted to metrics with at least one sample; at most ``limit``
+    most-recent samples each."""
+    series: Dict[str, List[float]] = {}
+    for record in records:
+        metrics = record.get("metrics")
+        if not isinstance(metrics, Mapping):
+            continue
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(name, []).append(float(value))
+    return {name: values[-limit:] for name, values in sorted(series.items())}
+
+
+def sparkline_svg(values: Sequence[float]) -> str:
+    """A tiny inline polyline for one metric's history."""
+    if not values:
+        return ""
+    vmin, vmax = min(values), max(values)
+    span = (vmax - vmin) or 1.0
+    n = len(values)
+    step = SPARK_W / max(n - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{SPARK_H - 3 - (SPARK_H - 6) * (v - vmin) / span:.1f}"
+        for i, v in enumerate(values)
+    )
+    last_y = SPARK_H - 3 - (SPARK_H - 6) * (values[-1] - vmin) / span
+    return (
+        f'<svg width="{SPARK_W}" height="{SPARK_H}" '
+        f'viewBox="0 0 {SPARK_W} {SPARK_H}" class="spark">'
+        f'<polyline points="{points}" fill="none" stroke="#1a73e8" '
+        'stroke-width="1.5"/>'
+        f'<circle cx="{(n - 1) * step:.1f}" cy="{last_y:.1f}" r="2.5" '
+        'fill="#1a73e8"/></svg>'
+    )
+
+
+def cache_hit_rates(telemetry: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Every ``<ns>.hits``/``<ns>.misses`` counter pair in a telemetry
+    snapshot, with its hit rate."""
+    out: List[Dict[str, Any]] = []
+    for key in sorted(telemetry):
+        if not key.endswith(".hits"):
+            continue
+        base = key[: -len(".hits")]
+        misses = telemetry.get(base + ".misses")
+        hits = telemetry[key]
+        if not isinstance(hits, (int, float)) or not isinstance(
+            misses, (int, float)
+        ):
+            continue
+        total = float(hits) + float(misses)
+        out.append(
+            {
+                "cache": base,
+                "hits": float(hits),
+                "misses": float(misses),
+                "rate": (float(hits) / total) if total else None,
+            }
+        )
+    return out
+
+
+def _log_x(value: float, lo: float, hi: float) -> float:
+    span = math.log10(hi / lo)
+    return ROOF_MARGIN + (ROOF_W - 2 * ROOF_MARGIN) * (
+        math.log10(max(value, lo) / lo) / span
+    )
+
+
+def _log_y(value: float, lo: float, hi: float) -> float:
+    span = math.log10(hi / lo)
+    return (ROOF_H - ROOF_MARGIN) - (ROOF_H - 2 * ROOF_MARGIN) * (
+        math.log10(max(value, lo) / lo) / span
+    )
+
+
+def roofline_svg(records: Sequence[Mapping[str, Any]]) -> str:
+    """The log-log roofline chart from :func:`roofline_records` output.
+
+    Per machine: the sloped memory roof (``throughput = intensity ×
+    word_rate``) up to its ridge, then the flat arithmetic roof.  Per
+    kernel×machine: an achieved-throughput point, labelled and colored
+    by machine; memory-bound points sit left of their machine's ridge.
+    """
+    if not records:
+        return "<p>no roofline data</p>"
+    intensities = [max(r["intensity_ops_per_word"], 1e-3) for r in records]
+    peaks = [r["peak_ops_per_cycle"] for r in records]
+    achieved = [max(r["achieved_ops_per_cycle"], 1e-4) for r in records]
+    x_lo = min(intensities) / 4
+    x_hi = max(
+        max(intensities),
+        max(
+            (r["ridge_intensity"] or 1.0 for r in records),
+        ),
+    ) * 4
+    y_lo = min(achieved) / 4
+    y_hi = max(peaks) * 2
+
+    parts: List[str] = []
+    # One roof pair per machine.
+    machines: Dict[str, Mapping[str, Any]] = {}
+    for r in records:
+        machines.setdefault(r["machine"], r)
+    for machine, r in sorted(machines.items()):
+        color = MACHINE_COLORS.get(machine, DEFAULT_COLOR)
+        peak = r["peak_ops_per_cycle"]
+        rate = r["word_rate_words_per_cycle"]
+        ridge = (peak / rate) if rate else None
+        if ridge:
+            # Memory roof: from the left edge up to the ridge.
+            x0, x1 = x_lo, min(ridge, x_hi)
+            parts.append(
+                f'<line class="roof-mem" data-machine="{machine}" '
+                f'x1="{_log_x(x0, x_lo, x_hi):.1f}" '
+                f'y1="{_log_y(x0 * rate, y_lo, y_hi):.1f}" '
+                f'x2="{_log_x(x1, x_lo, x_hi):.1f}" '
+                f'y2="{_log_y(x1 * rate, y_lo, y_hi):.1f}" '
+                f'stroke="{color}" stroke-width="1" stroke-dasharray="4 3"/>'
+            )
+            flat_x0 = min(ridge, x_hi)
+        else:
+            flat_x0 = x_lo
+        parts.append(
+            f'<line class="roof-cpu" data-machine="{machine}" '
+            f'x1="{_log_x(flat_x0, x_lo, x_hi):.1f}" '
+            f'y1="{_log_y(peak, y_lo, y_hi):.1f}" '
+            f'x2="{ROOF_W - ROOF_MARGIN}" '
+            f'y2="{_log_y(peak, y_lo, y_hi):.1f}" '
+            f'stroke="{color}" stroke-width="1"/>'
+        )
+    for r in records:
+        color = MACHINE_COLORS.get(r["machine"], DEFAULT_COLOR)
+        x = _log_x(max(r["intensity_ops_per_word"], 1e-3), x_lo, x_hi)
+        y = _log_y(max(r["achieved_ops_per_cycle"], 1e-4), y_lo, y_hi)
+        parts.append(
+            f'<circle class="point" data-kernel="{r["kernel"]}" '
+            f'data-machine="{r["machine"]}" '
+            f'data-bound="{r["roofline_bound"]}" cx="{x:.1f}" cy="{y:.1f}" '
+            f'r="4" fill="{color}"/>'
+            f'<text x="{x + 6:.1f}" y="{y - 4:.1f}" font-size="8" '
+            f'fill="#5f6368">{r["kernel"]}/{r["machine"]}</text>'
+        )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{ROOF_W}" '
+        f'height="{ROOF_H}" viewBox="0 0 {ROOF_W} {ROOF_H}" '
+        'font-family="sans-serif">'
+        '<text x="16" y="20" font-size="13" font-weight="bold">'
+        'roofline: achieved ops/cycle vs arithmetic intensity '
+        '(log-log)</text>'
+        f'<text x="{ROOF_W // 2}" y="{ROOF_H - 8}" font-size="10" '
+        'text-anchor="middle">arithmetic intensity (ops/word)</text>'
+        + "".join(parts)
+        + "</svg>"
+    )
+
+
+def build_dashboard(
+    history_records: Sequence[Mapping[str, Any]],
+    roofline: Sequence[Mapping[str, Any]],
+    *,
+    timeline: Optional[str] = None,
+) -> str:
+    """Assemble the full HTML document as a string."""
+    latest = history_records[-1] if history_records else {}
+    telemetry = latest.get("telemetry") or {}
+    series = history_series(history_records)
+
+    spark_rows = "".join(
+        "<tr><td><code>{name}</code></td><td>{svg}</td>"
+        "<td class='num'>{last:.6g}</td><td class='num'>{n}</td></tr>".format(
+            name=html.escape(name),
+            svg=sparkline_svg(values),
+            last=values[-1],
+            n=len(values),
+        )
+        for name, values in series.items()
+    )
+    cache_rows = "".join(
+        "<tr><td><code>{cache}</code></td><td class='num'>{hits:.0f}</td>"
+        "<td class='num'>{misses:.0f}</td><td class='num'>{rate}</td></tr>"
+        .format(
+            cache=html.escape(row["cache"]),
+            hits=row["hits"],
+            misses=row["misses"],
+            rate=(
+                f"{row['rate']:.1%}" if row["rate"] is not None else "n/a"
+            ),
+        )
+        for row in cache_hit_rates(telemetry)
+    )
+    roof_rows = "".join(
+        "<tr><td>{kernel}</td><td>{machine}</td>"
+        "<td class='num'>{ai:.3f}</td><td class='num'>{mem:.1%}</td>"
+        "<td>{bound}</td></tr>".format(
+            kernel=html.escape(r["kernel"]),
+            machine=html.escape(r["machine"]),
+            ai=r["intensity_ops_per_word"],
+            mem=r["memory_fraction"],
+            bound=r["roofline_bound"],
+        )
+        for r in roofline
+    )
+    session = html.escape(str(latest.get("session", "—")))
+    command = html.escape(str(latest.get("command", "—")))
+    sections = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro observability dashboard</title>",
+        "<style>body{font-family:sans-serif;margin:24px;color:#202124}"
+        "table{border-collapse:collapse;margin:12px 0}"
+        "td,th{border:1px solid #dadce0;padding:4px 10px;font-size:12px}"
+        "th{background:#f1f3f4;text-align:left}.num{text-align:right}"
+        "h2{margin-top:32px}code{font-size:11px}</style></head><body>",
+        "<h1>repro observability dashboard</h1>",
+        f"<p>latest session <code>{session}</code> "
+        f"(command <code>{command}</code>); "
+        f"{len(history_records)} history record(s)</p>",
+        "<h2>roofline attribution</h2>",
+        roofline_svg(roofline),
+        "<table><tr><th>kernel</th><th>machine</th><th>AI (ops/word)</th>"
+        "<th>memory fraction</th><th>bound</th></tr>",
+        roof_rows,
+        "</table>",
+        "<h2>metric history</h2>",
+        "<table><tr><th>metric</th><th>trend</th><th>latest</th>"
+        "<th>samples</th></tr>",
+        spark_rows or "<tr><td colspan='4'>no history yet</td></tr>",
+        "</table>",
+        "<h2>cache hit rates (latest snapshot)</h2>",
+        "<table><tr><th>cache</th><th>hits</th><th>misses</th>"
+        "<th>rate</th></tr>",
+        cache_rows or "<tr><td colspan='4'>no cache counters</td></tr>",
+        "</table>",
+    ]
+    if timeline:
+        sections += ["<h2>utilization timeline (traced run)</h2>", timeline]
+    sections.append("</body></html>")
+    return "".join(sections)
+
+
+def write_dashboard(
+    path: Path,
+    history_records: Sequence[Mapping[str, Any]],
+    roofline: Sequence[Mapping[str, Any]],
+    *,
+    timeline: Optional[str] = None,
+) -> Path:
+    """Atomically write the dashboard HTML; returns the path."""
+    return atomic_write_text(
+        path,
+        build_dashboard(history_records, roofline, timeline=timeline),
+    )

@@ -1,0 +1,247 @@
+"""Live progress reporting for sweeps: TTY and JSON-lines modes.
+
+A thousand-cell fuzz campaign used to be silent until it finished.  The
+:class:`ProgressReporter` gives the planner and the Supervisor a place
+to say what is happening *while* it happens:
+
+* ``tty`` mode — one carriage-return-updated status line on stderr
+  (``sweep: 412/1000 cells (3 batches, 240 cells batched) retries=1
+  ladder=parallel``), throttled so a dense sweep does not spend its
+  time printing;
+* ``jsonl`` mode — one JSON object per update on stderr, for drivers
+  that machine-read progress (CI logs, the future ``repro serve``);
+* ``off`` — every call is a cheap no-op (the default unless a CLI flag
+  or ``REPRO_PROGRESS`` turns it on).
+
+Stdout is never touched: reports, manifests, and golden outputs stay
+byte-identical whether or not progress is displayed.  Installation
+mirrors the tracer: :func:`progress_reporting` installs a reporter
+process-wide, instrumentation sites read it through
+:func:`current_reporter` and treat ``None`` as "off".  Pool workers
+inherit nothing — only the parent process reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, Optional
+
+__all__ = [
+    "ProgressReporter",
+    "current_reporter",
+    "progress_reporting",
+    "resolve_mode",
+]
+
+MODES = ("off", "tty", "jsonl", "auto")
+
+#: Minimum seconds between TTY repaints (JSONL records are not
+#: throttled: each one is an event, not a repaint).
+TTY_INTERVAL = 0.1
+
+
+def resolve_mode(mode: Optional[str]) -> str:
+    """Normalise a ``--progress`` value or ``REPRO_PROGRESS`` setting.
+
+    ``auto`` (and ``None`` with ``REPRO_PROGRESS`` unset) means "tty
+    when stderr is a terminal, else off" — progress never pollutes
+    captured stderr unless explicitly requested.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_PROGRESS", "auto")
+    mode = mode.lower()
+    if mode not in MODES:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown progress mode {mode!r}; expected one of {MODES}"
+        )
+    if mode == "auto":
+        try:
+            is_tty = sys.stderr.isatty()
+        except Exception:
+            is_tty = False
+        return "tty" if is_tty else "off"
+    return mode
+
+
+class ProgressReporter:
+    """Aggregates sweep state and renders it live.
+
+    One reporter can observe several sweeps in sequence (a report's
+    prewarm, its Table 3 sweep, a sensitivity grid): :meth:`begin_sweep`
+    resets the per-sweep counters while the cumulative ``sweeps`` count
+    survives.  All methods are safe to call when the sweep is empty.
+    """
+
+    def __init__(
+        self,
+        mode: str = "tty",
+        stream: Optional[IO[str]] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if mode not in ("tty", "jsonl"):
+            raise ValueError(f"reporter mode must be tty/jsonl, not {mode!r}")
+        self.mode = mode
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._last_paint = 0.0
+        self._painted = False
+        self.sweeps = 0
+        self.updates = 0
+        self._reset_sweep("")
+
+    def _reset_sweep(self, label: str) -> None:
+        self.label = label
+        self.total_cells = 0
+        self.done_cells = 0
+        self.total_units = 0
+        self.done_units = 0
+        self.batch_units = 0
+        self.batched_cells = 0
+        self.cached_cells = 0
+        self.retries = 0
+        self.ladder = "parallel"
+
+    # -- sweep lifecycle -------------------------------------------------
+
+    def begin_sweep(
+        self,
+        label: str,
+        *,
+        total_cells: int,
+        cached_cells: int = 0,
+        total_units: int = 0,
+        batch_units: int = 0,
+        batched_cells: int = 0,
+    ) -> None:
+        self._reset_sweep(label)
+        self.sweeps += 1
+        self.total_cells = int(total_cells)
+        self.cached_cells = int(cached_cells)
+        self.done_cells = int(cached_cells)
+        self.total_units = int(total_units)
+        self.batch_units = int(batch_units)
+        self.batched_cells = int(batched_cells)
+        self._emit(event="begin", force=True)
+
+    def advance(self, cells: int = 1, units: int = 1) -> None:
+        """``cells`` finished executing (``units`` dispatch units)."""
+        self.done_cells += int(cells)
+        self.done_units += int(units)
+        self._emit(event="advance")
+
+    def note_retry(self, chunks: int = 1) -> None:
+        self.retries += int(chunks)
+        self._emit(event="retry", force=True)
+
+    def note_ladder(self, state: str) -> None:
+        """Degradation-ladder transition (``parallel`` → ``fresh-pool``
+        → ``isolating`` → ``serial``)."""
+        self.ladder = state
+        self._emit(event="ladder", force=True)
+
+    def end_sweep(self) -> None:
+        self._emit(event="end", force=True)
+        if self.mode == "tty" and self._painted:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except Exception:
+                pass
+            self._painted = False
+
+    # -- rendering -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.label,
+            "cells_done": self.done_cells,
+            "cells_total": self.total_cells,
+            "cells_cached": self.cached_cells,
+            "units_done": self.done_units,
+            "units_total": self.total_units,
+            "batch_units": self.batch_units,
+            "batched_cells": self.batched_cells,
+            "retries": self.retries,
+            "ladder": self.ladder,
+        }
+
+    def status_line(self) -> str:
+        parts = [
+            f"{self.label or 'sweep'}: "
+            f"{self.done_cells}/{self.total_cells} cells"
+        ]
+        if self.total_units:
+            mix = f"{self.done_units}/{self.total_units} units"
+            if self.batch_units:
+                mix += (
+                    f", {self.batch_units} batches"
+                    f"/{self.batched_cells} cells"
+                )
+            parts.append(f"({mix})")
+        if self.cached_cells:
+            parts.append(f"cached={self.cached_cells}")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.ladder != "parallel":
+            parts.append(f"ladder={self.ladder}")
+        return " ".join(parts)
+
+    def _emit(self, event: str, force: bool = False) -> None:
+        self.updates += 1
+        try:
+            if self.mode == "jsonl":
+                record = {"event": event}
+                record.update(self.snapshot())
+                self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+                self.stream.flush()
+                return
+            now = self._clock()
+            if not force and now - self._last_paint < TTY_INTERVAL:
+                return
+            self._last_paint = now
+            self.stream.write("\r\x1b[2K" + self.status_line())
+            self.stream.flush()
+            self._painted = True
+        except Exception:
+            # Progress is decoration; a closed stream must not kill the
+            # sweep it narrates.
+            pass
+
+
+#: The process-wide active reporter (``None`` = progress off).
+_ACTIVE: Optional[ProgressReporter] = None
+
+
+def current_reporter() -> Optional[ProgressReporter]:
+    """The installed reporter, or ``None`` when progress is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def progress_reporting(
+    mode: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> Iterator[Optional[ProgressReporter]]:
+    """Install a reporter for ``mode`` (resolved via
+    :func:`resolve_mode`) for the duration of the context.  ``off``
+    installs nothing and yields ``None``."""
+    global _ACTIVE
+    resolved = resolve_mode(mode)
+    if resolved == "off":
+        yield None
+        return
+    reporter = ProgressReporter(resolved, stream=stream)
+    previous = _ACTIVE
+    _ACTIVE = reporter
+    try:
+        yield reporter
+    finally:
+        if reporter._painted:
+            reporter.end_sweep()
+        _ACTIVE = previous

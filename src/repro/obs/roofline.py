@@ -1,0 +1,301 @@
+"""Roofline attribution: arithmetic intensity and memory-bound fraction.
+
+The paper's thesis is that these kernels are *memory-intensive* — that
+cycles go to memory systems, not ALUs.  ``repro analyze roofline``
+turns that claim into a computed artifact.  For every registered
+kernel×machine pair it derives:
+
+* **arithmetic intensity** — the kernel's arithmetic operations per
+  memory word moved (the op census over the larger of the measured
+  load/store traffic and the §2.5 footprint floor, so mappings whose
+  census counts arithmetic only still get a defined intensity);
+* **the machine's roofs** — peak arithmetic throughput
+  (``flops_per_cycle`` from the Table 2 spec) and the memory roof
+  ``intensity × words_per_cycle`` from the same Table 1 word rates the
+  §2.5 bounds use (:func:`repro.models.bounds.machine_word_rates`);
+  the *ridge point* is where they cross;
+* **memory-bound fraction** — the share of the run's cycle ledger
+  charged to memory categories, via a deterministic classifier over the
+  breakdown category names (``read misses``, ``dram row activations``,
+  ``streaming misses`` → memory; ``issue``, ``kernel``, ``twiddle
+  recomputation`` → compute; ``startup``, ``loop overhead``, ``network
+  sequencing`` → other);
+* **trace cross-check** (``--traced``) — the busy fraction of the
+  memory-class trace tracks (``dram/*``, ``tlb/*``, ``cache/*``) of a
+  traced run, an independent, event-level view of the same attribution.
+
+A pair is *memory-bound* two independent ways: by position (its
+intensity falls left of the machine's ridge point, so the memory roof
+caps attainable throughput) and by measurement (the majority of its
+ledger cycles are charged to memory categories).  The analysis reports
+both and the dashboard plots the classic log-log roofline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "RooflinePoint",
+    "analyze_roofline",
+    "classify_category",
+    "ledger_fractions",
+    "render_roofline",
+    "roofline_records",
+]
+
+#: Breakdown-category classifier keyword lists, checked in order:
+#: memory first (so "load/store issue" lands on the memory side it
+#: models), then compute, then the explicit other list, then fallback
+#: "other".  Matching is case-insensitive substring.
+MEMORY_KEYWORDS = (
+    "miss",
+    "dram",
+    "tlb",
+    "memory",
+    "load",
+    "store",
+    "write",
+    "read",
+    "streaming",
+    "cache",
+    "activation",
+)
+COMPUTE_KEYWORDS = (
+    "issue",
+    "compute",
+    "kernel",
+    "flop",
+    "twiddle",
+    "dependency",
+    "address",
+    "shuffle",
+)
+
+#: Trace resource classes counted as memory-system activity for the
+#: event-level cross-check.
+MEMORY_TRACE_CLASSES = ("dram", "tlb", "cache", "memory", "srf")
+
+
+def classify_category(name: str) -> str:
+    """``memory`` / ``compute`` / ``other`` for one breakdown category."""
+    lowered = name.lower()
+    for keyword in MEMORY_KEYWORDS:
+        if keyword in lowered:
+            return "memory"
+    for keyword in COMPUTE_KEYWORDS:
+        if keyword in lowered:
+            return "compute"
+    return "other"
+
+
+def ledger_fractions(breakdown: Any) -> Dict[str, float]:
+    """Memory/compute/other fractions of a cycle ledger."""
+    total = float(breakdown.total)
+    sums = {"memory": 0.0, "compute": 0.0, "other": 0.0}
+    for category, cycles in breakdown.items():
+        sums[classify_category(category)] += float(cycles)
+    if total <= 0:
+        return {key: 0.0 for key in sums}
+    return {key: value / total for key, value in sums.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel×machine point under its machine's roofs."""
+
+    kernel: str
+    machine: str
+    cycles: float
+    #: Arithmetic ops per memory word moved.
+    intensity: float
+    #: Achieved arithmetic throughput (ops/cycle).
+    achieved: float
+    #: The machine's arithmetic roof (ops/cycle).
+    peak: float
+    #: The machine's memory word rate (words/cycle).
+    word_rate: float
+    #: Ledger attribution fractions (memory/compute/other).
+    fractions: Mapping[str, float]
+    #: Busy fraction of memory-class trace tracks (None when untraced).
+    trace_memory_fraction: Optional[float] = None
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the memory roof meets the arithmetic roof."""
+        if self.word_rate <= 0:
+            return float("inf")
+        return self.peak / self.word_rate
+
+    @property
+    def attainable(self) -> float:
+        """min(arithmetic roof, memory roof at this intensity)."""
+        return min(self.peak, self.intensity * self.word_rate)
+
+    @property
+    def memory_fraction(self) -> float:
+        return float(self.fractions["memory"])
+
+    @property
+    def roofline_bound(self) -> str:
+        """Position relative to the ridge: which roof caps this point."""
+        return "memory" if self.intensity < self.ridge_intensity else "compute"
+
+    @property
+    def ledger_bound(self) -> str:
+        """Which attribution class dominates the measured ledger."""
+        return max(self.fractions, key=lambda k: self.fractions[k])
+
+
+def _word_rate(kernel: str, machine: str) -> float:
+    """The memory word rate the §2.5 bound holds this pair to: VIRAM
+    streams its on-chip DRAM, everything else the off-chip interface."""
+    from repro.models.bounds import machine_word_rates
+
+    rates = machine_word_rates(machine)
+    return rates["onchip"] if machine == "viram" else rates["offchip"]
+
+
+def analyze_roofline(
+    workloads: Optional[Mapping[str, Any]] = None,
+    *,
+    traced: bool = False,
+) -> List[RooflinePoint]:
+    """Build the roofline point set for every registered pair.
+
+    Runs are read through the memoization cache (cache hits after any
+    report); ``traced=True`` additionally re-executes each pair under
+    the tracer for the event-level memory-busy cross-check — slower,
+    and bypasses the run cache by design.
+    """
+    from repro.mappings import registry
+    from repro.models.bounds import kernel_footprint_words
+    from repro.obs.ledger import record
+
+    points: List[RooflinePoint] = []
+    for kernel, machine in registry.available():
+        kwargs: Dict[str, Any] = {}
+        if workloads and kernel in workloads:
+            kwargs["workload"] = workloads[kernel]
+        run = registry.run(kernel, machine, **kwargs)
+        moved = max(
+            float(run.ops.memory_ops),
+            kernel_footprint_words(kernel, kwargs.get("workload")),
+        )
+        arithmetic = float(run.ops.arithmetic)
+        intensity = arithmetic / moved if moved > 0 else 0.0
+        trace_fraction: Optional[float] = None
+        if traced:
+            trace_fraction = _trace_memory_fraction(kernel, machine, kwargs)
+        point = RooflinePoint(
+            kernel=kernel,
+            machine=machine,
+            cycles=float(run.cycles),
+            intensity=intensity,
+            achieved=arithmetic / run.cycles if run.cycles else 0.0,
+            peak=float(run.spec.flops_per_cycle),
+            word_rate=_word_rate(kernel, machine),
+            fractions=ledger_fractions(run.breakdown),
+            trace_memory_fraction=trace_fraction,
+        )
+        points.append(point)
+        record(
+            "roofline.point",
+            kernel=kernel,
+            machine=machine,
+            intensity=point.intensity,
+            memory_fraction=point.memory_fraction,
+            bound=point.roofline_bound,
+        )
+    return points
+
+
+def _trace_memory_fraction(
+    kernel: str, machine: str, kwargs: Dict[str, Any]
+) -> Optional[float]:
+    """Busy cycles on memory-class tracks over total span cycles of a
+    traced run (``None`` when the trace has no spans)."""
+    from repro.trace.run import trace_run
+
+    _, tracer = trace_run(kernel, machine, **kwargs)
+    by_class = tracer.busy_by_class()
+    # The accounting/* tracks replicate the whole ledger; exclude them
+    # so the fraction reflects the fine-grained resource tracks.
+    busy = {
+        cls: cycles for cls, cycles in by_class.items() if cls != "accounting"
+    }
+    total = sum(busy.values())
+    if total <= 0:
+        return None
+    memory = sum(
+        cycles
+        for cls, cycles in busy.items()
+        if cls in MEMORY_TRACE_CLASSES
+    )
+    return memory / total
+
+
+def render_roofline(points: List[RooflinePoint]) -> str:
+    """The text table ``repro analyze roofline`` prints."""
+    header = (
+        f"{'kernel':<14s} {'machine':<8s} {'AI (ops/word)':>13s} "
+        f"{'ridge':>8s} {'mem frac':>9s} {'cmp frac':>9s} "
+        f"{'oth frac':>9s} {'roofline':>9s} {'ledger':>8s}"
+    )
+    lines = ["roofline attribution (per kernel x machine):", header]
+    for point in points:
+        ridge = (
+            f"{point.ridge_intensity:8.2f}"
+            if point.ridge_intensity != float("inf")
+            else "     inf"
+        )
+        lines.append(
+            f"{point.kernel:<14s} {point.machine:<8s} "
+            f"{point.intensity:13.3f} {ridge} "
+            f"{point.memory_fraction:9.3f} "
+            f"{point.fractions['compute']:9.3f} "
+            f"{point.fractions['other']:9.3f} "
+            f"{point.roofline_bound:>9s} {point.ledger_bound:>8s}"
+        )
+    n_memory = sum(1 for p in points if p.roofline_bound == "memory")
+    lines.append(
+        f"{n_memory}/{len(points)} pairs sit left of their ridge point "
+        "(memory roof caps attainable throughput)"
+    )
+    return "\n".join(lines)
+
+
+def roofline_records(points: List[RooflinePoint]) -> List[Dict[str, Any]]:
+    """JSON-safe records (the ``--json`` shape and the dashboard input)."""
+    out: List[Dict[str, Any]] = []
+    for point in points:
+        out.append(
+            {
+                "kernel": point.kernel,
+                "machine": point.machine,
+                "cycles": point.cycles,
+                "intensity_ops_per_word": point.intensity,
+                "achieved_ops_per_cycle": point.achieved,
+                "peak_ops_per_cycle": point.peak,
+                "word_rate_words_per_cycle": point.word_rate,
+                "ridge_intensity": (
+                    point.ridge_intensity
+                    if point.ridge_intensity != float("inf")
+                    else None
+                ),
+                "attainable_ops_per_cycle": point.attainable,
+                "memory_fraction": point.fractions["memory"],
+                "compute_fraction": point.fractions["compute"],
+                "other_fraction": point.fractions["other"],
+                "roofline_bound": point.roofline_bound,
+                "ledger_bound": point.ledger_bound,
+                "trace_memory_fraction": point.trace_memory_fraction,
+            }
+        )
+    return out
+
+
+def roofline_json(points: List[RooflinePoint]) -> str:
+    return json.dumps(roofline_records(points), indent=2, sort_keys=True)

@@ -157,10 +157,15 @@ def _run_pool(
     Mapping errors (``ReproError``) propagate unchanged.
     """
     from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.obs.ledger import record
     from repro.resilience.stats import RESILIENCE
     from repro.resilience.supervisor import Supervisor
 
     chunks = chunked(requests, n_jobs, chunk_size)
+    record(
+        "pool.dispatch", jobs=n_jobs, chunks=len(chunks),
+        cells=len(requests),
+    )
     try:
         with timers.timer("sweep.parallel"):
             timers.count("sweep.pool_chunks", len(chunks))
@@ -201,10 +206,14 @@ def _run_unit_pool(
     serial with the reason recorded in telemetry.
     """
     from repro.errors import DeadlineExceeded, WorkerCrashError
+    from repro.obs.ledger import record
     from repro.resilience.stats import RESILIENCE
     from repro.resilience.supervisor import Supervisor
 
     chunks = chunked(units, n_jobs, chunk_size)
+    record(
+        "pool.dispatch", jobs=n_jobs, chunks=len(chunks), units=len(units),
+    )
     try:
         with timers.timer("sweep.parallel"):
             timers.count("sweep.pool_chunks", len(chunks))

@@ -71,6 +71,8 @@ def execute_requests(
     chunks for ~4 per worker, for load balance without per-cell
     submission overhead).
     """
+    from repro.obs.ledger import record
+    from repro.obs.progress import current_reporter
     from repro.perf import executor
 
     requests = [
@@ -87,6 +89,7 @@ def execute_requests(
     pending: List[Tuple[int, RunRequest, Optional[str]]] = []
     seen_keys: Dict[str, int] = {}
     duplicates: List[Tuple[int, int]] = []  # (slot, representative slot)
+    memory_hits = disk_hits = 0
     with timers.timer("sweep.cache-probe"):
         for i, (kernel, machine, kwargs) in enumerate(requests):
             key = cache_key(kernel, machine, kwargs)
@@ -100,6 +103,7 @@ def execute_requests(
                     if hit is not None:
                         results[i] = hit
                         seen_keys[key] = i
+                        memory_hits += 1
                         timers.count("planner.memory_hits")
                         continue
                 # Tier 2: persistent disk store (promote into tier 1).
@@ -110,6 +114,7 @@ def execute_requests(
                             RUN_CACHE.insert(key, value)
                         results[i] = value
                         seen_keys[key] = i
+                        disk_hits += 1
                         timers.count("planner.disk_hits")
                         continue
                 seen_keys[key] = i
@@ -117,6 +122,7 @@ def execute_requests(
     if duplicates:
         timers.count("planner.duplicates", len(duplicates))
 
+    reporter = current_reporter()
     if pending:
         timers.count("planner.executed", len(pending))
         # Partition the misses into dispatch units: tensor batch groups
@@ -127,6 +133,39 @@ def execute_requests(
             [(request, key) for _, request, key in pending]
         )
         timers.count("planner.units", len(units))
+        batch_units = [
+            u for u in units if isinstance(u, tensorsweep.BatchGroup)
+        ]
+        batched_cells = sum(len(u.positions) for u in batch_units)
+        record(
+            "sweep.plan",
+            requests=len(requests),
+            duplicates=len(duplicates),
+            memory_hits=memory_hits,
+            disk_hits=disk_hits,
+            executed=len(pending),
+            units=len(units),
+            batch_units=len(batch_units),
+            batched_cells=batched_cells,
+            jobs=n_jobs,
+        )
+        for unit in units:
+            record(
+                "planner.dispatch",
+                unit="batch"
+                if isinstance(unit, tensorsweep.BatchGroup)
+                else "cell",
+                cells=len(unit.positions),
+            )
+        if reporter is not None:
+            reporter.begin_sweep(
+                "sweep",
+                total_cells=len(requests),
+                cached_cells=len(requests) - len(pending),
+                total_units=len(units),
+                batch_units=len(batch_units),
+                batched_cells=batched_cells,
+            )
         pooled = False
         unit_outcomes = None
         if n_jobs > 1 and len(units) > 1:
@@ -134,14 +173,20 @@ def execute_requests(
                 units, n_jobs, chunk_size=chunk_size
             )
             pooled = unit_outcomes is not None
+            if not pooled and reporter is not None:
+                reporter.note_ladder("serial")
         if unit_outcomes is None:
             # Serial path: execute_unit handles both cache tiers itself
             # (registry.run for singles, the tensor engine's per-cell
             # round-trip for batches).
             with timers.timer("sweep.serial"):
-                unit_outcomes = [
-                    tensorsweep.execute_unit(unit) for unit in units
-                ]
+                unit_outcomes = []
+                for unit in units:
+                    unit_outcomes.append(tensorsweep.execute_unit(unit))
+                    if reporter is not None:
+                        reporter.advance(
+                            cells=len(unit.positions), units=1
+                        )
         # Scatter unit results back to pending order.
         outcomes: List[Any] = [None] * len(pending)
         for unit, unit_results in zip(units, unit_outcomes):
@@ -157,6 +202,22 @@ def execute_requests(
                     RUN_CACHE.insert(key, outcome)
         for (i, _, _), outcome in zip(pending, outcomes):
             results[i] = outcome
+        if reporter is not None:
+            reporter.end_sweep()
+    elif requests:
+        # Fully served from the tiers: still an observable plan.
+        record(
+            "sweep.plan",
+            requests=len(requests),
+            duplicates=len(duplicates),
+            memory_hits=memory_hits,
+            disk_hits=disk_hits,
+            executed=0,
+            units=0,
+            batch_units=0,
+            batched_cells=0,
+            jobs=n_jobs,
+        )
 
     for i, rep in duplicates:
         results[i] = copy.deepcopy(results[rep])

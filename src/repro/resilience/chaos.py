@@ -237,10 +237,19 @@ def tokens_claimed(spec: ChaosSpec) -> Dict[str, int]:
     return out
 
 
-def _note(name: str) -> None:
+def _note(name: str, fault: str = "") -> None:
     from repro.resilience.stats import RESILIENCE
 
     RESILIENCE.note(name)
+    if fault:
+        # Mirror the injection into the flight recorder.  Worker
+        # processes have no recorder installed, so only parent-side
+        # injections (disk, lock, corrupt in-parent) appear in the
+        # session ledger — the kill/hang evidence is the supervisor's
+        # own recovery events.
+        from repro.obs.ledger import record
+
+        record("chaos.injection", fault=fault)
 
 
 # -- injection hooks --------------------------------------------------
@@ -258,14 +267,14 @@ def on_worker_chunk() -> None:
     if claim("kill", spec):
         os.kill(os.getpid(), signal.SIGKILL)
     if claim("hang", spec):
-        _note("chaos_injections")
+        _note("chaos_injections", fault="hang")
         time.sleep(spec.hang_s)
 
 
 def on_disk_read(path: os.PathLike) -> None:
     """Disk-cache read hook: may raise an injected ``OSError``."""
     if claim("disk"):
-        _note("chaos_injections")
+        _note("chaos_injections", fault="disk")
         raise OSError(f"chaos: injected disk read error for {path}")
 
 
@@ -273,7 +282,7 @@ def on_disk_insert(path: os.PathLike) -> None:
     """Disk-cache publish hook: may flip one byte of the entry just
     written (digest left stale — the read path must quarantine it)."""
     if claim("corrupt"):
-        _note("chaos_injections")
+        _note("chaos_injections", fault="corrupt")
         try:
             with open(path, "r+b") as fh:
                 fh.seek(-1, os.SEEK_END)
@@ -288,7 +297,7 @@ def on_lock_acquire(path: os.PathLike) -> None:
     """Lock-acquisition hook: may plant a stale lock file (dead pid,
     hour-old mtime) that the acquirer must detect and break."""
     if claim("lock"):
-        _note("chaos_injections")
+        _note("chaos_injections", fault="lock")
         path = Path(path)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -347,6 +356,9 @@ def run_chaos_check(
 
     spec_text = spec_text or DEFAULT_SPEC
     spec = parse_spec(spec_text)
+    from repro.obs.ledger import record as ledger_record
+
+    ledger_record("chaos.check", spec=spec_text, jobs=int(jobs))
     report = CheckReport(tier="chaos")
     workloads = None
     if fast:

@@ -171,6 +171,53 @@ def probe_telemetry() -> ProbeResult:
     )
 
 
+def probe_obs() -> ProbeResult:
+    """Probe the observability layer: ledger dir writable, history
+    parseable line by line (quarantining a corrupt trailing line rather
+    than trusting it)."""
+    import os
+
+    from repro.obs.history import history_path, quarantine_corrupt, read_history
+    from repro.obs.ledger import ledger_dir, obs_enabled
+
+    name = "probe.obs"
+    if not obs_enabled():
+        return ProbeResult(name, WARN, "obs layer disabled (REPRO_OBS=0)")
+    # Ledger directory must be creatable and writable.
+    directory = ledger_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        probe_file = directory / f".doctor-probe-{os.getpid()}"
+        probe_file.write_text("probe\n", encoding="utf-8")
+        probe_file.unlink()
+    except OSError as exc:
+        return ProbeResult(
+            name, FAIL,
+            f"ledger dir not writable ({directory}): "
+            f"{type(exc).__name__}: {exc}",
+        )
+    # History must parse line by line; a torn tail is healed, not trusted.
+    path = history_path()
+    records, corrupt = read_history(path)
+    if corrupt:
+        healed = quarantine_corrupt(path)
+        if healed:
+            return ProbeResult(
+                name, WARN,
+                f"history had {healed} corrupt line(s); quarantined to "
+                f"{path.with_suffix('.quarantine')}",
+            )
+        return ProbeResult(
+            name, FAIL,
+            f"history has {len(corrupt)} corrupt line(s) and "
+            "quarantine failed (read-only store?)",
+        )
+    return ProbeResult(
+        name, PASS,
+        f"ledger dir writable, {len(records)} history record(s) parseable",
+    )
+
+
 #: The probe battery, in run order.
 PROBES: Tuple[Tuple[str, Callable[[], ProbeResult]], ...] = (
     ("pool-spawn", probe_pool_spawn),
@@ -179,6 +226,7 @@ PROBES: Tuple[Tuple[str, Callable[[], ProbeResult]], ...] = (
     ("lock", probe_lock),
     ("quarantine", probe_quarantine),
     ("telemetry", probe_telemetry),
+    ("obs", probe_obs),
 )
 
 

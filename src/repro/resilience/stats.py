@@ -18,7 +18,7 @@ recovered in place, never silently downgraded to serial.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Union
+from typing import Any, Dict, List, Union
 
 from repro.trace.tracer import active_tracer
 
@@ -48,6 +48,7 @@ class ResilienceStats:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
         self._last_degradation_reason = ""
+        self._incidents: List[Dict[str, Any]] = []
 
     def note(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n`` (and mirror it onto the
@@ -69,14 +70,38 @@ class ResilienceStats:
         with self._lock:
             self._counters["degradations"] += 1
             self._last_degradation_reason = reason
+        payload = {"reason": reason}
+        self.log_incident("degradation", payload)
         tracer = active_tracer()
         if tracer is not None:
             tracer.count("resilience.degradations")
             tracer.instant(
                 "degradation",
                 track="resilience/supervisor",
-                args={"reason": reason},
+                args=payload,
             )
+        from repro.obs.ledger import record
+
+        record("supervisor.degradation", **payload)
+
+    def log_incident(self, kind: str, payload: Dict[str, Any]) -> None:
+        """Keep one supervisor event's structured payload.
+
+        The *same* payload object the supervisor mirrors onto the
+        tracer and the flight-recorder ledger, so the chaos acceptance
+        tests can compare the ledger's ``supervisor.*`` events against
+        this log byte-for-byte (``json.dumps(..., sort_keys=True)``).
+        """
+        with self._lock:
+            self._incidents.append({"kind": kind, "payload": dict(payload)})
+
+    def incidents(self) -> List[Dict[str, Any]]:
+        """The structured incident log, in occurrence order."""
+        with self._lock:
+            return [
+                {"kind": i["kind"], "payload": dict(i["payload"])}
+                for i in self._incidents
+            ]
 
     def get(self, name: str) -> int:
         with self._lock:
@@ -98,6 +123,7 @@ class ResilienceStats:
         with self._lock:
             self._counters = {name: 0 for name in COUNTERS}
             self._last_degradation_reason = ""
+            self._incidents = []
 
     def render(self) -> str:
         """Aligned ``resilience.<name> value`` lines for ``--perf``."""

@@ -186,13 +186,56 @@ class Supervisor:
 
     @staticmethod
     def _event(name: str, **args: Any) -> None:
+        """Emit one supervisor event to every observer at once.
+
+        The *same* payload dict goes to the structured incident log,
+        the flight-recorder ledger (``supervisor.<name>``), and the
+        tracer's ``resilience/supervisor`` track — the chaos acceptance
+        tests compare the first two byte-for-byte, so the payload must
+        be built exactly once.
+        """
+        from repro.obs.ledger import record
+
+        from repro.obs.progress import current_reporter
+
+        payload = dict(args)
+        RESILIENCE.log_incident(name, payload)
+        record(f"supervisor.{name}", **payload)
+        reporter = current_reporter()
+        if reporter is not None:
+            if name == "retry":
+                reporter.note_retry(int(payload.get("chunks", 1)))
+                reporter.note_ladder("fresh-pool")
+            elif name == "isolate":
+                reporter.note_ladder("isolating")
         tracer = active_tracer()
         if tracer is not None:
             tracer.instant(
                 f"resilience.{name}",
                 track="resilience/supervisor",
-                args=args or None,
+                args=payload or None,
             )
+
+    @staticmethod
+    def _chunk_census(chunk: Sequence[Any]) -> Tuple[int, int]:
+        """``(cells, units)`` a finished chunk contributes to progress.
+
+        Dispatch-unit chunks count each unit's cell positions; plain
+        request chunks count one cell per item.
+        """
+        cells = 0
+        for item in chunk:
+            positions = getattr(item, "positions", None)
+            cells += len(positions) if positions else 1
+        return cells, len(chunk)
+
+    def _advance(self, chunk: Sequence[Any]) -> None:
+        from repro.obs.progress import current_reporter
+
+        reporter = current_reporter()
+        if reporter is not None:
+            cells, units = self._chunk_census(chunk)
+            reporter.advance(cells=cells, units=units)
 
     # -- supervised execution -------------------------------------------
 
@@ -286,13 +329,16 @@ class Supervisor:
         for ci, fut in futures.items():
             if pool_broken:
                 # The pool is gone; every unresolved sibling retries.
-                if not self._harvest(fut, ci, results):
+                if self._harvest(fut, ci, results):
+                    self._advance(chunks[ci])
+                else:
                     failed[ci] = submit_error or WorkerCrashError(
                         "worker crashed"
                     )
                 continue
             try:
                 results[ci] = fut.result(timeout=self._policy.deadline)
+                self._advance(chunks[ci])
             except cf.TimeoutError:
                 RESILIENCE.note("deadline_exceeded")
                 self._event(
@@ -368,6 +414,7 @@ class Supervisor:
                 value, n_attempts, err = self._run_cell_alone(ci, j, cell)
                 if err is None:
                     out.append(value)
+                    self._advance([cell])
                 else:
                     RESILIENCE.note("failed_cells")
                     self._event("cell_failed", chunk=ci, cell=j)
@@ -386,6 +433,7 @@ class Supervisor:
                     for ci, j, n, err in failures
                 ],
             }
+            self._event("incident", **incident)
             _, _, _, first = failures[0]
             cls = (
                 DeadlineExceeded

@@ -125,11 +125,17 @@ def run_scenarios(
     calibration constant land in one batch group), then per-scenario
     records are reassembled in order.
     """
+    from repro.obs.ledger import record
     from repro.perf.planner import execute_requests
 
     requests: List[Any] = []
     for scenario in scenarios:
         requests.extend(stage_requests(scenario))
+    record(
+        "pipeline.run",
+        scenarios=len(scenarios),
+        stages=len(requests),
+    )
     results = execute_requests(requests, jobs=jobs)
     pruns: List[PipelineRun] = []
     cursor = 0
@@ -139,6 +145,11 @@ def run_scenarios(
             assemble_pipeline(scenario, results[cursor:cursor + n])
         )
         cursor += n
+    record(
+        "pipeline.done",
+        scenarios=len(pruns),
+        total_cycles=sum(p.total_cycles for p in pruns),
+    )
     return pruns
 
 

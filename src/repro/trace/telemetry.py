@@ -25,7 +25,10 @@ The process-wide :data:`TELEMETRY` registry starts with five sources:
   per kernel, handoff words/cycles per level, scenarios generated and
   validated — see :mod:`repro.scenarios.stats`);
 * ``trace`` — the active tracer's counters and event census (empty when
-  tracing is off).
+  tracing is off);
+* ``obs`` — the flight recorder's event census (session id, events
+  recorded by kind, write errors — empty when no recorder is active,
+  see :mod:`repro.obs.ledger`).
 
 Sources are read lazily at snapshot time, so registration costs nothing
 until someone asks, and a broken source reports its error under
@@ -80,12 +83,20 @@ class TelemetryRegistry:
 
     @contextmanager
     def scoped(self, namespace: str, source: Source) -> Iterator[None]:
-        """Register ``source`` for the duration of the context only."""
+        """Register ``source`` for the duration of the context only.
+
+        Exit removes exactly the source it installed: if the namespace
+        was unregistered mid-scope, or replaced via
+        ``register(..., replace=True)``, the other party's change is
+        left alone instead of being clobbered by this context's exit.
+        """
         self.register(namespace, source)
         try:
             yield
         finally:
-            self.unregister(namespace)
+            with self._lock:
+                if self._sources.get(namespace) is source:
+                    del self._sources[namespace]
 
     def snapshot(self) -> Dict[str, Any]:
         """All sources flattened to one ``{"namespace.key": value}`` dict.
@@ -116,10 +127,17 @@ class TelemetryRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
-        """Aligned ``name value`` lines, sorted, for the ``--perf`` view."""
+        """Aligned ``name value`` lines, sorted, for the ``--perf`` view.
+
+        Total-emptiness is reported precisely: an empty *registry* reads
+        differently from registered sources that currently have nothing
+        to say (every source returned an empty mapping).
+        """
         snap = self.snapshot()
         if not snap:
-            return "telemetry: (no sources registered)"
+            if not self.namespaces():
+                return "telemetry: (no sources registered)"
+            return "telemetry: (no values)"
         width = max(len(name) for name in snap)
         lines = ["telemetry:"]
         for name in sorted(snap):
@@ -203,6 +221,12 @@ def _trace_source() -> Dict[str, Any]:
     return out
 
 
+def _obs_source() -> Dict[str, Any]:
+    from repro.obs.ledger import _obs_telemetry_source
+
+    return _obs_telemetry_source()
+
+
 #: The process-wide registry with the default sources installed.
 TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
@@ -212,3 +236,4 @@ TELEMETRY.register("perf.tensor", _tensor_source)
 TELEMETRY.register("resilience", _resilience_source)
 TELEMETRY.register("scenario", _scenario_source)
 TELEMETRY.register("trace", _trace_source)
+TELEMETRY.register("obs", _obs_source)

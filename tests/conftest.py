@@ -34,6 +34,22 @@ def isolated_disk_cache(tmp_path, monkeypatch):
     DISK_CACHE.clear()
 
 
+@pytest.fixture(autouse=True)
+def isolated_obs(tmp_path, monkeypatch):
+    """Point the observability layer at a per-test directory.
+
+    The ledger and metrics history are per-checkout state; a record
+    appended by one test must never become another test's regression
+    baseline.  Also guarantees no recorder leaks across tests.
+    """
+    from repro.obs import ledger
+
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    yield
+    ledger._ACTIVE = None
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

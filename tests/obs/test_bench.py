@@ -1,0 +1,142 @@
+"""Tests for the versioned BENCH schema (:mod:`repro.obs.bench`)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_document,
+    discover_bench_files,
+    infer_unit,
+    load_bench_metrics,
+    write_bench_document,
+)
+
+
+class TestInferUnit:
+    def test_units_from_names(self):
+        assert infer_unit("cold_report_seconds") == "s"
+        assert infer_unit("footprint_bytes") == "bytes"
+        assert infer_unit("batch_speedup") == "x"
+        assert infer_unit("run.corner_turn.viram.cycles") == "cycles"
+        assert infer_unit("rows") == "count"
+
+
+class TestBenchDocument:
+    def test_envelope_shape(self):
+        doc = bench_document(
+            {"cold_report_seconds": 4.5, "rows_identical": True},
+            git_sha="abc123",
+        )
+        assert doc["schema_version"] == BENCH_SCHEMA
+        assert doc["git_sha"] == "abc123"
+        assert doc["metrics"]["cold_report_seconds"] == 4.5
+        # Units are inferred for numeric metrics only.
+        assert doc["units"] == {"cold_report_seconds": "s"}
+
+    def test_explicit_units_override(self):
+        doc = bench_document({"x": 1.0}, units={"x": "furlongs"})
+        assert doc["units"]["x"] == "furlongs"
+
+
+class TestLoadBenchMetrics:
+    def test_versioned_roundtrip(self, tmp_path):
+        path = write_bench_document(
+            tmp_path / "BENCH_X.json",
+            {"cold_report_seconds": 4.5, "nested": {"inner_seconds": 1.0}},
+        )
+        metrics, version = load_bench_metrics(path)
+        assert version == BENCH_SCHEMA
+        assert metrics["cold_report_seconds"] == 4.5
+        # Nested dicts flatten with dotted names, like legacy files.
+        assert metrics["nested.inner_seconds"] == 1.0
+
+    def test_legacy_flat_file_is_version_zero(self, tmp_path):
+        path = tmp_path / "BENCH_OLD.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "report_seconds": 2.0,
+                    "rows_identical": True,
+                    "stats": {"hits": 3},
+                    "label": "ignored",
+                }
+            )
+        )
+        metrics, version = load_bench_metrics(path)
+        assert version == 0
+        assert metrics["report_seconds"] == 2.0
+        assert metrics["rows_identical"] == 1.0  # bools become 0/1
+        assert metrics["stats.hits"] == 3.0
+        assert "label" not in metrics  # strings are not metrics
+
+    def test_json_lines_per_run_fallback(self, tmp_path):
+        path = tmp_path / "BENCH_PR3.json"
+        lines = [
+            {"kernel": "corner_turn", "machine": "viram",
+             "cycles": 100.0, "percent_of_peak": 5.0, "note": "x"},
+            {"kernel": "cslc", "machine": "imagine", "cycles": 200.0},
+            {"schema": "repro-metrics/1"},  # header-ish line, no identity
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        metrics, version = load_bench_metrics(path)
+        assert version == 0
+        assert metrics == {
+            "run.corner_turn.viram.cycles": 100.0,
+            "run.corner_turn.viram.percent_of_peak": 5.0,
+            "run.cslc.imagine.cycles": 200.0,
+        }
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_LIST.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_bench_metrics(path)
+
+    def test_committed_bench_files_all_load(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        files = discover_bench_files(root)
+        assert files, "repo should have committed BENCH files"
+        for path in files:
+            metrics, version = load_bench_metrics(path)
+            assert version >= 0
+            assert metrics, f"{path.name} produced no metrics"
+
+
+class TestDiscoverBenchFiles:
+    def test_matches_bench_prefix_only(self, tmp_path):
+        (tmp_path / "BENCH_PR9.json").write_text("{}")
+        (tmp_path / "BENCH_a-b.c.json").write_text("{}")
+        (tmp_path / "bench_lower.json").write_text("{}")
+        (tmp_path / "BENCH_.json").write_text("{}")
+        (tmp_path / "OTHER.json").write_text("{}")
+        names = [p.name for p in discover_bench_files(tmp_path)]
+        assert names == ["BENCH_PR9.json", "BENCH_a-b.c.json"]
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert discover_bench_files(tmp_path / "nope") == []
+
+
+class TestBenchUtilsShim:
+    def test_write_bench_stamps_git_sha_from_env(self, tmp_path, monkeypatch):
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "bench_utils_under_test", root / "benchmarks" / "bench_utils.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+        path = module.write_bench(
+            tmp_path / "BENCH_T.json", {"report_seconds": 1.0}
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == BENCH_SCHEMA
+        assert doc["git_sha"] == "feedbeef"
+        assert doc["metrics"]["report_seconds"] == 1.0

@@ -1,0 +1,132 @@
+"""Tests for the HTML dashboard (:mod:`repro.obs.dashboard`)."""
+
+from repro.obs.dashboard import (
+    build_dashboard,
+    cache_hit_rates,
+    history_series,
+    roofline_svg,
+    sparkline_svg,
+    write_dashboard,
+)
+
+
+def _history():
+    return [
+        {
+            "session": "s1",
+            "command": "report",
+            "metrics": {"report.wall_seconds": 1.0, "label": "not-a-number"},
+            "telemetry": {"cache.hits": 10, "cache.misses": 2},
+        },
+        {
+            "session": "s2",
+            "command": "report",
+            "metrics": {"report.wall_seconds": 1.2},
+            "telemetry": {"cache.hits": 30, "cache.misses": 0},
+        },
+    ]
+
+
+def _roofline():
+    return [
+        {
+            "kernel": "corner_turn",
+            "machine": "viram",
+            "intensity_ops_per_word": 0.5,
+            "achieved_ops_per_cycle": 0.1,
+            "peak_ops_per_cycle": 4.0,
+            "word_rate_words_per_cycle": 2.0,
+            "ridge_intensity": 2.0,
+            "memory_fraction": 0.8,
+            "roofline_bound": "memory",
+        },
+        {
+            "kernel": "cslc",
+            "machine": "imagine",
+            "intensity_ops_per_word": 8.0,
+            "achieved_ops_per_cycle": 3.0,
+            "peak_ops_per_cycle": 16.0,
+            "word_rate_words_per_cycle": 1.0,
+            "ridge_intensity": 16.0,
+            "memory_fraction": 0.4,
+            "roofline_bound": "memory",
+        },
+    ]
+
+
+class TestHistorySeries:
+    def test_collects_numeric_metrics_oldest_first(self):
+        series = history_series(_history())
+        assert series["report.wall_seconds"] == [1.0, 1.2]
+        assert "label" not in series
+
+    def test_limit_keeps_most_recent(self):
+        records = [
+            {"metrics": {"m": float(i)}} for i in range(30)
+        ]
+        series = history_series(records, limit=5)
+        assert series["m"] == [25.0, 26.0, 27.0, 28.0, 29.0]
+
+
+class TestSparkline:
+    def test_empty_series_is_empty_string(self):
+        assert sparkline_svg([]) == ""
+
+    def test_polyline_has_one_point_per_value(self):
+        svg = sparkline_svg([1.0, 2.0, 3.0])
+        assert svg.startswith("<svg")
+        points = svg.split('points="')[1].split('"')[0]
+        assert len(points.split()) == 3
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        assert "<svg" in sparkline_svg([5.0, 5.0, 5.0])
+
+
+class TestCacheHitRates:
+    def test_pairs_hits_with_misses(self):
+        rows = cache_hit_rates(
+            {"cache.hits": 9, "cache.misses": 1, "disk.hits": 0,
+             "disk.misses": 0, "orphan.hits": 3}
+        )
+        by_cache = {r["cache"]: r for r in rows}
+        assert by_cache["cache"]["rate"] == 0.9
+        assert by_cache["disk"]["rate"] is None  # 0/0: undefined, not crash
+        assert "orphan" not in by_cache  # no misses counter: skipped
+
+
+class TestRooflineSvg:
+    def test_empty_records_degrade_gracefully(self):
+        assert roofline_svg([]) == "<p>no roofline data</p>"
+
+    def test_one_point_and_roof_pair_per_entry(self):
+        svg = roofline_svg(_roofline())
+        assert svg.count('class="point"') == 2
+        assert svg.count('class="roof-cpu"') == 2  # one per machine
+        assert 'data-kernel="corner_turn"' in svg
+        assert "corner_turn/viram" in svg
+
+
+class TestBuildDashboard:
+    def test_full_document(self):
+        doc = build_dashboard(_history(), _roofline())
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.endswith("</body></html>")
+        assert "s2" in doc  # latest session shown
+        assert "roofline attribution" in doc
+        assert "report.wall_seconds" in doc
+        assert "100.0%" in doc  # latest cache snapshot: 30 hits / 0 misses
+
+    def test_empty_inputs_still_render(self):
+        doc = build_dashboard([], [])
+        assert "no history yet" in doc
+        assert "no roofline data" in doc
+        assert "no cache counters" in doc
+
+    def test_timeline_embedded_when_given(self):
+        doc = build_dashboard([], [], timeline="<svg id='tl'></svg>")
+        assert "utilization timeline" in doc
+        assert "<svg id='tl'></svg>" in doc
+
+    def test_write_dashboard_atomic(self, tmp_path):
+        path = write_dashboard(tmp_path / "dash.html", _history(), _roofline())
+        assert path.read_text().startswith("<!DOCTYPE html>")

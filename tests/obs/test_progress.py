@@ -1,0 +1,143 @@
+"""Tests for live progress reporting (:mod:`repro.obs.progress`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.progress import (
+    ProgressReporter,
+    current_reporter,
+    progress_reporting,
+    resolve_mode,
+)
+
+
+class TestResolveMode:
+    def test_explicit_modes_pass_through(self):
+        assert resolve_mode("off") == "off"
+        assert resolve_mode("tty") == "tty"
+        assert resolve_mode("jsonl") == "jsonl"
+        assert resolve_mode("JSONL") == "jsonl"
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "jsonl")
+        assert resolve_mode(None) == "jsonl"
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "jsonl")
+        assert resolve_mode("off") == "off"
+
+    def test_auto_without_tty_is_off(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        # Under pytest's capture stderr is not a terminal.
+        assert resolve_mode("auto") == "off"
+        assert resolve_mode(None) == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="progress mode"):
+            resolve_mode("loud")
+
+
+class TestJsonlReporter:
+    def _lines(self, stream):
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_sweep_lifecycle_emits_events(self):
+        stream = io.StringIO()
+        rep = ProgressReporter("jsonl", stream=stream)
+        rep.begin_sweep("table3", total_cells=3, cached_cells=1,
+                        total_units=2, batch_units=1, batched_cells=2)
+        rep.advance(cells=2, units=1)
+        rep.note_retry()
+        rep.note_ladder("serial")
+        rep.advance(cells=0, units=1)
+        rep.end_sweep()
+        lines = self._lines(stream)
+        assert [r["event"] for r in lines] == [
+            "begin", "advance", "retry", "ladder", "advance", "end",
+        ]
+        begin, end = lines[0], lines[-1]
+        assert begin["cells_total"] == 3
+        # Cached cells count as already done at begin time.
+        assert begin["cells_done"] == 1
+        assert begin["cells_cached"] == 1
+        assert end["cells_done"] == 3
+        assert end["units_done"] == 2
+        assert end["retries"] == 1
+        assert end["ladder"] == "serial"
+        assert end["sweep"] == "table3"
+
+    def test_lines_are_sorted_key_json(self):
+        stream = io.StringIO()
+        rep = ProgressReporter("jsonl", stream=stream)
+        rep.begin_sweep("s", total_cells=1)
+        line = stream.getvalue().splitlines()[0]
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_broken_stream_never_raises(self):
+        stream = io.StringIO()
+        rep = ProgressReporter("jsonl", stream=stream)
+        rep.begin_sweep("s", total_cells=1)
+        stream.close()
+        rep.advance()
+        rep.end_sweep()  # all swallowed
+
+
+class TestTtyReporter:
+    def test_repaints_with_carriage_return(self):
+        stream = io.StringIO()
+        clock = iter(float(i) for i in range(100))
+        rep = ProgressReporter("tty", stream=stream, clock=lambda: next(clock))
+        rep.begin_sweep("table3", total_cells=4, total_units=2)
+        rep.advance(cells=2, units=1)
+        rep.end_sweep()
+        text = stream.getvalue()
+        assert "\r\x1b[2K" in text
+        assert "table3: 2/4 cells" in text
+        assert text.endswith("\n")  # painted line gets a final newline
+
+    def test_throttles_unforced_repaints(self):
+        stream = io.StringIO()
+        rep = ProgressReporter("tty", stream=stream, clock=lambda: 1.0)
+        rep.begin_sweep("s", total_cells=10)  # forced paint at t=1.0
+        first = stream.getvalue()
+        rep.advance()  # same clock instant: throttled away
+        assert stream.getvalue() == first
+        assert rep.updates == 2  # state still advanced
+
+    def test_status_line_mentions_extras_only_when_present(self):
+        rep = ProgressReporter("tty", stream=io.StringIO())
+        rep.begin_sweep("s", total_cells=2)
+        assert rep.status_line() == "s: 0/2 cells"
+        rep.note_retry()
+        rep.note_ladder("isolating")
+        line = rep.status_line()
+        assert "retries=1" in line
+        assert "ladder=isolating" in line
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ProgressReporter("auto")
+
+
+class TestProgressReporting:
+    def test_off_yields_none_and_installs_nothing(self):
+        with progress_reporting("off") as rep:
+            assert rep is None
+            assert current_reporter() is None
+
+    def test_installs_and_restores(self):
+        stream = io.StringIO()
+        with progress_reporting("jsonl", stream=stream) as rep:
+            assert current_reporter() is rep
+            rep.begin_sweep("s", total_cells=1)
+        assert current_reporter() is None
+
+    def test_painted_tty_line_closed_on_exit(self):
+        stream = io.StringIO()
+        with progress_reporting("tty", stream=stream) as rep:
+            rep.begin_sweep("s", total_cells=1)
+            assert rep._painted
+        assert stream.getvalue().endswith("\n")

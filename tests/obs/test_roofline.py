@@ -1,0 +1,129 @@
+"""Tests for roofline attribution (:mod:`repro.obs.roofline`)."""
+
+import json
+
+import pytest
+
+from repro.mappings import registry
+from repro.obs.ledger import recording
+from repro.obs.roofline import (
+    analyze_roofline,
+    classify_category,
+    ledger_fractions,
+    render_roofline,
+    roofline_records,
+)
+
+
+@pytest.fixture(scope="module")
+def points(small_module_workloads):
+    return analyze_roofline(small_module_workloads)
+
+
+@pytest.fixture(scope="module")
+def small_module_workloads():
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return {
+        "corner_turn": small_corner_turn(),
+        "cslc": small_cslc(),
+        "beam_steering": small_beam_steering(),
+    }
+
+
+class TestClassifyCategory:
+    def test_paper_categories_land_where_documented(self):
+        assert classify_category("read misses") == "memory"
+        assert classify_category("dram row activations") == "memory"
+        assert classify_category("streaming misses") == "memory"
+        assert classify_category("kernel") == "compute"
+        assert classify_category("twiddle recomputation") == "compute"
+        assert classify_category("startup") == "other"
+        assert classify_category("loop overhead") == "other"
+        assert classify_category("network sequencing") == "other"
+
+    def test_memory_keywords_beat_compute_keywords(self):
+        # "load/store issue" contains both "load" (memory) and "issue"
+        # (compute); memory is checked first by design.
+        assert classify_category("load/store issue") == "memory"
+
+    def test_case_insensitive(self):
+        assert classify_category("DRAM Row Activations") == "memory"
+
+
+class TestAnalyzeRoofline:
+    def test_covers_every_registered_pair(self, points):
+        expected = set(registry.available())
+        assert {(p.kernel, p.machine) for p in points} == expected
+        kernels = {p.kernel for p in points}
+        assert {"corner_turn", "cslc", "beam_steering"} <= kernels
+
+    def test_fractions_are_probabilities(self, points):
+        for p in points:
+            total = sum(p.fractions.values())
+            assert total == pytest.approx(1.0, abs=1e-9)
+            assert 0.0 <= p.memory_fraction <= 1.0
+
+    def test_intensity_and_roofs_positive(self, points):
+        for p in points:
+            assert p.intensity >= 0.0
+            assert p.peak > 0.0
+            assert p.cycles > 0.0
+            assert p.attainable <= p.peak + 1e-12
+
+    def test_bound_classifications_are_valid(self, points):
+        for p in points:
+            assert p.roofline_bound in ("memory", "compute")
+            assert p.ledger_bound in ("memory", "compute", "other")
+
+    def test_memory_bound_iff_left_of_ridge(self, points):
+        for p in points:
+            if p.roofline_bound == "memory":
+                assert p.intensity < p.ridge_intensity
+            else:
+                assert p.intensity >= p.ridge_intensity
+
+    def test_records_roofline_events(self, small_module_workloads):
+        with recording() as rec:
+            pts = analyze_roofline(small_module_workloads)
+        events = rec.events_of("roofline.point")
+        assert len(events) == len(pts)
+        payload = events[0]["payload"]
+        assert set(payload) == {
+            "kernel", "machine", "intensity", "memory_fraction", "bound",
+        }
+
+
+class TestLedgerFractions:
+    def test_real_breakdown_sums_to_one(self, small_module_workloads):
+        run = registry.run(
+            "corner_turn", "viram",
+            workload=small_module_workloads["corner_turn"],
+        )
+        fractions = ledger_fractions(run.breakdown)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_render_lists_all_pairs_and_footer(self, points):
+        text = render_roofline(points)
+        for p in points:
+            assert p.kernel in text and p.machine in text
+        footer = text.splitlines()[-1]
+        n_memory = sum(1 for p in points if p.roofline_bound == "memory")
+        assert footer.startswith(
+            f"{n_memory}/{len(points)} pairs sit left of their ridge point"
+        )
+
+    def test_records_json_safe(self, points):
+        records = roofline_records(points)
+        text = json.dumps(records)
+        parsed = json.loads(text)
+        assert len(parsed) == len(points)
+        for r in parsed:
+            assert r["ridge_intensity"] is None or r["ridge_intensity"] > 0
+            assert 0.0 <= r["memory_fraction"] <= 1.0

@@ -36,6 +36,7 @@ class TestHealthyEnvironment:
             "probe.lock",
             "probe.quarantine",
             "probe.telemetry",
+            "probe.obs",
         ):
             assert statuses[name] == PASS, render_doctor(results)
         assert statuses["probe.pool-spawn"] in (PASS, WARN)
@@ -93,3 +94,62 @@ class TestUnhealthyEnvironment:
             )
         ]
         assert exit_code(results) == 2
+
+
+class TestObsProbe:
+    def test_healthy_layer_passes(self):
+        from repro.obs.history import append_history, build_record
+        from repro.resilience.doctor import probe_obs
+
+        append_history(
+            build_record(
+                "report", [], session="a" * 12, exit_code=0, wall_seconds=1.0
+            )
+        )
+        result = probe_obs()
+        assert result.status == PASS
+        assert "1 history record(s) parseable" in result.detail
+
+    def test_disabled_layer_warns(self, monkeypatch):
+        from repro.resilience.doctor import probe_obs
+
+        monkeypatch.setenv("REPRO_OBS", "0")
+        result = probe_obs()
+        assert result.status == WARN
+        assert "REPRO_OBS=0" in result.detail
+
+    def test_unwritable_ledger_dir_fails(self, tmp_path, monkeypatch):
+        from repro.resilience.doctor import probe_obs
+
+        blocker = tmp_path / "obs-as-file"
+        blocker.write_text("in the way")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(blocker))
+        result = probe_obs()
+        assert result.status == FAIL
+        assert "ledger dir not writable" in result.detail
+
+    def test_corrupt_history_line_quarantined_not_trusted(self):
+        from repro.obs.history import (
+            append_history,
+            build_record,
+            history_path,
+            read_history,
+        )
+        from repro.resilience.doctor import probe_obs
+
+        path = history_path()
+        append_history(
+            build_record(
+                "report", [], session="a" * 12, exit_code=0, wall_seconds=1.0
+            )
+        )
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": ')
+        result = probe_obs()
+        assert result.status == WARN
+        assert "quarantined" in result.detail
+        # The probe healed the file: a re-read is clean, and the torn
+        # line survives as forensic evidence next to it.
+        records, corrupt = read_history(path)
+        assert len(records) == 1 and not corrupt
+        assert path.with_suffix(".quarantine").exists()

@@ -164,3 +164,193 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "beam_steering" in result.stdout
+
+
+class TestObservabilityCommands:
+    def _obs_root(self):
+        import os
+        from pathlib import Path
+
+        return Path(os.environ["REPRO_OBS_DIR"])
+
+    def test_session_commands_leave_ledger_and_history(self, capsys):
+        from repro.obs.history import read_history
+        from repro.obs.ledger import read_ledger
+
+        assert main(["run", "corner_turn", "viram"]) == 0
+        capsys.readouterr()
+
+        ledgers = sorted(self._obs_root().glob("ledger/*.jsonl"))
+        assert len(ledgers) == 1
+        events, corrupt = read_ledger(ledgers[0])
+        assert not corrupt
+        assert events[0]["kind"] == "session.start"
+        assert events[0]["payload"]["command"] == "run"
+        assert events[0]["payload"]["argv"] == ["run", "corner_turn", "viram"]
+        assert events[-1]["kind"] == "session.end"
+        assert events[-1]["payload"]["exit_code"] == 0
+
+        records, corrupt = read_history(self._obs_root() / "history.jsonl")
+        assert not corrupt
+        assert len(records) == 1
+        assert records[0]["command"] == "run"
+        assert records[0]["metrics"]["run.wall_seconds"] > 0
+
+    def test_failed_command_records_ledger_but_no_history(self, capsys):
+        assert main(["run", "matmul3d", "raw"]) == 1
+        capsys.readouterr()
+        ledgers = sorted(self._obs_root().glob("ledger/*.jsonl"))
+        assert len(ledgers) == 1  # the session is still witnessed
+        assert not (self._obs_root() / "history.jsonl").exists()
+
+    def test_non_session_commands_stay_unobserved(self, capsys):
+        assert main(["list"]) == 0
+        capsys.readouterr()
+        assert not list(self._obs_root().glob("ledger/*.jsonl"))
+
+    def test_obs_disabled_by_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert main(["run", "corner_turn", "viram"]) == 0
+        capsys.readouterr()
+        assert not self._obs_root().exists()
+
+    def test_metrics_history_lists_appended_records(self, capsys):
+        assert main(["run", "corner_turn", "viram"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "history"]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out
+        # The listing command itself must not have appended a record.
+        from repro.obs.history import read_history
+
+        records, _ = read_history(self._obs_root() / "history.jsonl")
+        assert [r["command"] for r in records] == ["run"]
+
+    def test_metrics_history_json_lines(self, capsys):
+        assert main(["run", "corner_turn", "viram"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "history", "--json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+        assert lines[0]["command"] == "run"
+
+    def test_metrics_regress_empty_history_passes(self, capsys):
+        assert main(["metrics", "regress"]) == 0
+        out = capsys.readouterr().out
+        assert "no history records" in out
+        assert "PASS" in out
+
+    def test_metrics_regress_detects_injected_drift(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.obs.history import (
+            append_history,
+            build_record,
+            read_history,
+        )
+
+        # Run from an empty cwd so the repo's committed BENCH baselines
+        # don't gate these synthetic records; history is env-pinned.
+        monkeypatch.chdir(tmp_path)
+        # Two agreeing records, then one with a drifted exact metric.
+        for cycles in (1000.0, 1000.0):
+            append_history(
+                build_record(
+                    "report", [], session="a" * 12, exit_code=0,
+                    wall_seconds=1.0,
+                    metrics={"run.corner_turn.viram.cycles": cycles},
+                )
+            )
+        assert main(["metrics", "regress"]) == 0
+        capsys.readouterr()
+
+        append_history(
+            build_record(
+                "report", [], session="b" * 12, exit_code=0,
+                wall_seconds=1.0,
+                metrics={"run.corner_turn.viram.cycles": 1010.0},
+            )
+        )
+        assert main(["metrics", "regress"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "run.corner_turn.viram.cycles" in out
+        # The listing/regress session itself appends no history record.
+        records, _ = read_history()
+        assert len(records) == 3
+
+    def test_metrics_regress_json_payload(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.history import append_history, build_record
+
+        monkeypatch.chdir(tmp_path)
+        append_history(
+            build_record(
+                "report", [], session="a" * 12, exit_code=0,
+                wall_seconds=1.0,
+            )
+        )
+        assert main(["metrics", "regress", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "comparisons" in payload
+
+    def test_analyze_roofline_small(self, capsys):
+        from repro.mappings import registry
+
+        assert main(["analyze", "roofline", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "roofline attribution" in out
+        for kernel, machine in registry.available():
+            assert kernel in out and machine in out
+        assert "pairs sit left of their ridge point" in out
+
+    def test_analyze_roofline_json(self, capsys):
+        from repro.mappings import registry
+
+        assert main(["analyze", "roofline", "--small", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == len(list(registry.available()))
+        for record in records:
+            assert 0.0 <= record["memory_fraction"] <= 1.0
+
+    def test_analyze_roofline_html_dashboard(self, capsys, tmp_path):
+        path = tmp_path / "dash.html"
+        assert (
+            main(["analyze", "roofline", "--small", "--html", str(path)])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert str(path) in captured.err
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "roofline" in text
+
+    def test_pipeline_progress_jsonl_on_stderr_only(self, capsys):
+        assert (
+            main(
+                ["pipeline", "fuzz", "--seed", "7", "--count", "5",
+                 "--jobs", "1", "--progress", "jsonl"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        progress = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.strip().startswith("{")
+        ]
+        if progress:  # warm caches may leave nothing to narrate
+            assert {"begin", "end"} <= {p["event"] for p in progress}
+        # Progress must never leak onto stdout: the manifest/report text
+        # must stay byte-identical whether or not progress is shown.
+        assert not any(
+            line.startswith('{"') for line in captured.out.splitlines()
+        )
+
+    def test_progress_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", "--progress", "loud"])
