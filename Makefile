@@ -3,9 +3,9 @@
 PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
-.PHONY: install test bench bench-cache bench-tensor report check \
-	check-inject check-chaos doctor refresh-golden figures export \
-	metrics trace fuzz clean
+.PHONY: install test bench bench-cache bench-tensor bench-warm report \
+	check check-inject check-chaos doctor refresh-golden figures \
+	export metrics trace fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,12 @@ bench-cache:
 # BENCH_PR6.json (see docs/performance.md).
 bench-tensor:
 	$(PYTHON) -m pytest benchmarks/test_tensor_sweep.py --benchmark-only
+
+# Warm-path latency guard: two cold + two warm fresh-process reports
+# through the packed index, byte-compared against the golden; writes
+# BENCH_PR9.json (see docs/performance.md, "Warm path").
+bench-warm:
+	$(PYTHON) -m pytest benchmarks/test_warm_latency.py --benchmark-only
 
 report:
 	$(PYTHON) -m repro report

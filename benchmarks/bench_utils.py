@@ -6,18 +6,24 @@ import os
 from pathlib import Path
 
 
-def write_bench(path, payload) -> Path:
+def write_bench(path, payload, gated_time_metrics=None) -> Path:
     """Write a ``BENCH_*.json`` guard in the versioned envelope.
 
     Wraps :func:`repro.obs.bench.write_bench_document`: the payload
     lands under ``metrics`` with ``schema_version``, per-metric
     ``units``, and the git sha (``REPRO_GIT_SHA``, set by CI) alongside.
     The regression gate reads these and the legacy flat files alike.
+    ``gated_time_metrics`` names the time metrics the regress gate
+    should *enforce* (not just report) against this file — only use it
+    for numbers refreshed on the measuring machine.
     """
     from repro.obs.bench import write_bench_document
 
     return write_bench_document(
-        Path(path), payload, git_sha=os.environ.get("REPRO_GIT_SHA") or None
+        Path(path),
+        payload,
+        git_sha=os.environ.get("REPRO_GIT_SHA") or None,
+        gated_time_metrics=gated_time_metrics,
     )
 
 

@@ -27,10 +27,12 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
   observability reconciliation (``invariant.obs.*``,
   :mod:`repro.check.obs`: flight-recorder events vs planner counters vs
   supervisor incident payloads), plus
-  the disk-tier differential oracle (disk-hit vs memory-hit vs cold) and
-  an integrity sweep of the persisted entries.  Cheap enough that
-  ``full_report`` runs it
-  automatically, so every published table ships pre-validated.
+  the disk-tier differential oracle (disk-hit vs memory-hit vs cold),
+  an integrity sweep of the persisted entries, and the packed-index
+  layout invariants (``invariant.index.*``, :mod:`repro.check.
+  indexcheck`: round-trip, manifest replay, tombstones, torn-tail
+  recovery, live digest sweep).  Cheap enough that ``full_report`` runs
+  it automatically, so every published table ships pre-validated.
 * **full** — fast, plus the cache oracle on every pair and the
   serial-vs-parallel executor oracle.
 * **inject** — the fault-injection matrix (see :mod:`.faults`).
@@ -54,6 +56,7 @@ from repro.check.oracles import (
     dram_oracle,
     executor_oracle,
 )
+from repro.check.indexcheck import index_checks
 from repro.check.obs import obs_checks
 from repro.check.pipeline import pipeline_checks, validate_pipeline_run
 from repro.check.report import CheckReport, CheckResult
@@ -99,6 +102,7 @@ def run_checks(
     report.extend(tensor_oracle(workloads=workloads))
     report.extend(disk_cache_oracle(workloads=workloads))
     report.extend(disk_integrity_check())
+    report.extend(index_checks())
     report.extend(pipeline_checks(workloads=workloads))
     report.extend(obs_checks(workloads=workloads))
     if tier == "full":
@@ -167,6 +171,7 @@ __all__ = [
     "disk_integrity_check",
     "dram_oracle",
     "executor_oracle",
+    "index_checks",
     "obs_checks",
     "pipeline_checks",
     "run_checks",

@@ -34,6 +34,21 @@ class InjectionOutcome:
     evidence: str
 
 
+def _oracle_kwargs(kernel: str) -> Dict[str, object]:
+    """The kwargs the disk-tier oracle will run ``kernel`` with.
+
+    The oracle anchors its differential on the reduced probe workload
+    (see :mod:`repro.check.probes`), so a disk-tier injector must
+    corrupt *that* entry — tampering the canonical-size entry would
+    leave the oracle reading an honest record and scoring the fault
+    UNDETECTED for the wrong reason.
+    """
+    from repro.check.probes import probe_workloads
+
+    probes = probe_workloads()
+    return {"workload": probes[kernel]} if kernel in probes else {}
+
+
 @contextlib.contextmanager
 def corrupted_cache_entry(
     kernel: str = "corner_turn", machine: str = "viram"
@@ -83,8 +98,9 @@ def tampered_disk_entry(
     if not DISK_CACHE.enabled:
         yield ""
         return
-    registry.run(kernel, machine)  # ensure both tiers hold the entry
-    key = cache_key(kernel, machine, {})
+    kwargs = _oracle_kwargs(kernel)
+    registry.run(kernel, machine, **kwargs)  # ensure both tiers hold it
+    key = cache_key(kernel, machine, kwargs)
 
     def scale(entry) -> None:
         entry.breakdown = entry.breakdown.scaled(2.0)
@@ -135,9 +151,9 @@ def bitflipped_disk_entry(
 def truncated_disk_entry(
     kernel: str = "corner_turn", machine: str = "viram"
 ) -> Iterator[str]:
-    """Truncate the persisted entry to zero bytes — the torn file a
-    crash mid-write or a full disk leaves behind.  The integrity sweep
-    must flag it, and (separately, proven in the resilience tests) a
+    """Tear the persisted entry mid-payload — the torn record a crash
+    mid-write or a full disk leaves behind.  The integrity sweep must
+    flag it, and (separately, proven in the resilience tests) a
     ``lookup`` must quarantine it and miss rather than raise.  Yields
     the truncated key."""
     from repro.errors import CheckError
@@ -150,12 +166,58 @@ def truncated_disk_entry(
         return
     registry.run(kernel, machine)
     key = cache_key(kernel, machine, {})
-    path = DISK_CACHE._path(key) if key is not None else None
-    if path is None or not path.exists():
+    if key is None or not DISK_CACHE.truncate_entry(key):
         raise CheckError(
             f"could not truncate the disk entry for {kernel}/{machine}"
         )
-    path.write_bytes(b"")
+    RUN_CACHE.evict(key)
+    try:
+        yield key
+    finally:
+        DISK_CACHE.evict(key)
+        RUN_CACHE.clear()
+
+
+@contextlib.contextmanager
+def tampered_migrated_entry(
+    kernel: str = "corner_turn", machine: str = "viram"
+) -> Iterator[str]:
+    """Plant a *legacy* file-per-key entry whose run has a 2x-scaled
+    cycle ledger and a valid digest, then ``cache migrate`` it into the
+    packed index.  Migration verifies digests, so the self-consistent
+    tamper rides through — exactly the stale data a migration can
+    launder into the new store; the disk-tier differential oracle must
+    catch it downstream.  Yields the tampered key."""
+    import copy
+
+    from repro.errors import CheckError
+    from repro.mappings import registry
+    from repro.perf.cache import RUN_CACHE, cache_key
+    from repro.perf.diskcache import DISK_CACHE, DiskCache
+
+    if not DISK_CACHE.enabled:
+        yield ""
+        return
+    kwargs = _oracle_kwargs(kernel)
+    run = registry.run(kernel, machine, **kwargs)
+    key = cache_key(kernel, machine, kwargs)
+    if key is None:
+        raise CheckError(
+            f"could not key the run for {kernel}/{machine}"
+        )
+    bad = copy.deepcopy(run)
+    bad.breakdown = bad.breakdown.scaled(2.0)
+    legacy = DiskCache(DISK_CACHE.root(), respect_env=False)
+    path = legacy._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(DiskCache.encode(bad))
+    DISK_CACHE.evict(key)  # drop the honest packed copy first
+    outcome = DISK_CACHE.migrate_legacy()
+    if outcome["migrated"] < 1 or not DISK_CACHE.contains(key):
+        raise CheckError(
+            f"migration did not pack the planted entry for "
+            f"{kernel}/{machine}"
+        )
     RUN_CACHE.evict(key)
     try:
         yield key
@@ -263,6 +325,11 @@ SCENARIOS: Dict[str, tuple] = {
         truncated_disk_entry,
         "diskcache",
         _disk_integrity_under_fault,
+    ),
+    "migrated-entry-tampered": (
+        tampered_migrated_entry,
+        "diskcache",
+        _disk_oracle_under_fault,
     ),
     "executor-results-misdelivered": (
         misdelivered_worker_results,

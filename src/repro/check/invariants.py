@@ -210,6 +210,7 @@ def check_trace_accounting(
     Layers 3-4 are skipped for workloads the mapping runs in its
     off-chip DMA regime (the ledger then has different categories).
     """
+    from repro.check.probes import probe_workloads
     from repro.mappings import registry
     from repro.trace.export import chrome_busy_by_track, to_chrome
     from repro.trace.run import trace_run
@@ -217,6 +218,12 @@ def check_trace_accounting(
     kwargs: Dict[str, Any] = {}
     if workloads and "corner_turn" in workloads:
         kwargs["workload"] = workloads["corner_turn"]
+    else:
+        # No pinned size: trace the probe workload — the four layers of
+        # agreement are structural, and the probe keeps the traced
+        # re-simulation in milliseconds while staying in the on-chip
+        # regime so layers 3-4 still run (see repro.check.probes).
+        kwargs["workload"] = probe_workloads()["corner_turn"]
 
     results: List[CheckResult] = []
     baseline = registry.run("corner_turn", "viram", **kwargs)

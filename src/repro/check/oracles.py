@@ -152,12 +152,14 @@ def disk_cache_oracle(
     import contextlib
     import tempfile
 
+    from repro.check.probes import probe_workloads
     from repro.mappings import registry
     from repro.perf.cache import RUN_CACHE, cache_key
     from repro.perf.diskcache import DISK_CACHE, DiskCache
 
     if pairs is None:
         pairs = DISK_ORACLE_PAIRS
+    probes = probe_workloads()
     results: List[CheckResult] = []
     with contextlib.ExitStack() as stack:
         if DISK_CACHE.enabled:
@@ -172,6 +174,11 @@ def disk_cache_oracle(
             kwargs: Dict[str, Any] = {}
             if workloads and kernel in workloads:
                 kwargs["workload"] = workloads[kernel]
+            elif kernel in probes:
+                # No pinned size: anchor the differential on the probe
+                # workload so the cold re-simulation stays milliseconds
+                # (see repro.check.probes).
+                kwargs["workload"] = probes[kernel]
             key = cache_key(kernel, machine, kwargs)
             if key is None:
                 results.append(CheckResult(name, SKIP, "request uncacheable"))

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ioutil import atomic_write_json
 
@@ -31,6 +31,7 @@ __all__ = [
     "bench_document",
     "discover_bench_files",
     "infer_unit",
+    "load_bench_document",
     "load_bench_metrics",
     "write_bench_document",
 ]
@@ -60,11 +61,16 @@ def bench_document(
     *,
     git_sha: Optional[str] = None,
     units: Optional[Mapping[str, str]] = None,
+    gated_time_metrics: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Wrap flat benchmark metrics in the versioned envelope.
 
     Non-numeric values (nested stat dicts, booleans) are carried
     verbatim — they flatten on read exactly like the legacy files do.
+    ``gated_time_metrics`` names time-class metrics the regression gate
+    should *enforce* (one-sided) against this file, instead of treating
+    them as cross-machine context — a file opts its own timings into
+    gating only when they were measured as same-machine guards.
     """
     metrics = dict(metrics)
     resolved_units = {
@@ -74,12 +80,15 @@ def bench_document(
     }
     if units:
         resolved_units.update(units)
-    return {
+    document = {
         "schema_version": BENCH_SCHEMA,
         "git_sha": git_sha,
         "units": resolved_units,
         "metrics": metrics,
     }
+    if gated_time_metrics:
+        document["gated_time_metrics"] = sorted(set(gated_time_metrics))
+    return document
 
 
 def write_bench_document(
@@ -88,10 +97,15 @@ def write_bench_document(
     *,
     git_sha: Optional[str] = None,
     units: Optional[Mapping[str, str]] = None,
+    gated_time_metrics: Optional[Sequence[str]] = None,
 ) -> Path:
     """Atomically write a versioned BENCH document; returns the path."""
     return atomic_write_json(
-        path, bench_document(metrics, git_sha=git_sha, units=units),
+        path,
+        bench_document(
+            metrics, git_sha=git_sha, units=units,
+            gated_time_metrics=gated_time_metrics,
+        ),
         sort_keys=True,
     )
 
@@ -144,12 +158,21 @@ def load_bench_metrics(path: Path) -> Tuple[Dict[str, float], int]:
     ``OSError``/``json.JSONDecodeError``/``ValueError`` on unreadable
     files — a committed baseline that does not parse *is* a failure.
     """
+    metrics, version, _ = load_bench_document(path)
+    return metrics, version
+
+
+def load_bench_document(
+    path: Path,
+) -> Tuple[Dict[str, float], int, Tuple[str, ...]]:
+    """:func:`load_bench_metrics` plus the file's ``gated_time_metrics``
+    declaration (empty for legacy files and files that never opt in)."""
     text = Path(path).read_text(encoding="utf-8")
     try:
         document = json.loads(text)
     except json.JSONDecodeError:
         # More than one top-level JSON value: a JSON-lines record dump.
-        return _per_run_metrics(text.splitlines(), Path(path)), 0
+        return _per_run_metrics(text.splitlines(), Path(path)), 0, ()
     if not isinstance(document, dict):
         raise ValueError(f"{path}: BENCH document must be a JSON object")
     version = int(document.get("schema_version", 0))
@@ -157,7 +180,10 @@ def load_bench_metrics(path: Path) -> Tuple[Dict[str, float], int]:
     out: Dict[str, float] = {}
     _flatten("", source, out)
     out.pop("schema_version", None)
-    return out, version
+    gated = document.get("gated_time_metrics") if version >= 1 else None
+    if not isinstance(gated, list):
+        gated = ()
+    return out, version, tuple(str(name) for name in gated)
 
 
 def discover_bench_files(root: Path) -> List[Path]:

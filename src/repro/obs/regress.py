@@ -20,9 +20,13 @@ Every metric gets a *class* that decides its tolerance band:
   wrong number is still a wrong number.
 * ``time`` — wall-clock metrics (``*_seconds``).  One-sided: only a
   slowdown beyond ``time_rtol`` (default 0.5, i.e. +50%, overridable
-  via ``REPRO_REGRESS_TIME_RTOL``) fails, and only against *history*
-  baselines — committed BENCH timings were measured on other hardware
-  and are reported for context, never gated.
+  via ``REPRO_REGRESS_TIME_RTOL``) fails, and normally only against
+  *history* baselines — committed BENCH timings were measured on other
+  hardware and are reported for context.  A versioned BENCH file can
+  opt specific timings *into* gating by naming them in its
+  ``gated_time_metrics`` list (used by warm-latency guards whose
+  numbers are refreshed on the measuring machine, e.g.
+  ``BENCH_PR9.json``'s ``warm_report_seconds``).
 * ``info`` — everything else (counts, ratios, cache stats): shown,
   never gated.
 
@@ -39,13 +43,18 @@ import statistics
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.obs.bench import discover_bench_files, load_bench_metrics
+from repro.obs.bench import (
+    discover_bench_files,
+    load_bench_document,
+    load_bench_metrics,
+)
 from repro.obs.history import history_path, read_history
 
 __all__ = [
     "Comparison",
     "RegressReport",
     "bench_baselines",
+    "bench_gated_time",
     "classify_metric",
     "history_baselines",
     "render_regress",
@@ -59,6 +68,7 @@ EXACT_RTOL = 1e-9
 BENCH_ALIASES = {
     "report_seconds": "report.wall_seconds",
     "cold_report_seconds": "report.wall_seconds",
+    "warm_report_seconds": "run.warm_report_seconds",
 }
 
 
@@ -160,6 +170,27 @@ def bench_baselines(
     return out, errors
 
 
+def bench_gated_time(
+    bench_root: Optional[Path] = None,
+) -> Dict[str, frozenset]:
+    """Per BENCH file: the time-class metrics it declared *gated*
+    (``gated_time_metrics`` in the versioned envelope), alias-resolved
+    to history metric names.  Files that never opt in gate nothing —
+    their timings stay cross-machine context."""
+    root = bench_root if bench_root is not None else Path(".")
+    out: Dict[str, frozenset] = {}
+    for path in discover_bench_files(root):
+        try:
+            _, _, gated = load_bench_document(path)
+        except (OSError, ValueError):
+            continue  # already reported by bench_baselines
+        if gated:
+            out[path.name] = frozenset(
+                BENCH_ALIASES.get(name, name) for name in gated
+            )
+    return out
+
+
 def _compare(
     metric: str,
     cls: str,
@@ -247,6 +278,7 @@ def run_regress(
         )
 
     bench, errors = bench_baselines(bench_root)
+    gated_time = bench_gated_time(bench_root)
     for error in errors:
         notes.append(f"unreadable baseline {error}")
     # A record that carries no exact-class metrics at all (a command
@@ -275,7 +307,7 @@ def run_regress(
             comparisons.append(
                 _compare(
                     name, cls, current_metrics.get(name), value, source,
-                    gate_time=False,
+                    gate_time=name in gated_time.get(source, ()),
                 )
             )
     report = RegressReport(

@@ -28,26 +28,41 @@ regression pins plus the cache-correctness tests and differential
 oracles (:mod:`repro.check`) enforce that.
 """
 
-from repro.perf.cache import (
-    RUN_CACHE,
-    RunCache,
-    cache_key,
-    model_version_stamp,
-)
-from repro.perf.diskcache import DISK_CACHE, DiskCache
-from repro.perf.executor import RunRequest, resolve_jobs, run_cells
-from repro.perf.planner import SweepPlan, execute_requests
+#: Re-exported name -> home module.  Resolved lazily through the module
+#: ``__getattr__`` below so that ``import repro.perf`` (and with it the
+#: CLI front door) stays free of numpy and the modelling stack until a
+#: simulation or cache probe actually needs them — the warm/fast-start
+#: path depends on this staying lazy.
+_EXPORTS = {
+    "RUN_CACHE": "repro.perf.cache",
+    "RunCache": "repro.perf.cache",
+    "cache_key": "repro.perf.cache",
+    "model_version_stamp": "repro.perf.cache",
+    "DISK_CACHE": "repro.perf.diskcache",
+    "DiskCache": "repro.perf.diskcache",
+    "PackedDiskCache": "repro.perf.index",
+    "RunRequest": "repro.perf.executor",
+    "resolve_jobs": "repro.perf.executor",
+    "run_cells": "repro.perf.executor",
+    "SweepPlan": "repro.perf.planner",
+    "execute_requests": "repro.perf.planner",
+}
 
-__all__ = [
-    "DISK_CACHE",
-    "DiskCache",
-    "RUN_CACHE",
-    "RunCache",
-    "RunRequest",
-    "SweepPlan",
-    "cache_key",
-    "execute_requests",
-    "model_version_stamp",
-    "resolve_jobs",
-    "run_cells",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

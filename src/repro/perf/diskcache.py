@@ -602,22 +602,33 @@ class _FlockGuard:
         if tracer is not None:
             tracer.count("perf.diskcache.lock_broken")
 
+    #: Fixed width of the holder record: rewriting the same bytes in
+    #: place (space-padded, JSON ignores trailing whitespace) never
+    #: changes the file size, so taking the lock costs no journal
+    #: commit — an ftruncate per acquisition dominated the cold path.
+    _HOLDER_BYTES = 64
+
     def _record_holder(self) -> None:
         """Write our pid into the held lock file (flock is exclusive,
-        so the truncate-and-write cannot race another holder)."""
+        so the in-place overwrite cannot race another holder)."""
         try:
+            data = json.dumps(
+                {"pid": os.getpid(), "time": time.time()}
+            ).encode("ascii").ljust(self._HOLDER_BYTES)
+            self._fh.seek(0, os.SEEK_END)
+            size = self._fh.tell()
             self._fh.seek(0)
-            self._fh.truncate()
-            self._fh.write(
-                json.dumps(
-                    {"pid": os.getpid(), "time": time.time()}
-                ).encode("ascii")
-            )
+            self._fh.write(data)
+            if size > len(data):
+                # A longer legacy record: shrink once, then the fixed
+                # width holds forever.
+                self._fh.truncate(len(data))
             self._fh.flush()
         except OSError:
             pass
 
     def __enter__(self) -> "_FlockGuard":
+        fd = None
         try:
             import fcntl
 
@@ -627,10 +638,20 @@ class _FlockGuard:
 
                 chaos.on_lock_acquire(self._path)
             self._break_if_stale()
-            self._fh = open(self._path, "a+b")
+            # O_RDWR, not append mode: append-mode writes land at the
+            # end regardless of seek position, which would grow the
+            # lock file on every acquisition.
+            fd = os.open(str(self._path), os.O_RDWR | os.O_CREAT, 0o644)
+            self._fh = os.fdopen(fd, "r+b")
+            fd = None  # owned by the file object now
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
             self._record_holder()
         except (ImportError, OSError):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
             if self._fh is not None:
                 self._fh.close()
             self._fh = None
@@ -647,5 +668,19 @@ class _FlockGuard:
             self._fh.close()
 
 
-#: Process-wide tier 2, consulted by ``registry.run`` and the planner.
-DISK_CACHE = DiskCache()
+def __getattr__(name: str):
+    """Lazy singleton: the process-wide tier 2 is a packed-index store
+    (:class:`repro.perf.index.PackedDiskCache`), materialised on first
+    access.  Keeping the construction behind a module ``__getattr__``
+    breaks the import cycle with :mod:`repro.perf.index` and keeps
+    ``import repro.perf.diskcache`` free of any store I/O — part of the
+    CLI's lazy-import fast path."""
+    if name == "DISK_CACHE":
+        from repro.perf.index import PackedDiskCache
+
+        instance = PackedDiskCache()
+        globals()["DISK_CACHE"] = instance
+        return instance
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

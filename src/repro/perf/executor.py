@@ -96,17 +96,32 @@ def chunked(
     requests: Sequence[RunRequest], n_jobs: int,
     chunk_size: Optional[int] = None,
 ) -> List[List[RunRequest]]:
-    """Split ``requests`` into dispatch batches of ``chunk_size``
-    (default: ~``CHUNKS_PER_WORKER`` chunks per worker)."""
+    """Split ``requests`` into *balanced* dispatch batches.
+
+    ``chunk_size`` caps the batch size (default: enough chunks for
+    ~``CHUNKS_PER_WORKER`` per worker).  Work is spread near-evenly
+    across the resulting chunks — sizes differ by at most one — instead
+    of filling every chunk to the cap and leaving the remainder in a
+    runt tail: with uniform slicing, 17 cells at cap 8 split 8/8/1, and
+    whichever worker draws the 1-cell chunk idles while its siblings
+    each grind through 8.  Balanced, the same sweep splits 6/6/5.
+    """
+    if not requests:
+        return []
     if chunk_size is None:
         chunk_size = max(
             1, math.ceil(len(requests) / (n_jobs * CHUNKS_PER_WORKER))
         )
     chunk_size = max(1, int(chunk_size))
-    return [
-        list(requests[i:i + chunk_size])
-        for i in range(0, len(requests), chunk_size)
-    ]
+    n_chunks = math.ceil(len(requests) / chunk_size)
+    base, extra = divmod(len(requests), n_chunks)
+    chunks: List[List[RunRequest]] = []
+    start = 0
+    for ci in range(n_chunks):
+        size = base + (1 if ci < extra else 0)
+        chunks.append(list(requests[start:start + size]))
+        start += size
+    return chunks
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

@@ -89,6 +89,7 @@ def execute_requests(
     pending: List[Tuple[int, RunRequest, Optional[str]]] = []
     seen_keys: Dict[str, int] = {}
     duplicates: List[Tuple[int, int]] = []  # (slot, representative slot)
+    disk_probe: List[Tuple[int, str]] = []  # tier-1 misses to batch-probe
     memory_hits = disk_hits = 0
     with timers.timer("sweep.cache-probe"):
         for i, (kernel, machine, kwargs) in enumerate(requests):
@@ -106,19 +107,27 @@ def execute_requests(
                         memory_hits += 1
                         timers.count("planner.memory_hits")
                         continue
-                # Tier 2: persistent disk store (promote into tier 1).
+                seen_keys[key] = i
                 if DISK_CACHE.enabled:
-                    value = DISK_CACHE.lookup(key)
+                    disk_probe.append((i, key))
+            pending.append((i, requests[i], key))
+        if disk_probe:
+            # Tier 2: one batched probe against the persistent store —
+            # a single manifest sync and segment-ordered payload reads
+            # instead of a per-key index walk (promote hits to tier 1).
+            served = DISK_CACHE.get_many([key for _, key in disk_probe])
+            if served:
+                for i, key in disk_probe:
+                    value = served.get(key)
                     if value is not None:
                         if RUN_CACHE.enabled:
                             RUN_CACHE.insert(key, value)
                         results[i] = value
-                        seen_keys[key] = i
                         disk_hits += 1
                         timers.count("planner.disk_hits")
-                        continue
-                seen_keys[key] = i
-            pending.append((i, requests[i], key))
+                pending = [
+                    item for item in pending if results[item[0]] is None
+                ]
     if duplicates:
         timers.count("planner.duplicates", len(duplicates))
 

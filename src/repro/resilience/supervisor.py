@@ -151,15 +151,15 @@ class Supervisor:
     # -- pool lifecycle -------------------------------------------------
 
     def _ensure_pool(self):
-        """The live pool, spawning one if needed; raises
-        :class:`TransientError` when the environment cannot host one."""
+        """The live pool, leasing the process-wide persistent pool (or
+        spawning, when persistence is off or the held pool is too
+        narrow); raises :class:`TransientError` when the environment
+        cannot host one."""
         if self._pool is None:
-            import concurrent.futures
+            from repro.perf import poold
 
             try:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self._n_jobs
-                )
+                self._pool = poold.acquire(self._n_jobs)
             except Exception as exc:
                 reason = _classify_infra(exc)
                 if reason is None:
@@ -169,15 +169,26 @@ class Supervisor:
                 ) from exc
         return self._pool
 
-    def _discard_pool(self, wait: bool = False) -> None:
-        """Drop the current pool (a fresh one spawns on next use)."""
+    def _release_pool(self) -> None:
+        """Return a healthy pool at the end of a run.  A persistent
+        pool stays warm for the next sweep; otherwise it shuts down."""
         pool = self._pool
         self._pool = None
         if pool is not None:
-            try:
-                pool.shutdown(wait=wait, cancel_futures=True)
-            except Exception:
-                pass
+            from repro.perf import poold
+
+            poold.release(pool)
+
+    def _discard_pool(self, wait: bool = False) -> None:
+        """Drop the current pool for good — broken transport, crashed
+        or hung workers.  The shared persistent pool (if this was it)
+        is retired too, so the next lease spawns fresh workers."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            from repro.perf import poold
+
+            poold.discard(pool, wait=wait)
 
     def _restart_pool(self) -> None:
         self._discard_pool(wait=False)
@@ -285,8 +296,13 @@ class Supervisor:
             if poisoned:
                 self._isolate(chunks, poisoned, results)
             return [results[i] for i in range(len(chunks))]
+        except BaseException:
+            # Any failure that escapes the ladder may have left the
+            # transport suspect — retire it rather than reuse it warm.
+            self._discard_pool(wait=False)
+            raise
         finally:
-            self._discard_pool(wait=self._pool is not None)
+            self._release_pool()
 
     def _dispatch_round(
         self,

@@ -11,13 +11,18 @@ flat ``{key: value}`` mapping) register under a dotted namespace, and
 ``{"namespace.key": value}`` dict — the shape the ``--perf`` output, the
 metrics manifest, and the trace ``otherData`` block all consume.
 
-The process-wide :data:`TELEMETRY` registry starts with five sources:
+The process-wide :data:`TELEMETRY` registry starts with these sources:
 
 * ``perf.timers`` — the wall-time tree and counters (non-deterministic);
 * ``perf.cache`` — memory-tier run-cache entries/hits/misses/bypasses;
 * ``perf.diskcache`` — persistent-tier hits/misses/writes/evictions/
   corrupt-entry detections/quarantines/bypasses plus entry and byte
   counts;
+* ``perf.index`` — the packed disk-cache index internals: manifest
+  refreshes, torn records recovered, compactions, segment census, and
+  probe-latency percentiles (see :mod:`repro.perf.index`);
+* ``perf.pool`` — persistent worker-pool lifecycle: spawns, leases,
+  reuses, discards, current width (see :mod:`repro.perf.poold`);
 * ``resilience`` — the supervised executor's recovery ledger (retries,
   degradations, worker crashes, pool restarts, quarantines, broken
   locks — see :mod:`repro.resilience.stats`);
@@ -200,6 +205,19 @@ def _tensor_source() -> Dict[str, Any]:
     return dict(TENSOR_STATS.stats())
 
 
+def _pool_source() -> Dict[str, Any]:
+    from repro.perf import poold
+
+    return dict(poold.pool_stats())
+
+
+def _index_source() -> Dict[str, Any]:
+    from repro.perf.diskcache import DISK_CACHE
+
+    stats = getattr(DISK_CACHE, "index_stats", None)
+    return dict(stats()) if stats is not None else {}
+
+
 def _resilience_source() -> Dict[str, Any]:
     from repro.resilience.stats import RESILIENCE
 
@@ -232,6 +250,8 @@ TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
 TELEMETRY.register("perf.cache", _run_cache_source)
 TELEMETRY.register("perf.diskcache", _disk_cache_source)
+TELEMETRY.register("perf.index", _index_source)
+TELEMETRY.register("perf.pool", _pool_source)
 TELEMETRY.register("perf.tensor", _tensor_source)
 TELEMETRY.register("resilience", _resilience_source)
 TELEMETRY.register("scenario", _scenario_source)

@@ -35,6 +35,23 @@ def isolated_disk_cache(tmp_path, monkeypatch):
 
 
 @pytest.fixture(autouse=True)
+def isolated_worker_pool():
+    """Retire the persistent worker pool between tests.
+
+    The pool deliberately outlives a sweep; across *tests* that warmth
+    is a leak — a pool spawned under one test's monkeypatches (or
+    before another test breaks pool spawning) would mask the condition
+    the next test injects.  Shutdown is a no-op for tests that never
+    touched the pool.
+    """
+    from repro.perf import poold
+
+    poold.shutdown(wait=False)
+    yield
+    poold.shutdown(wait=False)
+
+
+@pytest.fixture(autouse=True)
 def isolated_obs(tmp_path, monkeypatch):
     """Point the observability layer at a per-test directory.
 

@@ -146,13 +146,40 @@ class TestChunking:
     def test_explicit_chunk_size(self):
         requests = [("k", "m", {"i": i}) for i in range(7)]
         chunks = executor.chunked(requests, n_jobs=2, chunk_size=3)
-        assert [len(c) for c in chunks] == [3, 3, 1]
+        # chunk_size caps the batch; the 7 cells spread 3/2/2, not
+        # 3/3/1 — no runt tail chunk idling a worker.
+        assert [len(c) for c in chunks] == [3, 2, 2]
 
     def test_default_targets_chunks_per_worker(self):
         requests = [("k", "m", {"i": i}) for i in range(64)]
         chunks = executor.chunked(requests, n_jobs=4)
         # ~4 chunks per worker: 16 chunks of 4.
         assert len(chunks) == 16
+
+    def test_chunk_sizes_balanced(self):
+        # The load-balance pin: across any sweep shape, the largest and
+        # smallest chunk differ by at most one cell.  The old uniform
+        # slicing failed this whenever len % chunk_size was small but
+        # non-zero (e.g. 17 at cap 8 -> 8/8/1).
+        for n in (1, 2, 7, 16, 17, 63, 100):
+            for n_jobs in (1, 2, 3, 4, 8):
+                sizes = [
+                    len(c)
+                    for c in executor.chunked(
+                        [("k", "m", {"i": i}) for i in range(n)], n_jobs
+                    )
+                ]
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1, (n, n_jobs, sizes)
+        explicit = executor.chunked(
+            [("k", "m", {"i": i}) for i in range(17)], 2, chunk_size=8
+        )
+        sizes = [len(c) for c in explicit]
+        assert sizes == [6, 6, 5]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunked_empty(self):
+        assert executor.chunked([], n_jobs=4) == []
 
     def test_chunked_pool_identical_to_serial(self, small_ct, small_bs):
         requests = [

@@ -354,3 +354,42 @@ class TestObservabilityCommands:
     def test_progress_rejects_unknown_mode(self, capsys):
         with pytest.raises(SystemExit):
             main(["report", "--progress", "loud"])
+
+
+class TestFastStart:
+    """The lazy-import fast path: observability-only commands must never
+    pay the numpy/model import bill (the point of the PR 9 cold-start
+    work).  Run in a subprocess so this test's own imports cannot
+    contaminate ``sys.modules``."""
+
+    _HEAVY = ("numpy", "repro.arch", "repro.kernels", "repro.mappings")
+
+    def _assert_light(self, argv):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            f"rc = main({argv!r})\n"
+            f"heavy = [m for m in {self._HEAVY!r} if m in sys.modules]\n"
+            "if heavy:\n"
+            "    print('heavy imports leaked:', heavy, file=sys.stderr)\n"
+            "sys.exit(rc if rc else (2 if heavy else 0))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_cache_stats_imports_no_numpy(self):
+        self._assert_light(["cache", "stats"])
+
+    def test_cache_stats_json_imports_no_numpy(self):
+        self._assert_light(["cache", "stats", "--json"])
+
+    def test_metrics_regress_imports_no_numpy(self):
+        self._assert_light(["metrics", "regress"])
