@@ -4,8 +4,8 @@ PYTHON ?= python3
 GOLDEN_DIR ?= tests/data/golden
 
 .PHONY: install test bench bench-cache bench-tensor bench-warm report \
-	check check-inject check-chaos doctor refresh-golden figures \
-	export metrics trace fuzz clean
+	check check-inject check-chaos doctor serve serve-smoke \
+	refresh-golden figures export metrics trace fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -51,9 +51,19 @@ check-chaos:
 	$(PYTHON) -m repro check --chaos --fast
 
 # Runtime health probes: pool spawn, disk-cache RW + verify, locking,
-# quarantine history, telemetry registry.
+# quarantine history, telemetry registry, service journal.
 doctor:
 	$(PYTHON) -m repro doctor
+
+# Foreground simulation service on the default port (Ctrl-C drains).
+serve:
+	$(PYTHON) -m repro serve
+
+# End-to-end service gate: boot a real server, POST a run job, require
+# the result byte-identical to the CLI, dedup a duplicate, drain on
+# SIGTERM (see docs/service.md).
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 # Regenerate the golden snapshot fixtures.  Deliberate act: review the
 # fixture diff before committing (see docs/modeling.md, "Validation").

@@ -26,7 +26,10 @@ Tiers (the CLI's ``--fast`` / ``--full`` / ``--inject``):
   conservation across handoffs, batched-vs-serial bit-identity), the
   observability reconciliation (``invariant.obs.*``,
   :mod:`repro.check.obs`: flight-recorder events vs planner counters vs
-  supervisor incident payloads), plus
+  supervisor incident payloads), the service-runtime invariants
+  (``invariant.service.*``, :mod:`repro.check.service`: journal
+  schema/seq with torn-tail healing, job-state-machine legality, dedup
+  conservation, crash-replay convergence), plus
   the disk-tier differential oracle (disk-hit vs memory-hit vs cold),
   an integrity sweep of the persisted entries, and the packed-index
   layout invariants (``invariant.index.*``, :mod:`repro.check.
@@ -60,6 +63,7 @@ from repro.check.indexcheck import index_checks
 from repro.check.obs import obs_checks
 from repro.check.pipeline import pipeline_checks, validate_pipeline_run
 from repro.check.report import CheckReport, CheckResult
+from repro.check.service import service_checks
 from repro.check.tensor import tensor_oracle
 from repro.errors import CheckError
 
@@ -105,6 +109,7 @@ def run_checks(
     report.extend(index_checks())
     report.extend(pipeline_checks(workloads=workloads))
     report.extend(obs_checks(workloads=workloads))
+    report.extend(service_checks(workloads=workloads))
     if tier == "full":
         report.extend(cache_oracle(workloads=workloads))
         report.extend(executor_oracle(jobs=jobs))
@@ -175,6 +180,7 @@ __all__ = [
     "obs_checks",
     "pipeline_checks",
     "run_checks",
+    "service_checks",
     "tensor_oracle",
     "validate_pipeline_run",
     "validate_results",

@@ -40,9 +40,18 @@ Commands
     recoveries visible in ``resilience.*`` telemetry.
 ``doctor``
     Probe the execution runtime's health — pool spawn, disk-cache
-    round-trip and digest sweep, interprocess lock, telemetry registry —
-    and print a pass/warn/fail table.  Exits 0 when healthy (warnings
-    allowed), 2 naming the failing probe otherwise.
+    round-trip and digest sweep, interprocess lock, telemetry registry,
+    service journal — and print a pass/warn/fail table.  Exits 0 when
+    healthy (warnings allowed), 2 naming the failing probe otherwise.
+    ``--json`` prints a machine-readable record instead (what the
+    service ``/healthz?full=1`` endpoint serves).
+``serve``
+    Run the simulation HTTP service (docs/service.md): JSON
+    run/sweep/report/pipeline jobs, deduplicated by content digest,
+    journalled to a write-ahead log under ``.repro/service/``, admitted
+    through a bounded queue with load shedding, drained gracefully on
+    SIGTERM.  ``--port 0 --ready-file PATH`` supports raceless scripted
+    startup.
 ``cache ACTION``
     Manage the persistent disk tier of the run cache (see
     docs/performance.md).  ``stats`` prints counters and footprint
@@ -104,6 +113,8 @@ Examples
     python -m repro check --chaos --fast
     python -m repro check --chaos kill=1,corrupt=1
     python -m repro doctor
+    python -m repro doctor --json
+    python -m repro serve --port 8642
     python -m repro cache stats
     python -m repro cache prune --max-entries 1024
     python -m repro report --progress jsonl
@@ -591,15 +602,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the test-size workloads instead of the paper sizes",
     )
 
-    sub.add_parser(
+    doctor_p = sub.add_parser(
         "doctor",
         help="probe the execution runtime's health",
         description=(
             "Run the health-probe battery (process-pool spawn, disk-cache "
             "write/read/verify, interprocess lock, quarantine census, "
-            "telemetry registry, observability ledger/history) and print "
-            "a pass/warn/fail table.  "
+            "telemetry registry, observability ledger/history, service "
+            "journal) and print a pass/warn/fail table.  "
             "Exits 0 when healthy, 2 naming the failing probe otherwise."
+        ),
+    )
+    doctor_p.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print a machine-readable record (one object per probe plus "
+            "the verdict) instead of the text table"
+        ),
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation HTTP service",
+        description=(
+            "Serve run/sweep/report/pipeline jobs over a stdlib HTTP API "
+            "with a durable write-ahead job journal, content-addressed "
+            "deduplication, bounded-queue admission control, and graceful "
+            "SIGTERM drain (see docs/service.md)."
+        ),
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 = ephemeral; see --ready-file)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help=(
+            "admission bound: queued jobs beyond N are rejected with 429; "
+            "heavy kinds are shed from N//2 (default 8)"
+        ),
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="executor threads (default 1; jobs are CPU-bound)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width each sweep-shaped job may use",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "default per-job deadline, inherited by the supervised "
+            "executor's chunk deadline (requests may override per job)"
+        ),
+    )
+    serve_p.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help=(
+            "write a JSON handshake (pid, host, port, url) here once the "
+            "socket is listening — lets scripts use --port 0 racelessly"
         ),
     )
     sub.add_parser("experiments", help="list the experiment registry")
@@ -1033,12 +1099,42 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_doctor(_args) -> int:
+def _cmd_doctor(args) -> int:
     from repro.resilience import doctor
 
     results = doctor.run_doctor()
-    print(doctor.render_doctor(results))
+    if args.json:
+        import json
+
+        print(json.dumps(doctor.doctor_json(results), indent=2,
+                         sort_keys=True))
+    else:
+        print(doctor.render_doctor(results))
     return doctor.exit_code(results)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.runtime import ServiceConfig
+    from repro.service.server import serve
+
+    config = ServiceConfig(
+        max_queue=args.max_queue,
+        workers=args.workers,
+        jobs=args.jobs,
+        default_deadline_s=args.deadline,
+    )
+    census = serve(
+        host=args.host,
+        port=args.port,
+        config=config,
+        ready_file=args.ready_file,
+    )
+    print(
+        "serve: drained — "
+        + ", ".join(f"{k}={v}" for k, v in sorted(census.items())),
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_experiments(_args) -> int:
@@ -1076,6 +1172,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "analyze": _cmd_analyze,
     "doctor": _cmd_doctor,
+    "serve": _cmd_serve,
     "experiments": _cmd_experiments,
     "list": _cmd_list,
 }
@@ -1086,7 +1183,7 @@ _COMMANDS = {
 #: layer's own commands (metrics/analyze/doctor) stay out so the gate's
 #: "current" record is always real model-running evidence.
 _SESSION_COMMANDS = (
-    "run", "trace", "report", "sensitivity", "check", "pipeline",
+    "run", "trace", "report", "sensitivity", "check", "pipeline", "serve",
 )
 
 #: Session commands whose sweep leaves every registered pair in the run

@@ -66,6 +66,16 @@ class CheckError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """A service request is malformed or cannot be admitted.
+
+    Raised by the job runtime (:mod:`repro.service`) for unknown job
+    kinds, non-content-addressable parameters, and submissions against
+    a draining runtime; the HTTP layer maps it to a 4xx response
+    instead of a stack trace.
+    """
+
+
 class TransientError(ReproError):
     """A retryable infrastructure failure (pool spawn, pickling, I/O).
 

@@ -14,6 +14,7 @@ Spec grammar (comma-separated ``name=value`` tokens)::
     REPRO_CHAOS="kill=1,disk=1"            # one worker kill, one read error
     REPRO_CHAOS="hang=1,hang_s=2.5"        # one 2.5 s task hang
     REPRO_CHAOS="lock=1,corrupt=1"         # stale lock + bit-flipped entry
+    REPRO_CHAOS="kill=1,service=0"         # skip the service scenarios
 
 Faults (each value is an *injection budget* for the whole sweep):
 
@@ -38,6 +39,13 @@ Faults (each value is an *injection budget* for the whole sweep):
     A just-published cache entry has one payload byte flipped on disk
     (digest left stale); the next reader must quarantine it and
     recompute.
+
+``repro check --chaos`` additionally runs the *service* scenario
+battery (:mod:`repro.resilience.servicechaos`) — SIGKILL'd servers,
+torn journals, vanished clients — unless the spec carries
+``service=0``.  Every failing chaos row embeds the exact replay command
+(spec included), so a red CI check is one paste away from a local
+reproduction.
 
 Determinism comes from *budget tokens*, not randomness: each potential
 injection site claims a token file (``O_CREAT|O_EXCL``, atomic across
@@ -81,7 +89,7 @@ __all__ = [
 FAULTS = ("kill", "hang", "disk", "lock", "corrupt")
 
 #: Recognised parameter names (values are floats/strings).
-PARAMS = ("hang_s", "dir")
+PARAMS = ("hang_s", "dir", "service")
 
 #: The spec ``repro check --chaos`` uses when none is given — matches
 #: the acceptance scenario: one worker kill plus one transient disk
@@ -96,6 +104,7 @@ class ChaosSpec:
     counts: Mapping[str, int]
     hang_s: float = 2.0
     state_dir: Optional[str] = None
+    service: int = 1
 
     def budget(self, fault: str) -> int:
         return int(self.counts.get(fault, 0))
@@ -115,6 +124,7 @@ def parse_spec(text: str) -> ChaosSpec:
     counts: Dict[str, int] = {}
     hang_s = 2.0
     state_dir: Optional[str] = None
+    service = 1
     for token in text.split(","):
         token = token.strip()
         if not token:
@@ -142,6 +152,13 @@ def parse_spec(text: str) -> ChaosSpec:
                 ) from None
         elif name == "dir":
             state_dir = value
+        elif name == "service":
+            try:
+                service = int(value)
+            except ValueError:
+                raise ConfigError(
+                    f"chaos parameter service needs 0 or 1, got {value!r}"
+                ) from None
         else:
             raise ConfigError(
                 f"unknown chaos fault {name!r}; expected one of "
@@ -149,7 +166,9 @@ def parse_spec(text: str) -> ChaosSpec:
             )
     if any(n < 0 for n in counts.values()):
         raise ConfigError("chaos budgets must be >= 0")
-    return ChaosSpec(counts=counts, hang_s=hang_s, state_dir=state_dir)
+    return ChaosSpec(
+        counts=counts, hang_s=hang_s, state_dir=state_dir, service=service
+    )
 
 
 #: Parse cache keyed by the raw spec text (hot-path hooks re-read the
@@ -509,4 +528,36 @@ def run_chaos_check(
             f"resilience.locks_broken={broken}"
             + ("" if broken else " — stale lock never detected"),
         )
+
+    if spec.service:
+        # The service scenarios run real server subprocesses (SIGKILL
+        # mid-job, torn journal, vanished client, corrupted cache entry)
+        # against temp state roots; ``service=0`` in the spec skips them.
+        from repro.resilience.servicechaos import service_chaos_checks
+
+        report.extend(service_chaos_checks(fast=fast))
+
+    _embed_replay_command(report, spec_text, fast)
     return report
+
+
+def _embed_replay_command(report, spec_text: str, fast: bool) -> None:
+    """Suffix every failure with the one command that replays it.
+
+    The chaos run's determinism token is the spec itself (budget tokens,
+    not RNG), so embedding the active spec in each failure detail makes
+    any red row locally reproducible without spelunking CI environment
+    variables.
+    """
+    from repro.check.report import FAIL, CheckResult
+
+    command = f"python -m repro check --chaos '{spec_text}'" + (
+        "" if fast else " --full"
+    )
+    for n, result in enumerate(report.results):
+        if result.status != FAIL or "replay:" in result.detail:
+            continue
+        detail = (result.detail + " | " if result.detail else "")
+        report.results[n] = CheckResult(
+            result.name, result.status, detail + f"replay: {command}"
+        )

@@ -13,7 +13,7 @@ exits non-zero iff any probe failed, naming it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 PASS = "pass"
 WARN = "warn"
@@ -218,6 +218,44 @@ def probe_obs() -> ProbeResult:
     )
 
 
+def probe_service_journal() -> ProbeResult:
+    """Validate the service job journal: parseable, gapless sequence,
+    every per-job history legal under the job state machine.
+
+    A missing journal is a clean PASS (the service has simply never
+    run here); a torn tail is a WARN (the next server start heals it);
+    schema or state-machine violations are hard failures — they mean
+    replay would reconstruct the wrong job states.
+    """
+    from repro.service.journal import (
+        journal_path,
+        read_journal,
+        validate_records,
+    )
+
+    name = "probe.service-journal"
+    path = journal_path()
+    if not path.is_file():
+        return ProbeResult(name, PASS, f"no journal at {path} (never served)")
+    records, corrupt = read_journal(path)
+    problems = validate_records(records)
+    if problems:
+        return ProbeResult(
+            name, FAIL,
+            f"{len(problems)} violation(s) in {path}: "
+            + "; ".join(problems[:3]),
+        )
+    if corrupt:
+        return ProbeResult(
+            name, WARN,
+            f"{len(corrupt)} torn line(s) at the tail of {path}; "
+            "the next server start quarantines and heals them",
+        )
+    return ProbeResult(
+        name, PASS, f"{len(records)} record(s), sequence and states legal"
+    )
+
+
 #: The probe battery, in run order.
 PROBES: Tuple[Tuple[str, Callable[[], ProbeResult]], ...] = (
     ("pool-spawn", probe_pool_spawn),
@@ -227,6 +265,7 @@ PROBES: Tuple[Tuple[str, Callable[[], ProbeResult]], ...] = (
     ("quarantine", probe_quarantine),
     ("telemetry", probe_telemetry),
     ("obs", probe_obs),
+    ("service-journal", probe_service_journal),
 )
 
 
@@ -263,6 +302,26 @@ def render_doctor(results: List[ProbeResult]) -> str:
     else:
         lines.append("verdict: HEALTHY")
     return "\n".join(lines)
+
+
+def doctor_json(results: List[ProbeResult]) -> Dict[str, object]:
+    """The machine-readable doctor record (``repro doctor --json`` and
+    the service ``/healthz?full=1`` endpoint): one object per probe
+    plus the overall verdict and exit code, so CI and the service can
+    consume doctor results without scraping the text table."""
+    return {
+        "probes": [
+            {"name": r.name, "status": r.status, "detail": r.detail}
+            for r in results
+        ],
+        "healthy": all(r.status != FAIL for r in results),
+        "verdict": (
+            "HEALTHY"
+            if all(r.status != FAIL for r in results)
+            else "UNHEALTHY"
+        ),
+        "exit_code": exit_code(results),
+    }
 
 
 def exit_code(results: List[ProbeResult]) -> int:

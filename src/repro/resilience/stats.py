@@ -17,10 +17,37 @@ recovered in place, never silently downgraded to serial.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Iterator, List, Union
 
 from repro.trace.tracer import active_tracer
+
+#: The service job (by id) on whose behalf the current thread is
+#: working, or ``""`` outside any job.  Supervisor events and
+#: degradation incidents stamp this into their payloads so ledger
+#: events, journal records, and incident JSON are joinable.
+_JOB_CONTEXT: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_service_job", default=""
+)
+
+
+def current_job() -> str:
+    """The service job id the current context is executing, or ``""``."""
+    return _JOB_CONTEXT.get()
+
+
+@contextlib.contextmanager
+def job_scope(job: str) -> Iterator[None]:
+    """Attribute supervisor incidents in this block to service job
+    ``job`` (context-local; concurrent jobs don't bleed into each
+    other's payloads)."""
+    token = _JOB_CONTEXT.set(job)
+    try:
+        yield
+    finally:
+        _JOB_CONTEXT.reset(token)
 
 #: Counter names, in render order.  Declared up front so the telemetry
 #: snapshot always carries every key (a zero is information: "no
@@ -71,6 +98,9 @@ class ResilienceStats:
             self._counters["degradations"] += 1
             self._last_degradation_reason = reason
         payload = {"reason": reason}
+        job = current_job()
+        if job:
+            payload["job"] = job
         self.log_incident("degradation", payload)
         tracer = active_tracer()
         if tracer is not None:

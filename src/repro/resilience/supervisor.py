@@ -39,11 +39,13 @@ never papers over model errors.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import hashlib
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     DeadlineExceeded,
@@ -51,10 +53,37 @@ from repro.errors import (
     TransientError,
     WorkerCrashError,
 )
-from repro.resilience.stats import RESILIENCE
+from repro.resilience.stats import RESILIENCE, current_job
 from repro.trace.tracer import active_tracer
 
-__all__ = ["RetryPolicy", "Supervisor", "default_policy"]
+__all__ = ["RetryPolicy", "Supervisor", "deadline_scope", "default_policy"]
+
+#: A caller-scoped deadline override (seconds), taking precedence over
+#: ``REPRO_CHUNK_DEADLINE``.  The service runtime sets this so a job's
+#: per-request deadline is *inherited* by every supervised chunk the
+#: job dispatches — backpressure reaches all the way down the stack.
+_DEADLINE_OVERRIDE: contextvars.ContextVar[Optional[float]] = (
+    contextvars.ContextVar("repro_deadline_override", default=None)
+)
+
+
+@contextlib.contextmanager
+def deadline_scope(seconds: Optional[float]) -> Iterator[None]:
+    """Run a block with a per-chunk deadline override.
+
+    ``None`` is a no-op (the environment default applies); ``0`` or
+    negative disables deadlines for the scope.  Context-local, so
+    concurrent service jobs on different worker threads each carry
+    their own deadline.
+    """
+    if seconds is None:
+        yield
+        return
+    token = _DEADLINE_OVERRIDE.set(float(seconds))
+    try:
+        yield
+    finally:
+        _DEADLINE_OVERRIDE.reset(token)
 
 
 @dataclass(frozen=True)
@@ -89,9 +118,14 @@ def default_policy() -> RetryPolicy:
     ``REPRO_CHUNK_DEADLINE`` (seconds, ``0`` disables),
     ``REPRO_MAX_RETRIES``, and ``REPRO_RETRY_BACKOFF`` override the
     defaults — the chaos harness and CI use these to shrink timescales.
+    An active :func:`deadline_scope` (a service job's per-request
+    deadline) takes precedence over the environment.
     """
-    deadline: Optional[float] = float(
-        os.environ.get("REPRO_CHUNK_DEADLINE", "300")
+    override = _DEADLINE_OVERRIDE.get()
+    deadline: Optional[float] = (
+        override
+        if override is not None
+        else float(os.environ.get("REPRO_CHUNK_DEADLINE", "300"))
     )
     if deadline is not None and deadline <= 0:
         deadline = None
@@ -203,13 +237,18 @@ class Supervisor:
         the flight-recorder ledger (``supervisor.<name>``), and the
         tracer's ``resilience/supervisor`` track — the chaos acceptance
         tests compare the first two byte-for-byte, so the payload must
-        be built exactly once.
+        be built exactly once.  Events raised while a service job is
+        executing carry that job's id (``job``), making incident JSON,
+        ledger events, and journal records joinable in postmortems.
         """
         from repro.obs.ledger import record
 
         from repro.obs.progress import current_reporter
 
         payload = dict(args)
+        job = current_job()
+        if job:
+            payload.setdefault("job", job)
         RESILIENCE.log_incident(name, payload)
         record(f"supervisor.{name}", **payload)
         reporter = current_reporter()

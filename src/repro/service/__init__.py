@@ -1,0 +1,62 @@
+"""Simulation-as-a-service: a crash-safe job runtime behind an HTTP API.
+
+``repro serve`` (:mod:`repro.service.server`) turns the library into a
+network service: run/sweep/report/pipeline requests arrive as JSON, are
+*deduplicated by content* (the request digest is the job id, so N
+identical requests collapse to one computation — the same identity the
+cache tiers already key on), admitted through a bounded queue with an
+explicit load-shedding ladder, and executed through the planner and the
+resilient :class:`~repro.resilience.Supervisor`.
+
+Robustness is the headline, not an afterthought:
+
+* every job-state transition is journalled to an append-only
+  write-ahead log (:mod:`repro.service.journal`) *before* it takes
+  effect, so a SIGKILL'd server restarts, replays interrupted jobs
+  idempotently, and converges to byte-identical results;
+* saturation answers ``429 Retry-After`` instead of queueing unbounded
+  work, and heavy jobs (sweeps, reports, pipelines) are shed before
+  single runs — the service-tier analogue of the supervisor's
+  parallel -> fresh-pool -> serial degradation ladder;
+* SIGTERM drains gracefully: stop accepting, finish or journal
+  in-flight jobs, flush the observability ledger;
+* ``repro check --chaos`` gains service scenarios (kill -9 mid-job,
+  torn journal tail, client disconnect, disk-cache corruption during a
+  job) with the same byte-identical-convergence bar, and ``repro
+  check --fast`` proves the journal schema, the job state machine, and
+  dedup conservation on every run (``invariant.service.*``).
+
+See docs/service.md for the API, the job lifecycle state machine, and
+the durability guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import (
+    HEAVY_KINDS,
+    JOB_KINDS,
+    STATES,
+    TERMINAL_STATES,
+    Job,
+    job_id,
+    legal_transition,
+)
+from repro.service.journal import JobJournal, journal_path, service_root
+from repro.service.runtime import JobRuntime, ServiceConfig
+from repro.service.stats import SERVICE_STATS
+
+__all__ = [
+    "HEAVY_KINDS",
+    "JOB_KINDS",
+    "Job",
+    "JobJournal",
+    "JobRuntime",
+    "SERVICE_STATS",
+    "STATES",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "job_id",
+    "journal_path",
+    "legal_transition",
+    "service_root",
+]

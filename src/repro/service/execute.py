@@ -1,0 +1,209 @@
+"""Job executors: one pure function per job kind.
+
+Every kind maps its JSON parameters onto an existing library entry
+point — the *same* code path the CLI uses — and returns a JSON-safe
+result.  Purity is the durability story: a job's result is a function
+of ``(kind, params, model version)`` and nothing else, so a crash-
+interrupted job can be replayed idempotently and *must* converge to the
+byte-identical result (the chaos service scenarios assert exactly
+that).
+
+``run`` results are the CLI contract verbatim: serializing the returned
+record with ``json.dumps(..., indent=2, sort_keys=True)`` reproduces
+``repro run KERNEL MACHINE --json`` stdout byte-for-byte — the CI smoke
+job compares the two.
+
+All kinds dispatch through :func:`repro.perf.planner.execute_requests`
+(or the drivers built on it), so results flow through both
+content-addressed cache tiers and the supervised executor; a service
+job enjoys the same retry/isolate/degrade ladder as a CLI sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["execute_job", "result_text"]
+
+
+def result_text(result: Any) -> str:
+    """The canonical serialization of a job result.
+
+    ``sort_keys`` + fixed indent + trailing newline: the byte string is
+    a pure function of the result value, which is what makes "replay
+    converges byte-identically" a checkable claim — and for ``run``
+    jobs it equals the CLI's ``--json`` stdout.
+    """
+    import json
+
+    return json.dumps(result, indent=2, sort_keys=True) + "\n"
+
+
+def execute_job(
+    kind: str, params: Mapping[str, Any], jobs: Optional[int] = None
+) -> Any:
+    """Execute one job; returns its JSON-safe result.
+
+    ``jobs`` is the *intra-job* parallelism (process-pool width for
+    sweep-shaped kinds), a server setting rather than part of the job's
+    identity — results are byte-identical at any width.
+
+    Raises :class:`~repro.errors.ServiceError` for malformed
+    parameters; model errors (:class:`~repro.errors.ReproError`
+    subclasses) propagate and fail the job.
+    """
+    params = dict(params)
+    if kind == "run":
+        return _execute_run(params)
+    if kind == "sweep":
+        return _execute_sweep(params, jobs)
+    if kind == "report":
+        return _execute_report(params, jobs)
+    if kind == "pipeline":
+        return _execute_pipeline(params, jobs)
+    raise ServiceError(f"unknown job kind {kind!r}")
+
+
+def _run_kwargs(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Mapping kwargs from a run-shaped parameter dict (CLI parity:
+    ``options`` plus ``seed``, seed defaulting to 0)."""
+    options = params.get("options") or {}
+    if not isinstance(options, dict):
+        raise ServiceError(
+            f"'options' must be an object, got {type(options).__name__}"
+        )
+    return dict(options, seed=int(params.get("seed", 0)))
+
+
+def _require(params: Mapping[str, Any], field: str) -> Any:
+    value = params.get(field)
+    if value is None:
+        raise ServiceError(f"missing required job parameter {field!r}")
+    return value
+
+
+def _run_record(kernel: str, machine: str, kwargs: Dict[str, Any],
+                result: Any) -> Dict[str, Any]:
+    from repro.eval.export import kernel_run_record
+    from repro.perf.cache import cache_key
+
+    return {
+        "config_hash": cache_key(kernel, machine, kwargs),
+        **kernel_run_record(result),
+    }
+
+
+def _execute_run(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """``run``: one kernel×machine cell -> the CLI ``--json`` record."""
+    from repro.perf.planner import execute_requests
+
+    kernel = str(_require(params, "kernel"))
+    machine = str(_require(params, "machine"))
+    kwargs = _run_kwargs(params)
+    result = execute_requests([(kernel, machine, kwargs)], jobs=1)[0]
+    return _run_record(kernel, machine, kwargs, result)
+
+
+def _execute_sweep(
+    params: Mapping[str, Any], jobs: Optional[int]
+) -> List[Dict[str, Any]]:
+    """``sweep``: a cell list -> one run record per cell, in order.
+
+    ``params["cells"]`` is a list of run-shaped objects
+    (``{"kernel": ..., "machine": ..., "options": {...}, "seed": N}``);
+    the planner dedups overlapping cells and serves them from the cache
+    tiers before dispatching the misses to the supervised pool.
+    """
+    from repro.perf.planner import execute_requests
+
+    cells = _require(params, "cells")
+    if not isinstance(cells, list) or not cells:
+        raise ServiceError("'cells' must be a non-empty list")
+    requests = []
+    for n, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            raise ServiceError(f"cell {n} must be an object")
+        requests.append(
+            (
+                str(_require(cell, "kernel")),
+                str(_require(cell, "machine")),
+                _run_kwargs(cell),
+            )
+        )
+    results = execute_requests(requests, jobs=jobs)
+    return [
+        _run_record(kernel, machine, kwargs, result)
+        for (kernel, machine, kwargs), result in zip(requests, results)
+    ]
+
+
+def _small_workloads() -> Dict[str, Any]:
+    from repro.kernels.workloads import (
+        small_beam_steering,
+        small_corner_turn,
+        small_cslc,
+    )
+
+    return {
+        "corner_turn": small_corner_turn(),
+        "cslc": small_cslc(),
+        "beam_steering": small_beam_steering(),
+    }
+
+
+def _execute_report(
+    params: Mapping[str, Any], jobs: Optional[int]
+) -> Dict[str, Any]:
+    """``report``: the full experiment report as text.
+
+    ``small`` (default true — a service should answer in seconds)
+    selects the test-size workloads; ``validate`` (default false)
+    appends the embedded fast-tier check block like the CLI does.
+    """
+    from repro.eval.report import full_report
+
+    small = bool(params.get("small", True))
+    text = full_report(
+        workloads=_small_workloads() if small else None,
+        jobs=jobs,
+        validate=bool(params.get("validate", False)),
+    )
+    return {"report": text, "small": small}
+
+
+def _execute_pipeline(
+    params: Mapping[str, Any], jobs: Optional[int]
+) -> List[Dict[str, Any]]:
+    """``pipeline``: radar-pipeline scenario records, CLI-parity shape
+    (``repro pipeline run MACHINE --json``)."""
+    import dataclasses
+
+    from repro.mappings.registry import MACHINES
+    from repro.scenarios import (
+        canonical_scenario,
+        pipeline_record,
+        run_scenarios,
+        small_scenario,
+    )
+
+    machine = str(_require(params, "machine"))
+    if machine == "all":
+        machines = list(MACHINES)
+    elif machine in MACHINES:
+        machines = [machine]
+    else:
+        raise ServiceError(
+            f"unknown machine {machine!r}; "
+            f"expected one of {tuple(MACHINES)} or 'all'"
+        )
+    build = small_scenario if params.get("small", True) else canonical_scenario
+    scenarios = [build(m) for m in machines]
+    seed = params.get("seed")
+    if seed:
+        scenarios = [
+            dataclasses.replace(s, seed=int(seed)) for s in scenarios
+        ]
+    pruns = run_scenarios(scenarios, jobs=jobs)
+    return [pipeline_record(prun) for prun in pruns]

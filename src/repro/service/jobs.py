@@ -1,0 +1,143 @@
+"""The job model: content-addressed identity and a legal state machine.
+
+A *job* is one service request — ``run``, ``sweep``, ``report``, or
+``pipeline`` — with JSON parameters.  Its id is a content digest over
+``(kind, params, model version stamp)``: two requests for the same
+computation get the *same* id, which is what makes service-level
+deduplication structural rather than heuristic (the id is the request
+identity, exactly like a cache key), and folding in the model version
+stamp means a retuned calibration can never serve a stale result under
+an old id.
+
+States and legal transitions (the journal replays are validated against
+this machine, and ``invariant.service.state-machine`` re-proves it on
+every ``repro check --fast``)::
+
+    PENDING ──> RUNNING ──> DONE
+       │           │ └────> FAILED
+       │           └──────> PENDING   (crash replay: re-queued)
+       └─────────> CANCELLED
+
+``DONE``, ``FAILED``, and ``CANCELLED`` are terminal.  The only backward
+edge is ``RUNNING -> PENDING``, taken exclusively by journal replay: a
+job found ``RUNNING`` after a crash was interrupted mid-flight and is
+re-queued — idempotently, because execution is a pure function of the
+request and results converge through the content-addressed cache tiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Recognised job kinds (the request ``kind`` field).
+JOB_KINDS: Tuple[str, ...] = ("run", "sweep", "report", "pipeline")
+
+#: Kinds shed first under load: a sweep/report/pipeline costs orders of
+#: magnitude more than a single run, so the admission ladder rejects
+#: these while still admitting runs (docs/service.md, "Backpressure").
+HEAVY_KINDS: Tuple[str, ...] = ("sweep", "report", "pipeline")
+
+#: Job lifecycle states.
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+STATES: Tuple[str, ...] = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES: Tuple[str, ...] = (DONE, FAILED, CANCELLED)
+
+#: The legal state machine: ``current -> allowed next``.  ``None`` is
+#: the pre-birth state (a job's first journal record must be PENDING).
+LEGAL_TRANSITIONS: Dict[Optional[str], Tuple[str, ...]] = {
+    None: (PENDING,),
+    PENDING: (RUNNING, CANCELLED),
+    RUNNING: (DONE, FAILED, PENDING),
+    DONE: (),
+    FAILED: (),
+    CANCELLED: (),
+}
+
+
+def legal_transition(current: Optional[str], new: str) -> bool:
+    """Whether ``current -> new`` is a legal job-state transition."""
+    return new in LEGAL_TRANSITIONS.get(current, ())
+
+
+def job_id(kind: str, params: Mapping[str, Any]) -> str:
+    """Content-addressed job id (16 hex digits).
+
+    Raises :class:`~repro.errors.ServiceError` for an unknown kind or
+    parameters with no canonical encoding (a JSON request body always
+    encodes; only programmatic callers can get this wrong).
+    """
+    from repro.perf.cache import content_digest, model_version_stamp
+
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    digest = content_digest(
+        {
+            "kind": kind,
+            "params": dict(params),
+            "stamp": model_version_stamp(),
+        }
+    )
+    if digest is None:
+        raise ServiceError(
+            f"job parameters for kind {kind!r} are not content-addressable"
+        )
+    return digest[:16]
+
+
+@dataclasses.dataclass
+class Job:
+    """One service job: identity, request, and mutable lifecycle state.
+
+    The runtime mutates ``state`` only through
+    :meth:`JobRuntime._transition`, which journals the new state *first*
+    (write-ahead discipline) and validates legality; direct assignment
+    is for the journal replayer, which has already validated the
+    recorded history.
+    """
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    state: str = PENDING
+    deadline_s: Optional[float] = None
+    submitted_at: float = dataclasses.field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    replays: int = 0
+    error: str = ""
+    result_digest: str = ""
+
+    def record(self) -> Dict[str, Any]:
+        """The JSON-safe job record the API serves."""
+        out: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "attempts": self.attempts,
+            "replays": self.replays,
+        }
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.started_at is not None:
+            out["started_at"] = self.started_at
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
+        if self.error:
+            out["error"] = self.error
+        if self.result_digest:
+            out["result_digest"] = self.result_digest
+        return out

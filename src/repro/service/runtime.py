@@ -1,0 +1,389 @@
+"""The job runtime: a durable, deduplicating, bounded work queue.
+
+This is the service's core, independent of HTTP (the server in
+:mod:`repro.service.server` is a thin adapter over it; tests drive the
+runtime directly).  Responsibilities:
+
+**Durability** — every state transition is journalled *before* it takes
+effect (:mod:`repro.service.journal`).  On construction the runtime
+replays the journal: terminal jobs are restored for dedup (a ``DONE``
+job keeps serving its persisted result across restarts), and jobs a
+crash left ``PENDING`` or ``RUNNING`` are re-queued — the ``RUNNING ->
+PENDING`` transition is itself journalled, so the history shows the
+replay.  Execution is a pure function of the request (and flows through
+the content-addressed cache tiers), so replays converge to
+byte-identical results; ``repro check --chaos`` kills the server
+mid-job and asserts exactly that.
+
+**Deduplication** — the job id *is* the request digest, so a duplicate
+submission (concurrent or later) joins the existing job instead of
+queueing a second computation: N identical requests collapse to one
+execution, observable as ``service.deduped == N - 1`` with a single
+``planner.executed`` unit (the ``invariant.service.dedup`` check).
+
+**Admission control** — the queue is bounded (``max_queue``).  A full
+queue rejects everything with a retry hint; above the shed watermark
+(half full) heavy kinds (sweep/report/pipeline) are rejected while
+single runs still land — the service-tier analogue of the supervisor's
+parallel -> fresh-pool -> serial degradation ladder (docs/robustness.md).
+Per-job deadlines are inherited by the Supervisor through
+:func:`~repro.resilience.supervisor.deadline_scope`.
+
+**Graceful drain** — :meth:`drain` stops admission, lets in-flight jobs
+finish, and leaves queued jobs journalled as ``PENDING`` for the next
+start to replay; nothing is lost, nothing is half-done.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.service import jobs as jobmod
+from repro.service.execute import execute_job, result_text
+from repro.service.jobs import Job, job_id
+from repro.service.journal import JobJournal, journal_path, service_root
+from repro.service.stats import SERVICE_STATS
+
+__all__ = ["JobRuntime", "ServiceConfig", "Submission"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one runtime instance.
+
+    ``workers`` is the number of executor threads (0 = none; tests and
+    the replay-idempotence check drive :meth:`JobRuntime.run_pending`
+    synchronously instead).  ``jobs`` is *intra*-job parallelism (the
+    process-pool width sweep-shaped kinds use).  ``executor`` is
+    injectable for tests.
+    """
+
+    root: Optional[Path] = None
+    max_queue: int = 8
+    workers: int = 1
+    jobs: int = 1
+    default_deadline_s: Optional[float] = None
+    executor: Callable[..., Any] = execute_job
+
+    @property
+    def shed_watermark(self) -> int:
+        """Queue depth at which heavy kinds start being shed (half of
+        ``max_queue``, at least 1)."""
+        return max(1, self.max_queue // 2)
+
+
+@dataclasses.dataclass(frozen=True)
+class Submission:
+    """The outcome of one submit: the job (when one exists — rejections
+    carry ``None``), the admission outcome, and a retry hint."""
+
+    job: Optional[Job]
+    outcome: str  # admitted | deduped | rejected_{saturated,shed,draining}
+    retry_after_s: int = 0
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome.startswith("rejected")
+
+
+class JobRuntime:
+    """See the module docstring; one instance per server process."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.root = (
+            Path(self.config.root)
+            if self.config.root is not None
+            else service_root()
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "results").mkdir(exist_ok=True)
+        self.journal = JobJournal(journal_path(self.root))
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._draining = threading.Event()
+        self.replayed_jobs = 0
+        self._replay()
+
+    # -- durability -----------------------------------------------------
+
+    def _replay(self) -> None:
+        """Restore journal state: terminal jobs for dedup, interrupted
+        jobs back onto the queue (journalling the re-queue)."""
+        from repro.obs.ledger import record
+
+        if self.journal.torn_tails_healed:
+            SERVICE_STATS.note(
+                "journal_torn_tails", self.journal.torn_tails_healed
+            )
+        replayed, _problems = self.journal.replay()
+        for job in sorted(replayed.values(), key=lambda j: j.submitted_at):
+            if job.state == jobmod.RUNNING:
+                # Interrupted mid-flight by a crash: journal the
+                # re-queue so the history shows it, then treat as
+                # PENDING.  Idempotent — execution is pure.
+                self.journal.append(job.id, jobmod.PENDING)
+                job.state = jobmod.PENDING
+                job.replays += 1
+                self.replayed_jobs += 1
+                SERVICE_STATS.note("replayed")
+                record("service.replay", job=job.id, job_kind=job.kind)
+            self._jobs[job.id] = job
+            if job.state == jobmod.PENDING:
+                self._queue.put(job.id)
+
+    def _transition(self, job: Job, state: str, **fields: Any) -> None:
+        """Journal first (write-ahead), then apply in memory."""
+        from repro.obs.ledger import record
+
+        if not jobmod.legal_transition(job.state, state):
+            raise ServiceError(
+                f"illegal job transition {job.state} -> {state} "
+                f"for {job.id}"
+            )
+        rec = self.journal.append(job.id, state, **fields)
+        if state == jobmod.RUNNING:
+            job.attempts += 1
+            job.started_at = rec["ts"]
+        if state in jobmod.TERMINAL_STATES:
+            job.finished_at = rec["ts"]
+            job.error = fields.get("error", "")
+            job.result_digest = fields.get("result_digest", "")
+        job.state = state
+        record("service.job", job=job.id, state=state, job_kind=job.kind)
+
+    # -- admission ------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def _retry_after(self, depth: int) -> int:
+        """A coarse how-long-until-capacity hint for ``Retry-After``:
+        a nominal 2 s per queued job, never less than 1 s."""
+        return max(1, 2 * depth)
+
+    def submit(
+        self,
+        kind: str,
+        params: Mapping[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Submission:
+        """Admit, dedup, or reject one request.
+
+        Raises :class:`~repro.errors.ServiceError` for a malformed
+        request (unknown kind, non-addressable params) — the HTTP layer
+        maps that to 400; rejections for *load* return a
+        :class:`Submission` with a retry hint instead (429/503).
+        """
+        from repro.obs.ledger import record
+
+        SERVICE_STATS.note("submitted")
+        try:
+            jid = job_id(kind, params)
+        except ServiceError:
+            SERVICE_STATS.note("rejected_invalid")
+            raise
+        with self._lock:
+            existing = self._jobs.get(jid)
+            if existing is not None:
+                SERVICE_STATS.note("deduped")
+                record(
+                    "service.submit", job=jid, job_kind=kind, outcome="deduped"
+                )
+                return Submission(existing, "deduped")
+            if self._draining.is_set():
+                SERVICE_STATS.note("rejected_draining")
+                record(
+                    "service.submit", job=jid, job_kind=kind,
+                    outcome="rejected_draining",
+                )
+                return Submission(None, "rejected_draining", 5)
+            depth = self.queue_depth()
+            if depth >= self.config.max_queue:
+                SERVICE_STATS.note("rejected_saturated")
+                record(
+                    "service.submit", job=jid, job_kind=kind,
+                    outcome="rejected_saturated", depth=depth,
+                )
+                return Submission(
+                    None, "rejected_saturated", self._retry_after(depth)
+                )
+            if depth >= self.config.shed_watermark and kind in (
+                jobmod.HEAVY_KINDS
+            ):
+                # The load-shedding ladder: above the watermark, heavy
+                # work is shed while single runs still land.
+                SERVICE_STATS.note("rejected_shed")
+                record(
+                    "service.submit", job=jid, job_kind=kind,
+                    outcome="rejected_shed", depth=depth,
+                )
+                return Submission(
+                    None, "rejected_shed", self._retry_after(depth)
+                )
+            if deadline_s is None:
+                deadline_s = self.config.default_deadline_s
+            self.journal.append(
+                jid,
+                jobmod.PENDING,
+                kind=kind,
+                params=dict(params),
+                deadline_s=deadline_s,
+            )
+            job = Job(
+                id=jid, kind=kind, params=dict(params), deadline_s=deadline_s
+            )
+            self._jobs[jid] = job
+            self._queue.put(jid)
+            SERVICE_STATS.note("admitted")
+            record("service.submit", job=jid, job_kind=kind, outcome="admitted")
+            return Submission(job, "admitted")
+
+    # -- execution ------------------------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        """Run one job to a terminal state.  Never raises: a failure is
+        a journalled FAILED job, not a dead worker thread."""
+        from repro.resilience.stats import job_scope
+        from repro.resilience.supervisor import deadline_scope
+
+        with self._lock:
+            if job.state != jobmod.PENDING:
+                return  # cancelled (or raced) while queued
+            self._transition(job, jobmod.RUNNING)
+        try:
+            with job_scope(job.id), deadline_scope(job.deadline_s):
+                result = self.config.executor(
+                    job.kind, job.params, jobs=self.config.jobs
+                )
+            text = result_text(result)
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+            self._write_result(job.id, text)
+            with self._lock:
+                self._transition(job, jobmod.DONE, result_digest=digest)
+            SERVICE_STATS.note("completed")
+        except Exception as exc:  # noqa: BLE001 — terminal FAILED state
+            with self._lock:
+                self._transition(
+                    job,
+                    jobmod.FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            SERVICE_STATS.note("failed")
+
+    def _write_result(self, jid: str, text: str) -> None:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(self.result_path(jid), text)
+
+    def result_path(self, jid: str) -> Path:
+        return self.root / "results" / f"{jid}.json"
+
+    def result_text(self, jid: str) -> Optional[str]:
+        """The persisted result serialization, or ``None``."""
+        try:
+            return self.result_path(jid).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    # -- workers --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the executor threads (no-op when ``workers == 0``)."""
+        for n in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-service-{n}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker(self) -> None:
+        while True:
+            try:
+                jid = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._draining.is_set():
+                    return
+                continue
+            job = self._jobs.get(jid)
+            if job is not None:
+                self._execute(job)
+
+    def run_pending(self) -> int:
+        """Synchronously execute everything queued (the ``workers=0``
+        path tests and replay checks use); returns jobs executed."""
+        n = 0
+        while True:
+            try:
+                jid = self._queue.get_nowait()
+            except queue.Empty:
+                return n
+            job = self._jobs.get(jid)
+            if job is not None:
+                self._execute(job)
+                n += 1
+
+    def wait(self, jid: str, timeout: float = 60.0) -> Job:
+        """Block until job ``jid`` reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self._jobs.get(jid)
+            if job is not None and job.state in jobmod.TERMINAL_STATES:
+                return job
+            time.sleep(0.01)
+        raise ServiceError(f"timed out waiting for job {jid}")
+
+    def drain(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Stop admission, finish in-flight jobs, stop the workers.
+
+        Queued-but-unstarted jobs stay journalled as PENDING — the next
+        start replays them.  Returns a census for the shutdown log.
+        """
+        from repro.obs.ledger import record
+
+        self._draining.set()
+        SERVICE_STATS.note("drains")
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        census = {
+            "pending": sum(
+                1 for j in self._jobs.values()
+                if j.state == jobmod.PENDING
+            ),
+            "running": sum(
+                1 for j in self._jobs.values()
+                if j.state == jobmod.RUNNING
+            ),
+            "done": sum(
+                1 for j in self._jobs.values() if j.state == jobmod.DONE
+            ),
+            "failed": sum(
+                1 for j in self._jobs.values() if j.state == jobmod.FAILED
+            ),
+        }
+        record("service.drain", **census)
+        return census
+
+    # -- introspection --------------------------------------------------
+
+    def get(self, jid: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(jid)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest first."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: (j.submitted_at, j.id)
+            )

@@ -1,0 +1,84 @@
+"""Service counters: every admission decision and lifecycle event, counted.
+
+Like :mod:`repro.resilience.stats` one tier down, the service absorbs
+trouble rather than surfacing it — a duplicate request becomes a dedup
+hit, saturation becomes a 429, a crash becomes a replay — so counters
+are the only external evidence of what happened.  This tally is exposed
+to :data:`~repro.trace.telemetry.TELEMETRY` under ``service.*`` and is
+what the dedup-conservation invariant and the chaos service scenarios
+assert against (N identical submissions show ``deduped == N - 1`` and
+exactly one planner execution).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+#: Counter names, in render order.  Declared up front so the telemetry
+#: snapshot always carries every key — a zero is information ("no jobs
+#: were shed" is exactly what a healthy smoke run asserts).
+COUNTERS = (
+    "submitted",
+    "admitted",
+    "deduped",
+    "rejected_saturated",
+    "rejected_shed",
+    "rejected_draining",
+    "rejected_invalid",
+    "completed",
+    "failed",
+    "cancelled",
+    "replayed",
+    "journal_torn_tails",
+    "drains",
+    "http_requests",
+    "http_errors",
+    "client_disconnects",
+)
+
+
+class ServiceStats:
+    """Thread-safe service counters (same shape as ResilienceStats)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+
+    def note(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n`` (and mirror it onto the
+        active tracer, if any, as ``service.<name>``)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+        from repro.trace.tracer import active_tracer
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.count(f"service.{name}", n)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counters, the telemetry-source shape."""
+        with self._lock:
+            return dict(self._counters)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {name: 0 for name in COUNTERS}
+
+    def render(self) -> str:
+        """Aligned ``service.<name> value`` lines for ``--perf``."""
+        snap = self.snapshot()
+        width = max(len(name) for name in snap) + len("service.")
+        lines = ["service:"]
+        for name in sorted(snap):
+            lines.append(f"  {f'service.{name}':<{width}s}  {snap[name]}")
+        return "\n".join(lines)
+
+
+#: Process-wide service tally, registered with TELEMETRY under
+#: ``service`` (lazily, from :mod:`repro.trace.telemetry`).
+SERVICE_STATS = ServiceStats()

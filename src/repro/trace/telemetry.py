@@ -33,7 +33,10 @@ The process-wide :data:`TELEMETRY` registry starts with these sources:
   tracing is off);
 * ``obs`` — the flight recorder's event census (session id, events
   recorded by kind, write errors — empty when no recorder is active,
-  see :mod:`repro.obs.ledger`).
+  see :mod:`repro.obs.ledger`);
+* ``service`` — the job runtime's admission/lifecycle tallies
+  (submitted, admitted, deduped, rejections by rung, completions,
+  replays, drains — see :mod:`repro.service.stats`).
 
 Sources are read lazily at snapshot time, so registration costs nothing
 until someone asks, and a broken source reports its error under
@@ -245,6 +248,12 @@ def _obs_source() -> Dict[str, Any]:
     return _obs_telemetry_source()
 
 
+def _service_source() -> Dict[str, Any]:
+    from repro.service.stats import SERVICE_STATS
+
+    return dict(SERVICE_STATS.snapshot())
+
+
 #: The process-wide registry with the default sources installed.
 TELEMETRY = TelemetryRegistry()
 TELEMETRY.register("perf.timers", _timers_source)
@@ -257,3 +266,4 @@ TELEMETRY.register("resilience", _resilience_source)
 TELEMETRY.register("scenario", _scenario_source)
 TELEMETRY.register("trace", _trace_source)
 TELEMETRY.register("obs", _obs_source)
+TELEMETRY.register("service", _service_source)

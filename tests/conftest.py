@@ -67,6 +67,23 @@ def isolated_obs(tmp_path, monkeypatch):
     ledger._ACTIVE = None
 
 
+@pytest.fixture(autouse=True)
+def isolated_service(tmp_path, monkeypatch):
+    """Point the simulation service at a per-test directory.
+
+    The job journal and result store are durable by design — which is
+    exactly the property tests must not share: a job journaled by one
+    test would be replayed (or deduped against) by the next test's
+    runtime.  Service counters are process-global, so they are reset on
+    entry to keep delta assertions honest.
+    """
+    from repro.service.stats import SERVICE_STATS
+
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "service"))
+    SERVICE_STATS.reset()
+    yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

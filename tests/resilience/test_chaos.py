@@ -42,6 +42,57 @@ class TestSpecParsing:
     def test_active_spec_off_by_default(self):
         assert chaos.active_spec() is None
 
+    def test_service_scenarios_on_by_default(self):
+        assert chaos.parse_spec("kill=1").service == 1
+
+    def test_service_toggle(self):
+        assert chaos.parse_spec("kill=1,service=0").service == 0
+
+    def test_service_toggle_rejects_non_integer(self):
+        with pytest.raises(ConfigError, match="service"):
+            chaos.parse_spec("service=maybe")
+
+
+class TestReplayCommandSuffix:
+    def _report(self):
+        from repro.check.report import FAIL, PASS, CheckReport
+
+        report = CheckReport(tier="chaos")
+        report.add("chaos.report.identical", FAIL, "diverged")
+        report.add("chaos.injections.fired", PASS)
+        report.add("chaos.service.drain", FAIL, "")
+        return report
+
+    def test_failures_carry_the_replay_command(self):
+        report = self._report()
+        chaos._embed_replay_command(report, "kill=1,disk=1", fast=True)
+        failures = [r for r in report.results if r.status == "fail"]
+        assert failures, "fixture must contain failures"
+        for row in failures:
+            assert "replay: python -m repro check --chaos" in row.detail
+            assert "'kill=1,disk=1'" in row.detail
+
+    def test_passes_are_left_alone(self):
+        report = self._report()
+        chaos._embed_replay_command(report, "kill=1", fast=True)
+        (ok,) = [r for r in report.results if r.status == "pass"]
+        assert "replay" not in ok.detail
+
+    def test_full_tier_replays_with_full_flag(self):
+        report = self._report()
+        chaos._embed_replay_command(report, "kill=1", fast=False)
+        assert any("--full" in r.detail for r in report.results)
+
+    def test_suffix_is_idempotent(self):
+        report = self._report()
+        chaos._embed_replay_command(report, "kill=1", fast=True)
+        chaos._embed_replay_command(report, "kill=1", fast=True)
+        (row,) = [
+            r for r in report.results
+            if r.name == "chaos.report.identical"
+        ]
+        assert row.detail.count("replay:") == 1
+
 
 class TestTokenBudget:
     def _spec(self, tmp_path, text):

@@ -1,0 +1,77 @@
+"""Tests for ``repro doctor --json`` and the service journal probe."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.resilience.doctor import (
+    doctor_json,
+    probe_service_journal,
+    run_doctor,
+)
+from repro.service.jobs import PENDING, Job, job_id
+from repro.service.journal import JobJournal, journal_path, service_root
+
+
+def _journal_with_one_job():
+    path = journal_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    journal = JobJournal(path)
+    params = {"kernel": "corner_turn", "machine": "viram"}
+    job = Job(id=job_id("run", params), kind="run", params=params)
+    journal.append(job.id, PENDING, kind="run", params=params)
+    return path
+
+
+class TestDoctorJson:
+    def test_cli_emits_machine_readable_verdict(self, capsys):
+        exit_code = main(["doctor", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] in ("HEALTHY", "UNHEALTHY")
+        assert payload["exit_code"] == exit_code
+        assert isinstance(payload["probes"], list)
+        names = {p["name"] for p in payload["probes"]}
+        assert "probe.service-journal" in names
+        for probe in payload["probes"]:
+            assert set(probe) == {"name", "status", "detail"}
+
+    def test_json_is_stable_under_sort_keys(self):
+        record = doctor_json(run_doctor())
+        text = json.dumps(record, indent=2, sort_keys=True)
+        assert json.loads(text) == record
+
+    def test_healthy_matches_exit_code(self):
+        record = doctor_json(run_doctor())
+        assert record["healthy"] == (record["exit_code"] == 0)
+
+
+class TestServiceJournalProbe:
+    def test_never_served_passes(self):
+        assert not service_root().exists()
+        assert probe_service_journal().status == "pass"
+
+    def test_valid_journal_passes(self):
+        _journal_with_one_job()
+        result = probe_service_journal()
+        assert result.status == "pass"
+
+    def test_torn_tail_warns(self):
+        path = _journal_with_one_job()
+        with open(path, "ab") as fh:
+            fh.write(b'{"schema": 1, "seq": 99')
+        result = probe_service_journal()
+        assert result.status == "warn"
+
+    def test_invalid_history_fails(self):
+        path = _journal_with_one_job()
+        with open(path, "a") as fh:
+            fh.write(
+                json.dumps(
+                    {"schema": 1, "seq": 99, "job": "ff" * 8,
+                     "state": "DONE", "ts": 0.0}
+                )
+                + "\n"
+            )
+        result = probe_service_journal()
+        assert result.status == "fail"
